@@ -1,0 +1,163 @@
+//! Fill-and-measure drivers for the baseline tables (Figure 11).
+//!
+//! Mirrors `kvd_hash::tuning`: fill a table with fixed-size KVs (8-byte
+//! keys) to a target memory utilization, then sample average GET and PUT
+//! (update) access counts.
+
+use kvd_sim::DetRng;
+
+use crate::cuckoo::CuckooTable;
+use crate::hopscotch::HopscotchTable;
+use crate::TableFull;
+
+/// Average access costs of a baseline at some utilization.
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineCosts {
+    /// Utilization actually reached.
+    pub utilization: f64,
+    /// Mean accesses per GET of an existing key.
+    pub get_avg: f64,
+    /// Mean accesses per PUT (update) of an existing key.
+    pub put_avg: f64,
+    /// Mean accesses per insertion during the fill.
+    pub insert_avg: f64,
+}
+
+fn key_bytes(id: u64) -> [u8; 8] {
+    id.to_le_bytes()
+}
+
+fn value_for(kv_size: usize, id: u64) -> Vec<u8> {
+    assert!(kv_size > 8, "kv size must exceed the 8-byte key");
+    let mut v = vec![0u8; kv_size - 8];
+    let tag = id.to_le_bytes();
+    let n = v.len().min(8);
+    v[..n].copy_from_slice(&tag[..n]);
+    v
+}
+
+/// A common measuring interface over the two baseline tables.
+pub trait MeasurableTable {
+    /// Inserts or replaces; `Err` when full.
+    fn bput(&mut self, key: &[u8], value: &[u8]) -> Result<(), TableFull>;
+    /// Looks up.
+    fn bget(&mut self, key: &[u8]) -> Option<Vec<u8>>;
+    /// Accesses so far.
+    fn baccesses(&self) -> u64;
+    /// Utilization.
+    fn butilization(&self) -> f64;
+}
+
+impl MeasurableTable for CuckooTable {
+    fn bput(&mut self, key: &[u8], value: &[u8]) -> Result<(), TableFull> {
+        self.put(key, value)
+    }
+    fn bget(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        self.get(key)
+    }
+    fn baccesses(&self) -> u64 {
+        self.stats().accesses()
+    }
+    fn butilization(&self) -> f64 {
+        self.memory_utilization()
+    }
+}
+
+impl MeasurableTable for HopscotchTable {
+    fn bput(&mut self, key: &[u8], value: &[u8]) -> Result<(), TableFull> {
+        self.put(key, value)
+    }
+    fn bget(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        self.get(key)
+    }
+    fn baccesses(&self) -> u64 {
+        self.stats().accesses()
+    }
+    fn butilization(&self) -> f64 {
+        self.memory_utilization()
+    }
+}
+
+/// Fills `table` to `target_utilization` with `kv_size`-byte KVs and
+/// measures average GET and PUT access counts over `samples` operations.
+///
+/// Returns `None` if the target utilization is unreachable for this
+/// design (the paper: MemC3/FaRM "cannot support more than 55% memory
+/// utilization for 10B KV size").
+pub fn measure_baseline<T: MeasurableTable>(
+    table: &mut T,
+    kv_size: usize,
+    target_utilization: f64,
+    samples: usize,
+    seed: u64,
+) -> Option<BaselineCosts> {
+    let mut ids = Vec::new();
+    let mut id = 0u64;
+    let before = table.baccesses();
+    while table.butilization() < target_utilization {
+        if table.bput(&key_bytes(id), &value_for(kv_size, id)).is_err() {
+            return None;
+        }
+        ids.push(id);
+        id += 1;
+    }
+    if ids.is_empty() {
+        return None;
+    }
+    let insert_avg = (table.baccesses() - before) as f64 / ids.len() as f64;
+    let mut rng = DetRng::seed(seed);
+    let mut get_total = 0u64;
+    let mut put_total = 0u64;
+    for _ in 0..samples {
+        let id = ids[rng.usize_below(ids.len())];
+        let a = table.baccesses();
+        assert!(table.bget(&key_bytes(id)).is_some(), "key {id} lost");
+        get_total += table.baccesses() - a;
+        let a = table.baccesses();
+        table
+            .bput(&key_bytes(id), &value_for(kv_size, id))
+            .expect("update of existing key");
+        put_total += table.baccesses() - a;
+    }
+    Some(BaselineCosts {
+        utilization: table.butilization(),
+        get_avg: get_total as f64 / samples as f64,
+        put_avg: put_total as f64 / samples as f64,
+        insert_avg,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cuckoo_measurable_at_low_utilization() {
+        let mut t = CuckooTable::new(1 << 19, 0.3);
+        let c = measure_baseline(&mut t, 16, 0.1, 500, 1).expect("reachable");
+        assert!(c.utilization >= 0.1);
+        assert!(c.get_avg >= 2.0, "GET {}", c.get_avg);
+        assert!(c.put_avg >= 1.0);
+    }
+
+    #[test]
+    fn hopscotch_gets_cheaper_than_cuckoo() {
+        let mut c = CuckooTable::new(1 << 19, 0.3);
+        let mut h = HopscotchTable::new(1 << 19, 0.3);
+        let cc = measure_baseline(&mut c, 16, 0.1, 500, 2).unwrap();
+        let hc = measure_baseline(&mut h, 16, 0.1, 500, 2).unwrap();
+        // Paper: "hopscotch hashing performs better in GET".
+        assert!(
+            hc.get_avg <= cc.get_avg + 0.05,
+            "{} vs {}",
+            hc.get_avg,
+            cc.get_avg
+        );
+    }
+
+    #[test]
+    fn unreachable_utilization_reports_none() {
+        let mut t = CuckooTable::new(1 << 16, 0.5);
+        assert!(measure_baseline(&mut t, 10, 0.9, 10, 3).is_none());
+    }
+}

@@ -1,0 +1,63 @@
+//! Figure 6: average memory access count under varying inline thresholds
+//! (10/15/20/25 B) and memory utilizations, for a mixed-size KV workload.
+
+use kvd_bench::{banner, fmt_f, shape_check, Table, SCALED_MEMORY};
+use kvd_hash::tuning::point_mixed;
+
+fn main() {
+    banner(
+        "Figure 6: memory accesses vs inline threshold and utilization",
+        "access count grows with utilization; higher thresholds grow more \
+         steeply, so an optimal threshold exists per target utilization",
+    );
+
+    let thresholds = [10usize, 15, 20, 25];
+    let utils = [0.20, 0.30, 0.40, 0.50];
+    // Mixed KV sizes around the thresholds, as in the paper's setting
+    // where "smaller and larger keys are equally likely to be accessed".
+    let sizes: Vec<usize> = vec![9, 12, 15, 18, 21, 24, 27, 30];
+
+    let mut header = vec!["threshold".to_string()];
+    header.extend(utils.iter().map(|u| format!("util {u:.2}")));
+    let mut t = Table::new(
+        "Figure 6: avg memory accesses per op (GET+PUT mean), mixed 9-30B KVs",
+        &header.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+
+    let mut rows = Vec::new();
+    for &th in &thresholds {
+        let mut cells = vec![format!("{th}B")];
+        let mut series = Vec::new();
+        for (ui, &u) in utils.iter().enumerate() {
+            let m = point_mixed(SCALED_MEMORY, 0.6, th, &sizes, u, 6 + ui as u64);
+            let avg = (m.get_avg + m.put_avg) / 2.0;
+            series.push(avg);
+            cells.push(if m.utilization >= u - 0.02 {
+                fmt_f(avg, 3)
+            } else {
+                format!("{} (max {:.2})", fmt_f(avg, 3), m.utilization)
+            });
+        }
+        rows.push(series);
+        t.row(&cells);
+    }
+    t.print();
+
+    // Shape 1: every threshold's curve is non-decreasing in utilization.
+    let monotone = rows
+        .iter()
+        .all(|r| r.windows(2).all(|w| w[1] >= w[0] - 0.08));
+    shape_check(
+        "accesses grow with utilization",
+        monotone,
+        "each row non-decreasing (±0.08 noise)",
+    );
+    // Shape 2: at the highest utilization, larger thresholds cost at
+    // least as much as the 10B threshold's curve growth (steeper growth).
+    let growth: Vec<f64> = rows.iter().map(|r| r[utils.len() - 1] - r[0]).collect();
+    shape_check(
+        "higher threshold → steeper growth",
+        growth[thresholds.len() - 1] >= growth[0] - 0.05,
+        &format!("growth 10B={:.3} vs 25B={:.3}", growth[0], growth[3]),
+    );
+}

@@ -1,0 +1,98 @@
+//! Figure 9: memory access count vs hash index ratio (a, fixed
+//! utilization 0.5) and vs memory utilization (b, fixed ratio 0.5),
+//! for inline and offline (non-inline) KVs.
+
+use kvd_bench::{banner, fmt_f, shape_check, Table, SCALED_MEMORY};
+use kvd_hash::tuning::point;
+
+/// 10B KVs: inline when the threshold admits them, offline otherwise.
+const KV: usize = 10;
+const INLINE_TH: usize = 10;
+const OFFLINE_TH: usize = 9; // below the KV size → stored in slabs
+
+fn main() {
+    banner(
+        "Figure 9: memory accesses vs hash index ratio / utilization",
+        "inline KVs save one access per op; more index (higher ratio) \
+         reduces collisions at fixed utilization; accesses rise with \
+         utilization at fixed ratio",
+    );
+
+    // --- (a) fixed utilization 0.35, sweep hash index ratio -------------
+    // (the paper fixes 0.5; at laptop scale 10B inline KVs top out near
+    // 0.4 utilization, so we fix the highest utilization every ratio in
+    // the sweep can reach)
+    let util_a = 0.25;
+    let mut t = Table::new(
+        "Figure 9a: accesses vs hash index ratio (fixed utilization 0.25)",
+        &[
+            "ratio",
+            "inline GET",
+            "inline PUT",
+            "offline GET",
+            "offline PUT",
+        ],
+    );
+    let mut inline_a = Vec::new();
+    for ratio in [0.3, 0.4, 0.5, 0.6, 0.7, 0.8] {
+        let i = point(SCALED_MEMORY, ratio, INLINE_TH, KV, util_a, 9);
+        let o = point(SCALED_MEMORY, ratio, OFFLINE_TH, KV, util_a, 9);
+        inline_a.push(i.get_avg);
+        t.row(&[
+            fmt_f(ratio, 1),
+            fmt_f(i.get_avg, 3),
+            fmt_f(i.put_avg, 3),
+            fmt_f(o.get_avg, 3),
+            fmt_f(o.put_avg, 3),
+        ]);
+    }
+    t.print();
+
+    // --- (b) fixed ratio 0.5, sweep utilization -------------------------
+    let mut t = Table::new(
+        "Figure 9b: accesses vs utilization (fixed hash index ratio 0.5)",
+        &[
+            "utilization",
+            "inline GET",
+            "inline PUT",
+            "offline GET",
+            "offline PUT",
+        ],
+    );
+    let mut inline_b = Vec::new();
+    let mut offline_b = Vec::new();
+    for util in [0.15, 0.20, 0.25, 0.30, 0.35] {
+        let i = point(SCALED_MEMORY, 0.5, INLINE_TH, KV, util, 10);
+        let o = point(SCALED_MEMORY, 0.5, OFFLINE_TH, KV, util, 10);
+        inline_b.push(i.get_avg);
+        offline_b.push(o.get_avg);
+        t.row(&[
+            fmt_f(util, 2),
+            fmt_f(i.get_avg, 3),
+            fmt_f(i.put_avg, 3),
+            fmt_f(o.get_avg, 3),
+            fmt_f(o.put_avg, 3),
+        ]);
+    }
+    t.print();
+
+    shape_check(
+        "offline costs ~1 more access than inline",
+        offline_b.iter().zip(&inline_b).all(|(o, i)| o - i > 0.5),
+        "offline GET − inline GET > 0.5 at every utilization",
+    );
+    shape_check(
+        "more index → fewer accesses (9a, inline)",
+        inline_a.last().unwrap() <= &(inline_a[0] + 0.05),
+        &format!(
+            "ratio 0.3 → {:.3}, ratio 0.8 → {:.3}",
+            inline_a[0],
+            inline_a.last().unwrap()
+        ),
+    );
+    shape_check(
+        "accesses rise with utilization (9b)",
+        inline_b.last().unwrap() >= &(inline_b[0] - 0.03),
+        &format!("{:.3} → {:.3}", inline_b[0], inline_b.last().unwrap()),
+    );
+}

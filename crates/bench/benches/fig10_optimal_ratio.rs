@@ -1,0 +1,70 @@
+//! Figure 10: determining the optimal hash index ratio for a required
+//! memory utilization and KV size.
+//!
+//! The maximal achievable utilization drops as the hash index ratio
+//! grows (less memory remains for dynamic allocation); the paper picks
+//! the largest ratio that still meets the required utilization, which
+//! minimizes average access count (the dashed line in Figure 10).
+
+use kvd_bench::{banner, fmt_f, shape_check, Table, SCALED_MEMORY};
+use kvd_hash::tuning::{max_achievable_utilization, optimal_config};
+
+fn main() {
+    banner(
+        "Figure 10: optimal hash index ratio per required utilization",
+        "max achievable utilization falls as the index ratio grows; the \
+         tuner picks the largest ratio meeting the target",
+    );
+
+    // Non-inline 64B KVs stress the dynamic region, like the paper's
+    // larger-KV cases.
+    let kv = 64usize;
+    let threshold = 24usize;
+    let ratios = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
+
+    let mut t = Table::new(
+        "Figure 10: max achievable utilization vs hash index ratio (64B KVs)",
+        &["ratio", "max utilization"],
+    );
+    let mut maxes = Vec::new();
+    for &r in &ratios {
+        let m = max_achievable_utilization(SCALED_MEMORY, r, threshold, kv);
+        maxes.push(m);
+        t.row(&[fmt_f(r, 1), fmt_f(m, 3)]);
+    }
+    t.print();
+
+    // The tuner's dashed line: for each required utilization, the chosen
+    // ratio and the access count achieved there.
+    let mut t = Table::new(
+        "Figure 10 (dashed line): tuner choice per required utilization",
+        &["required util", "chosen ratio", "GET acc", "PUT acc"],
+    );
+    let mut chosen = Vec::new();
+    for req in [0.2, 0.3, 0.4, 0.5] {
+        match optimal_config(SCALED_MEMORY, threshold, kv, req, 11) {
+            Some((ratio, costs)) => {
+                chosen.push((req, ratio));
+                t.row(&[
+                    fmt_f(req, 1),
+                    fmt_f(ratio, 1),
+                    fmt_f(costs.get_avg, 3),
+                    fmt_f(costs.put_avg, 3),
+                ]);
+            }
+            None => t.row(&[fmt_f(req, 1), "unreachable".into(), "-".into(), "-".into()]),
+        }
+    }
+    t.print();
+
+    shape_check(
+        "max utilization monotonically falls with ratio",
+        maxes.windows(2).all(|w| w[1] <= w[0] + 0.02),
+        &format!("{:.3} … {:.3}", maxes[0], maxes.last().unwrap()),
+    );
+    shape_check(
+        "higher requirements force smaller ratios",
+        chosen.windows(2).all(|w| w[1].1 <= w[0].1),
+        &format!("{chosen:?}"),
+    );
+}

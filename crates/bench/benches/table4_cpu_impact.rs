@@ -1,0 +1,73 @@
+//! Table 4: impact of KV-Direct at peak load on host CPU performance.
+//!
+//! KV-Direct bypasses the CPU and consumes at most the two PCIe links'
+//! worth of host memory bandwidth, so the server "can run other
+//! workloads" with minimal interference (paper §5.2.5).
+
+use kvd_bench::{banner, fmt_f, shape_check, Table};
+use kvd_core::timing::{host_impact, SystemModel};
+
+fn main() {
+    banner(
+        "Table 4: impact on host CPU performance at KV-Direct peak load",
+        "minimal impact: the CPU keeps most of its memory bandwidth and \
+         latency while KV-Direct runs at 180 Mops",
+    );
+
+    let model = SystemModel::paper();
+    let idle = host_impact(&model, false);
+    let peak = host_impact(&model, true);
+
+    let mut t = Table::new(
+        "Table 4: host memory performance, KV-Direct idle vs peak",
+        &["metric", "KV-Direct idle", "KV-Direct peak", "degradation"],
+    );
+    let deg = |a: f64, b: f64| -> String { format!("{:.1}%", (a - b) / a * 100.0) };
+    t.row(&[
+        "sequential bandwidth GB/s".into(),
+        fmt_f(idle.seq_bandwidth_gbs, 1),
+        fmt_f(peak.seq_bandwidth_gbs, 1),
+        deg(idle.seq_bandwidth_gbs, peak.seq_bandwidth_gbs),
+    ]);
+    t.row(&[
+        "random 64B access Mops".into(),
+        fmt_f(idle.random_mops, 1),
+        fmt_f(peak.random_mops, 1),
+        deg(idle.random_mops, peak.random_mops),
+    ]);
+    t.row(&[
+        "memory latency ns".into(),
+        fmt_f(idle.latency_ns, 1),
+        fmt_f(peak.latency_ns, 1),
+        format!(
+            "+{:.1}%",
+            (peak.latency_ns - idle.latency_ns) / idle.latency_ns * 100.0
+        ),
+    ]);
+    t.print();
+
+    println!(
+        "KV-Direct's PCIe draw: {:.1} GB/s of the socket's {:.1} GB/s\n",
+        model.pcie.bandwidth.gbytes_per_sec() * model.pcie_ports as f64,
+        idle.seq_bandwidth_gbs,
+    );
+
+    shape_check(
+        "CPU keeps most of its bandwidth",
+        peak.seq_bandwidth_gbs > idle.seq_bandwidth_gbs * 0.6,
+        &format!(
+            "{:.1} of {:.1} GB/s remain",
+            peak.seq_bandwidth_gbs, idle.seq_bandwidth_gbs
+        ),
+    );
+    shape_check(
+        "random access impact under 20%",
+        peak.random_mops > idle.random_mops * 0.8,
+        &format!("{:.1} → {:.1} Mops", idle.random_mops, peak.random_mops),
+    );
+    shape_check(
+        "latency inflation under 20%",
+        peak.latency_ns < idle.latency_ns * 1.2,
+        &format!("{:.0} → {:.0} ns", idle.latency_ns, peak.latency_ns),
+    );
+}

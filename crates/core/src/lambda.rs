@@ -1,0 +1,207 @@
+//! Pre-registered λ functions (paper Table 1, §3.2).
+//!
+//! KV-Direct generalizes atomics to user-defined update functions and
+//! vector operations. The paper's toolchain duplicates each λ and
+//! compiles it to pipelined hardware ahead of time; accordingly, a λ must
+//! be registered (by a 16-bit id) before any operation names it. Values
+//! touched by vector operations are arrays of fixed-width (8-byte)
+//! elements.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Element width for vector values (bytes).
+pub const ELEM_BYTES: usize = 8;
+
+/// A registered function.
+#[derive(Clone)]
+pub enum Lambda {
+    /// `update_scalar2scalar`: λ(old, Δ) → new, on a scalar value.
+    Scalar(Arc<dyn Fn(u64, u64) -> u64 + Send + Sync>),
+    /// `update_scalar2vector`: λ(element, Δ) → element, over the vector.
+    ScalarToVector(Arc<dyn Fn(u64, u64) -> u64 + Send + Sync>),
+    /// `update_vector2vector`: λ(element, Δᵢ) → element, elementwise.
+    VectorToVector(Arc<dyn Fn(u64, u64) -> u64 + Send + Sync>),
+    /// `reduce`: λ(acc, element) → acc.
+    Reduce(Arc<dyn Fn(u64, u64) -> u64 + Send + Sync>),
+    /// `filter`: λ(element) → keep?
+    Filter(Arc<dyn Fn(u64) -> bool + Send + Sync>),
+}
+
+impl std::fmt::Debug for Lambda {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Lambda::Scalar(_) => "Scalar",
+            Lambda::ScalarToVector(_) => "ScalarToVector",
+            Lambda::VectorToVector(_) => "VectorToVector",
+            Lambda::Reduce(_) => "Reduce",
+            Lambda::Filter(_) => "Filter",
+        };
+        write!(f, "Lambda::{name}(λ)")
+    }
+}
+
+/// Well-known builtin λ ids.
+pub mod builtin {
+    /// Scalar fetch-and-add.
+    pub const ADD: u16 = 1;
+    /// Scalar fetch-and-max.
+    pub const MAX: u16 = 2;
+    /// Scalar fetch-and-min.
+    pub const MIN: u16 = 3;
+    /// Scalar exchange (returns old, stores Δ).
+    pub const XCHG: u16 = 4;
+    /// Vector: add Δ to every element (`update_scalar2vector`).
+    pub const VADD: u16 = 16;
+    /// Vector: multiply every element by Δ.
+    pub const VSCALE: u16 = 17;
+    /// Vector-to-vector elementwise add (`update_vector2vector`).
+    pub const VVADD: u16 = 18;
+    /// Reduce: sum of elements.
+    pub const SUM: u16 = 32;
+    /// Reduce: max of elements.
+    pub const RMAX: u16 = 33;
+    /// Filter: non-zero elements (sparse-vector fetch, paper §3.2).
+    pub const NONZERO: u16 = 48;
+}
+
+/// The λ registry: id → compiled function.
+///
+/// # Examples
+///
+/// ```
+/// use kvd_core::{builtin, LambdaRegistry};
+///
+/// let reg = LambdaRegistry::with_builtins();
+/// assert!(reg.get(builtin::ADD).is_some());
+/// assert!(reg.get(999).is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LambdaRegistry {
+    map: HashMap<u16, Lambda>,
+}
+
+impl LambdaRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        LambdaRegistry::default()
+    }
+
+    /// A registry pre-loaded with the builtin functions.
+    pub fn with_builtins() -> Self {
+        let mut r = LambdaRegistry::new();
+        r.register(
+            builtin::ADD,
+            Lambda::Scalar(Arc::new(|old, d| old.wrapping_add(d))),
+        );
+        r.register(builtin::MAX, Lambda::Scalar(Arc::new(|old, d| old.max(d))));
+        r.register(builtin::MIN, Lambda::Scalar(Arc::new(|old, d| old.min(d))));
+        r.register(builtin::XCHG, Lambda::Scalar(Arc::new(|_, d| d)));
+        r.register(
+            builtin::VADD,
+            Lambda::ScalarToVector(Arc::new(|e, d| e.wrapping_add(d))),
+        );
+        r.register(
+            builtin::VSCALE,
+            Lambda::ScalarToVector(Arc::new(|e, d| e.wrapping_mul(d))),
+        );
+        r.register(
+            builtin::VVADD,
+            Lambda::VectorToVector(Arc::new(|e, d| e.wrapping_add(d))),
+        );
+        r.register(
+            builtin::SUM,
+            Lambda::Reduce(Arc::new(|a, e| a.wrapping_add(e))),
+        );
+        r.register(builtin::RMAX, Lambda::Reduce(Arc::new(|a, e| a.max(e))));
+        r.register(builtin::NONZERO, Lambda::Filter(Arc::new(|e| e != 0)));
+        r
+    }
+
+    /// Registers (or replaces) a λ under `id` — the "compile before use"
+    /// step.
+    pub fn register(&mut self, id: u16, lambda: Lambda) {
+        self.map.insert(id, lambda);
+    }
+
+    /// Looks up a λ.
+    pub fn get(&self, id: u16) -> Option<&Lambda> {
+        self.map.get(&id)
+    }
+}
+
+/// Decodes a value as a vector of fixed-width elements. Trailing bytes
+/// that do not fill an element are ignored (hardware would reject them at
+/// registration; we tolerate them for robustness).
+pub fn decode_vector(value: &[u8]) -> Vec<u64> {
+    value
+        .chunks_exact(ELEM_BYTES)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("chunks_exact yields 8 bytes")))
+        .collect()
+}
+
+/// Encodes a vector of elements back to bytes.
+pub fn encode_vector(elems: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(elems.len() * ELEM_BYTES);
+    for e in elems {
+        out.extend_from_slice(&e.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a scalar (8-byte little-endian) value; absent or short values
+/// read as zero, so counters spring into existence on first update (the
+/// usual sequencer/counter semantics).
+pub fn decode_scalar(value: Option<&[u8]>) -> u64 {
+    match value {
+        Some(v) if v.len() >= ELEM_BYTES => {
+            u64::from_le_bytes(v[..ELEM_BYTES].try_into().expect("checked length"))
+        }
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_present_and_typed() {
+        let r = LambdaRegistry::with_builtins();
+        assert!(matches!(r.get(builtin::ADD), Some(Lambda::Scalar(_))));
+        assert!(matches!(
+            r.get(builtin::VADD),
+            Some(Lambda::ScalarToVector(_))
+        ));
+        assert!(matches!(r.get(builtin::SUM), Some(Lambda::Reduce(_))));
+        assert!(matches!(r.get(builtin::NONZERO), Some(Lambda::Filter(_))));
+    }
+
+    #[test]
+    fn custom_registration_overrides() {
+        let mut r = LambdaRegistry::with_builtins();
+        r.register(builtin::ADD, Lambda::Scalar(Arc::new(|o, _| o)));
+        if let Some(Lambda::Scalar(f)) = r.get(builtin::ADD) {
+            assert_eq!(f(7, 100), 7, "override in effect");
+        } else {
+            panic!("missing after override");
+        }
+    }
+
+    #[test]
+    fn vector_codec_roundtrip() {
+        let v = vec![1u64, u64::MAX, 0, 42];
+        assert_eq!(decode_vector(&encode_vector(&v)), v);
+        // Trailing partial element ignored.
+        let mut bytes = encode_vector(&v);
+        bytes.push(0xFF);
+        assert_eq!(decode_vector(&bytes), v);
+    }
+
+    #[test]
+    fn scalar_decode_defaults_to_zero() {
+        assert_eq!(decode_scalar(None), 0);
+        assert_eq!(decode_scalar(Some(b"abc")), 0);
+        assert_eq!(decode_scalar(Some(&7u64.to_le_bytes())), 7);
+    }
+}

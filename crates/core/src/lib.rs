@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! KV-Direct: the key-value processor and public store API.
+//!
+//! This crate assembles the paper's system (Figure 4): requests decoded
+//! from the network enter the **reservation station** (out-of-order
+//! engine); independent operations issue into the main pipeline, which
+//! walks the **hash index**, allocates from the **slab allocator**, and
+//! reaches host memory through the **load-dispatched memory engine**
+//! (PCIe + NIC DRAM). Completions return through the station, which
+//! forwards data to dependent operations.
+//!
+//! * [`lambda`] — the pre-registered λ functions behind `update`,
+//!   `reduce` and `filter` (Table 1). In the paper these are compiled to
+//!   hardware by an HLS toolchain before use; here they are Rust closures
+//!   registered before use — the same contract.
+//! * [`processor`] — the KV processor: executes request batches with the
+//!   station in the loop.
+//! * [`store`] — [`KvDirectStore`], the embedder-facing API, plus
+//!   [`MultiNicStore`] for the paper's multi-NIC scaling (10 NICs →
+//!   1.22 Gops).
+//! * [`timing`] — the system-level throughput/latency composition used by
+//!   the benchmark harnesses (Figures 16/17/18, Tables 3/4).
+
+pub mod lambda;
+pub mod processor;
+pub mod store;
+pub mod system;
+pub mod timing;
+
+pub use lambda::{builtin, Lambda, LambdaRegistry};
+pub use processor::{KvProcessor, ProcessorStats};
+pub use store::{KvDirectConfig, KvDirectStore, MultiNicStore, StoreError};
+pub use system::{SystemSim, SystemSimConfig, SystemSimReport};
+pub use timing::{SystemModel, ThroughputBreakdown, WorkloadSpec};

@@ -1,0 +1,697 @@
+//! The KV processor (paper Figure 4).
+//!
+//! Requests flow: decoder → reservation station → operation decoder →
+//! hash table / slab allocator → memory engine → completion → back
+//! through the station for data forwarding. This module drives those
+//! stages functionally with a configurable pipeline depth: issued
+//! operations sit in an in-flight FIFO (memory latency) so dependent
+//! requests really do queue and forward, exactly as on the FPGA.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use kvd_hash::{HashError, HashTable, HashTableConfig};
+use kvd_mem::MemoryEngine;
+use kvd_net::{KvRequest, KvResponse, OpCode, Status};
+use kvd_ooo::{Admission, KvOpKind, ReservationStation, StationConfig, StationOp};
+
+use crate::lambda::{decode_scalar, decode_vector, encode_vector, Lambda, LambdaRegistry};
+
+/// Counters for the processor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProcessorStats {
+    /// Requests executed.
+    pub requests: u64,
+    /// GET/REDUCE/FILTER (read-only) requests.
+    pub reads: u64,
+    /// PUT requests.
+    pub puts: u64,
+    /// DELETE requests.
+    pub deletes: u64,
+    /// Atomic update requests (scalar or vector).
+    pub updates: u64,
+    /// Requests rejected as invalid (unknown λ, wrong type).
+    pub invalid: u64,
+    /// Requests that hit out-of-memory.
+    pub oom: u64,
+    /// Station write-backs that failed (should stay zero; see docs).
+    pub writeback_failures: u64,
+}
+
+/// Per-request context needed to build its response from the station's
+/// result value.
+#[derive(Debug, Clone)]
+struct RespCtx {
+    op: OpCode,
+    lambda: u16,
+    param: Vec<u8>,
+}
+
+/// The KV processor: hash table + slab allocator + reservation station.
+///
+/// # Examples
+///
+/// ```
+/// use kvd_core::KvProcessor;
+/// use kvd_hash::HashTableConfig;
+/// use kvd_mem::FlatMemory;
+/// use kvd_net::{KvRequest, Status};
+///
+/// let mut p = KvProcessor::with_flat_memory(1 << 20, 0.5, 24);
+/// let rs = p.execute_batch(&[
+///     KvRequest::put(b"k", b"v"),
+///     KvRequest::get(b"k"),
+/// ]);
+/// assert_eq!(rs[0].status, Status::Ok);
+/// assert_eq!(rs[1].value, b"v");
+/// ```
+pub struct KvProcessor<M: MemoryEngine> {
+    table: HashTable<M>,
+    station: ReservationStation,
+    registry: LambdaRegistry,
+    inflight: VecDeque<StationOp>,
+    pipeline_depth: usize,
+    stats: ProcessorStats,
+    responses: Vec<Option<KvResponse>>,
+    ctxs: Vec<RespCtx>,
+}
+
+impl KvProcessor<kvd_mem::FlatMemory> {
+    /// Convenience constructor over counting-only flat memory.
+    pub fn with_flat_memory(total_memory: u64, ratio: f64, inline_threshold: usize) -> Self {
+        let table = HashTable::new(
+            kvd_mem::FlatMemory::new(total_memory),
+            HashTableConfig::new(total_memory, ratio, inline_threshold),
+        );
+        KvProcessor::new(
+            table,
+            StationConfig::default(),
+            LambdaRegistry::with_builtins(),
+        )
+    }
+}
+
+impl<M: MemoryEngine> KvProcessor<M> {
+    /// Creates a processor over an existing table.
+    pub fn new(table: HashTable<M>, station: StationConfig, registry: LambdaRegistry) -> Self {
+        KvProcessor {
+            table,
+            station: ReservationStation::new(station),
+            registry,
+            inflight: VecDeque::new(),
+            // The paper saturates PCIe with up to 256 in-flight KV
+            // operations; 64 models one DMA-tag window.
+            pipeline_depth: 64,
+            stats: ProcessorStats::default(),
+            responses: Vec::new(),
+            ctxs: Vec::new(),
+        }
+    }
+
+    /// The hash table.
+    pub fn table(&self) -> &HashTable<M> {
+        &self.table
+    }
+
+    /// Mutable access to the table (for preloading in benchmarks).
+    pub fn table_mut(&mut self) -> &mut HashTable<M> {
+        &mut self.table
+    }
+
+    /// The λ registry.
+    pub fn registry_mut(&mut self) -> &mut LambdaRegistry {
+        &mut self.registry
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ProcessorStats {
+        self.stats
+    }
+
+    /// Reservation-station counters (forwarding rate etc.).
+    pub fn station_stats(&self) -> kvd_ooo::StationStats {
+        self.station.stats()
+    }
+
+    /// Executes a batch of requests, returning responses in order.
+    ///
+    /// All effects are applied to the table by return time (dirty
+    /// forwarding caches are flushed).
+    pub fn execute_batch(&mut self, reqs: &[KvRequest]) -> Vec<KvResponse> {
+        let n = reqs.len();
+        self.responses.clear();
+        self.responses.resize(n, None);
+        self.ctxs.clear();
+        self.ctxs.reserve(n);
+        for r in reqs {
+            self.ctxs.push(RespCtx {
+                op: r.op,
+                lambda: r.lambda,
+                param: r.value.clone(),
+            });
+        }
+        for (i, req) in reqs.iter().enumerate() {
+            self.stats.requests += 1;
+            match self.build_station_op(i as u64, req) {
+                Ok(op) => self.submit(op),
+                Err(status) => {
+                    self.stats.invalid += 1;
+                    self.responses[i] = Some(KvResponse {
+                        status,
+                        value: Vec::new(),
+                    });
+                }
+            }
+        }
+        // Drain the pipeline and flush dirty caches.
+        while !self.inflight.is_empty() {
+            self.retire_one();
+        }
+        for (key, value) in self.station.flush() {
+            self.apply_writeback(&key, value);
+        }
+        self.responses
+            .drain(..)
+            .map(|r| r.expect("every request produces a response"))
+            .collect()
+    }
+
+    /// Builds the station operation (with its forwarding-compatible
+    /// update closure) for a request.
+    fn build_station_op(&mut self, id: u64, req: &KvRequest) -> Result<StationOp, Status> {
+        let kind = match req.op {
+            OpCode::Get | OpCode::Reduce | OpCode::Filter => {
+                self.stats.reads += 1;
+                // Reduce/filter need a registered λ of the right type.
+                match req.op {
+                    OpCode::Reduce => match self.registry.get(req.lambda) {
+                        Some(Lambda::Reduce(_)) => {}
+                        _ => return Err(Status::Invalid),
+                    },
+                    OpCode::Filter => match self.registry.get(req.lambda) {
+                        Some(Lambda::Filter(_)) => {}
+                        _ => return Err(Status::Invalid),
+                    },
+                    _ => {}
+                }
+                KvOpKind::Get
+            }
+            OpCode::Put => {
+                self.stats.puts += 1;
+                KvOpKind::Put(req.value.clone())
+            }
+            OpCode::Delete => {
+                self.stats.deletes += 1;
+                KvOpKind::Delete
+            }
+            OpCode::UpdateScalar => {
+                self.stats.updates += 1;
+                let f = match self.registry.get(req.lambda) {
+                    Some(Lambda::Scalar(f)) => Arc::clone(f),
+                    _ => return Err(Status::Invalid),
+                };
+                let param = decode_scalar(Some(&req.value));
+                KvOpKind::Update(Arc::new(move |old| {
+                    let new = f(decode_scalar(old), param);
+                    Some(new.to_le_bytes().to_vec())
+                }))
+            }
+            OpCode::UpdateScalarToVector => {
+                self.stats.updates += 1;
+                let f = match self.registry.get(req.lambda) {
+                    Some(Lambda::ScalarToVector(f)) => Arc::clone(f),
+                    _ => return Err(Status::Invalid),
+                };
+                let param = decode_scalar(Some(&req.value));
+                KvOpKind::Update(Arc::new(move |old| {
+                    old.map(|bytes| {
+                        let elems: Vec<u64> = decode_vector(bytes)
+                            .into_iter()
+                            .map(|e| f(e, param))
+                            .collect();
+                        encode_vector(&elems)
+                    })
+                }))
+            }
+            OpCode::UpdateVector => {
+                self.stats.updates += 1;
+                let f = match self.registry.get(req.lambda) {
+                    Some(Lambda::VectorToVector(f)) => Arc::clone(f),
+                    _ => return Err(Status::Invalid),
+                };
+                let params = decode_vector(&req.value);
+                KvOpKind::Update(Arc::new(move |old| {
+                    old.map(|bytes| {
+                        let mut elems = decode_vector(bytes);
+                        for (e, p) in elems.iter_mut().zip(&params) {
+                            *e = f(*e, *p);
+                        }
+                        encode_vector(&elems)
+                    })
+                }))
+            }
+        };
+        Ok(StationOp {
+            id,
+            key: req.key.clone(),
+            kind,
+        })
+    }
+
+    /// Submits one operation to the station, handling backpressure.
+    fn submit(&mut self, op: StationOp) {
+        let mut op = op;
+        loop {
+            match self.station.admit(op) {
+                Admission::Fast(r) => {
+                    self.finish(r.id, r.value, None);
+                    return;
+                }
+                Admission::Queued => return,
+                Admission::Issue { op, writeback } => {
+                    if let Some((k, v)) = writeback {
+                        self.apply_writeback(&k, v);
+                    }
+                    self.inflight.push_back(op);
+                    if self.inflight.len() >= self.pipeline_depth {
+                        self.retire_one();
+                    }
+                    return;
+                }
+                Admission::Full(returned) => {
+                    // Backpressure: retire the oldest in-flight op (which
+                    // drains its dependency chain) and retry.
+                    self.retire_one();
+                    op = returned;
+                }
+            }
+        }
+    }
+
+    /// Executes the oldest in-flight operation against the table and
+    /// reports its completion to the station.
+    fn retire_one(&mut self) {
+        let Some(op) = self.inflight.pop_front() else {
+            return;
+        };
+        let (result_value, cache_value, status_override) = self.execute_on_table(&op);
+        self.finish(op.id, result_value, status_override);
+        let mut completion = self.station.complete(&op.key, cache_value);
+        loop {
+            for r in completion.results.drain(..) {
+                self.finish(r.id, r.value, None);
+            }
+            if let Some((k, v)) = completion.writeback.take() {
+                self.apply_writeback(&k, v);
+            }
+            match completion.issue.take() {
+                Some(next) => {
+                    // Execute immediately to keep the drain loop simple;
+                    // colliding-chain re-issues are rare.
+                    let (rv, cv, st) = self.execute_on_table(&next);
+                    self.finish(next.id, rv, st);
+                    completion = self.station.complete(&next.key, cv);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Runs one operation against the hash table.
+    ///
+    /// Returns `(result value, cache value, status override)`.
+    #[allow(clippy::type_complexity)]
+    fn execute_on_table(
+        &mut self,
+        op: &StationOp,
+    ) -> (Option<Vec<u8>>, Option<Vec<u8>>, Option<Status>) {
+        match &op.kind {
+            KvOpKind::Get => {
+                let v = self.table.get(&op.key);
+                (v.clone(), v, None)
+            }
+            KvOpKind::Put(v) => match self.table.put(&op.key, v) {
+                Ok(_replaced) => (None, Some(v.clone()), None),
+                Err(e) => {
+                    let status = self.map_error(e);
+                    // Leave the cache coherent with the table's (old)
+                    // contents.
+                    let old = self.table.get(&op.key);
+                    (None, old, Some(status))
+                }
+            },
+            KvOpKind::Delete => {
+                let existed = self.table.delete(&op.key);
+                let status = if existed {
+                    Status::Ok
+                } else {
+                    Status::NotFound
+                };
+                (None, None, Some(status))
+            }
+            KvOpKind::Update(f) => {
+                let old = self.table.get(&op.key);
+                let new = f(old.as_deref());
+                match &new {
+                    Some(nv) => {
+                        if let Err(e) = self.table.put(&op.key, nv) {
+                            let status = self.map_error(e);
+                            return (old.clone(), old, Some(status));
+                        }
+                    }
+                    None => {
+                        if old.is_some() {
+                            self.table.delete(&op.key);
+                        }
+                    }
+                }
+                (old, new, None)
+            }
+        }
+    }
+
+    fn map_error(&mut self, e: HashError) -> Status {
+        match e {
+            HashError::OutOfMemory => {
+                self.stats.oom += 1;
+                Status::OutOfMemory
+            }
+            HashError::KeyTooLarge | HashError::ValueTooLarge => {
+                self.stats.invalid += 1;
+                Status::Invalid
+            }
+        }
+    }
+
+    fn apply_writeback(&mut self, key: &[u8], value: Option<Vec<u8>>) {
+        let r = match value {
+            Some(v) => self.table.put(key, &v).map(|_| ()),
+            None => {
+                self.table.delete(key);
+                Ok(())
+            }
+        };
+        if r.is_err() {
+            // A write-back can only fail if the cached value grew past
+            // available memory; the value is then dropped. Surfaced via
+            // stats so benchmarks can assert it never happens.
+            self.stats.writeback_failures += 1;
+        }
+    }
+
+    /// Builds and stores the response for request `id`.
+    fn finish(&mut self, id: u64, value: Option<Vec<u8>>, status_override: Option<Status>) {
+        let ctx = &self.ctxs[id as usize];
+        let resp = match status_override {
+            Some(status) => KvResponse {
+                status,
+                value: Vec::new(),
+            },
+            None => build_response(ctx, value, &self.registry),
+        };
+        debug_assert!(
+            self.responses[id as usize].is_none(),
+            "response {id} produced twice"
+        );
+        self.responses[id as usize] = Some(resp);
+    }
+}
+
+/// Builds the client-visible response from the station's result value.
+fn build_response(ctx: &RespCtx, value: Option<Vec<u8>>, registry: &LambdaRegistry) -> KvResponse {
+    match ctx.op {
+        OpCode::Get => match value {
+            Some(v) => KvResponse {
+                status: Status::Ok,
+                value: v,
+            },
+            None => KvResponse {
+                status: Status::NotFound,
+                value: Vec::new(),
+            },
+        },
+        OpCode::Put => KvResponse {
+            status: Status::Ok,
+            value: Vec::new(),
+        },
+        OpCode::Delete => KvResponse {
+            status: if value.is_some() {
+                Status::Ok
+            } else {
+                Status::NotFound
+            },
+            value: Vec::new(),
+        },
+        OpCode::UpdateScalar => KvResponse {
+            status: Status::Ok,
+            value: decode_scalar(value.as_deref()).to_le_bytes().to_vec(),
+        },
+        OpCode::UpdateScalarToVector | OpCode::UpdateVector => match value {
+            Some(v) => KvResponse {
+                status: Status::Ok,
+                value: v,
+            },
+            None => KvResponse {
+                status: Status::NotFound,
+                value: Vec::new(),
+            },
+        },
+        OpCode::Reduce => match value {
+            Some(v) => {
+                let f = match registry.get(ctx.lambda) {
+                    Some(Lambda::Reduce(f)) => f,
+                    _ => unreachable!("validated at submission"),
+                };
+                let init = decode_scalar(Some(&ctx.param));
+                let acc = decode_vector(&v).into_iter().fold(init, |a, e| f(a, e));
+                KvResponse {
+                    status: Status::Ok,
+                    value: acc.to_le_bytes().to_vec(),
+                }
+            }
+            None => KvResponse {
+                status: Status::NotFound,
+                value: Vec::new(),
+            },
+        },
+        OpCode::Filter => match value {
+            Some(v) => {
+                let f = match registry.get(ctx.lambda) {
+                    Some(Lambda::Filter(f)) => f,
+                    _ => unreachable!("validated at submission"),
+                };
+                let kept: Vec<u64> = decode_vector(&v).into_iter().filter(|e| f(*e)).collect();
+                KvResponse {
+                    status: Status::Ok,
+                    value: encode_vector(&kept),
+                }
+            }
+            None => KvResponse {
+                status: Status::NotFound,
+                value: Vec::new(),
+            },
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvd_sim::{DetRng, ZipfSampler};
+    use std::collections::BTreeMap;
+
+    fn proc() -> KvProcessor<kvd_mem::FlatMemory> {
+        KvProcessor::with_flat_memory(1 << 20, 0.5, 24)
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let mut p = proc();
+        let rs = p.execute_batch(&[
+            KvRequest::put(b"a", b"1"),
+            KvRequest::put(b"b", b"2"),
+            KvRequest::get(b"a"),
+            KvRequest::get(b"b"),
+            KvRequest::get(b"c"),
+        ]);
+        assert_eq!(rs[2].value, b"1");
+        assert_eq!(rs[3].value, b"2");
+        assert_eq!(rs[4].status, Status::NotFound);
+        let s = p.stats();
+        assert_eq!(s.requests, 5);
+        assert_eq!(s.puts, 2);
+        assert_eq!(s.reads, 3);
+    }
+
+    #[test]
+    fn forwarding_saves_memory_accesses() {
+        // A hot key read repeatedly: after the first access, reads come
+        // from the station cache without touching memory.
+        let mut p = proc();
+        p.execute_batch(&[KvRequest::put(b"hot", b"v")]);
+        p.table_mut().mem_mut().reset_stats();
+        let reqs: Vec<KvRequest> = (0..100).map(|_| KvRequest::get(b"hot")).collect();
+        let rs = p.execute_batch(&reqs);
+        assert!(rs.iter().all(|r| r.value == b"v"));
+        let accesses = p.table().mem().stats().accesses();
+        assert!(
+            accesses <= 2,
+            "hot reads must be forwarded, saw {accesses} accesses"
+        );
+        assert!(p.station_stats().forwarded >= 99);
+    }
+
+    #[test]
+    fn single_key_atomics_one_memory_op_per_flush() {
+        let mut p = proc();
+        let reqs: Vec<KvRequest> = (0..1000)
+            .map(|_| KvRequest {
+                op: OpCode::UpdateScalar,
+                key: b"ctr".to_vec(),
+                value: 1u64.to_le_bytes().to_vec(),
+                lambda: crate::lambda::builtin::ADD,
+            })
+            .collect();
+        let rs = p.execute_batch(&reqs);
+        // Original-value semantics: op i observes i.
+        for (i, r) in rs.iter().enumerate() {
+            assert_eq!(decode_scalar(Some(&r.value)), i as u64);
+        }
+        // Memory sees the initial miss plus the final write-back, not
+        // 1000 RMWs.
+        let accesses = p.table().mem().stats().accesses();
+        assert!(accesses <= 6, "saw {accesses} accesses for 1000 atomics");
+    }
+
+    #[test]
+    fn differential_vs_btreemap_reference() {
+        // The processor (station + table + caches + write-backs) must be
+        // indistinguishable from a plain map under any GET/PUT/DELETE/
+        // fetch-add interleaving, per batch and across batches.
+        let mut p = proc();
+        let mut reference: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let mut rng = DetRng::seed(2024);
+        let zipf = ZipfSampler::new(50, 0.99); // hot keys stress forwarding
+        for _batch in 0..60 {
+            let mut reqs = Vec::new();
+            let mut expected: Vec<Option<Vec<u8>>> = Vec::new();
+            for _ in 0..40 {
+                let key = format!("k{}", zipf.sample(&mut rng)).into_bytes();
+                match rng.u64_below(4) {
+                    0 => {
+                        let mut v = vec![0u8; 1 + rng.usize_below(40)];
+                        rng.fill_bytes(&mut v);
+                        reference.insert(key.clone(), v.clone());
+                        reqs.push(KvRequest::put(&key, &v));
+                        expected.push(None);
+                    }
+                    1 => {
+                        reference.remove(&key);
+                        reqs.push(KvRequest::delete(&key));
+                        expected.push(None);
+                    }
+                    2 => {
+                        let old =
+                            crate::lambda::decode_scalar(reference.get(&key).map(|v| v.as_slice()));
+                        reference.insert(key.clone(), (old + 7).to_le_bytes().to_vec());
+                        reqs.push(KvRequest {
+                            op: OpCode::UpdateScalar,
+                            key: key.clone(),
+                            value: 7u64.to_le_bytes().to_vec(),
+                            lambda: crate::lambda::builtin::ADD,
+                        });
+                        expected.push(Some(old.to_le_bytes().to_vec()));
+                    }
+                    _ => {
+                        expected.push(Some(reference.get(&key).cloned().unwrap_or_default()));
+                        reqs.push(KvRequest::get(&key));
+                    }
+                }
+            }
+            let rs = p.execute_batch(&reqs);
+            for (i, (r, e)) in rs.iter().zip(&expected).enumerate() {
+                match &reqs[i].op {
+                    OpCode::Get => {
+                        let want = e.as_ref().expect("get expectation");
+                        if want.is_empty() && r.status == Status::NotFound {
+                            continue;
+                        }
+                        assert_eq!(&r.value, want, "GET divergence at op {i}");
+                    }
+                    OpCode::UpdateScalar => {
+                        assert_eq!(&r.value, e.as_ref().unwrap(), "update original at {i}");
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // After the final flush, the table matches the reference exactly.
+        for (k, v) in &reference {
+            assert_eq!(
+                p.table_mut().get(k).as_ref(),
+                Some(v),
+                "table divergence at {k:?}"
+            );
+        }
+        assert_eq!(p.stats().writeback_failures, 0);
+    }
+
+    #[test]
+    fn oom_reported_per_request() {
+        let mut p = KvProcessor::with_flat_memory(8 << 10, 0.25, 24);
+        let reqs: Vec<KvRequest> = (0..500u32)
+            .map(|i| KvRequest::put(&i.to_le_bytes(), &[9u8; 100]))
+            .collect();
+        let rs = p.execute_batch(&reqs);
+        let ok = rs.iter().filter(|r| r.status == Status::Ok).count();
+        let oom = rs
+            .iter()
+            .filter(|r| r.status == Status::OutOfMemory)
+            .count();
+        assert!(ok > 0, "some inserts fit");
+        assert!(oom > 0, "overflow reported");
+        assert_eq!(ok + oom, 500);
+        // Keys that reported Ok are present.
+        let mut verified = 0;
+        for (i, r) in rs.iter().enumerate() {
+            if r.status == Status::Ok {
+                assert!(
+                    p.table_mut().get(&(i as u32).to_le_bytes()).is_some(),
+                    "acknowledged key {i} lost"
+                );
+                verified += 1;
+            }
+        }
+        assert_eq!(verified, ok);
+    }
+
+    #[test]
+    fn mixed_vector_and_scalar_batch() {
+        let mut p = proc();
+        let vec_bytes = crate::lambda::encode_vector(&[1, 2, 3]);
+        let rs = p.execute_batch(&[
+            KvRequest::put(b"v", &vec_bytes),
+            KvRequest {
+                op: OpCode::Reduce,
+                key: b"v".to_vec(),
+                value: 0u64.to_le_bytes().to_vec(),
+                lambda: crate::lambda::builtin::SUM,
+            },
+            KvRequest {
+                op: OpCode::UpdateScalarToVector,
+                key: b"v".to_vec(),
+                value: 10u64.to_le_bytes().to_vec(),
+                lambda: crate::lambda::builtin::VADD,
+            },
+            KvRequest {
+                op: OpCode::Filter,
+                key: b"v".to_vec(),
+                value: Vec::new(),
+                lambda: crate::lambda::builtin::NONZERO,
+            },
+        ]);
+        assert_eq!(decode_scalar(Some(&rs[1].value)), 6);
+        assert_eq!(crate::lambda::decode_vector(&rs[2].value), vec![1, 2, 3]);
+        assert_eq!(crate::lambda::decode_vector(&rs[3].value), vec![11, 12, 13]);
+    }
+}

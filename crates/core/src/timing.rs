@@ -1,0 +1,585 @@
+//! System-level throughput/latency composition (paper §5.2, Figures 16,
+//! 17, the multi-NIC scaling claim, Tables 3 and 4).
+//!
+//! §5.2 explains single-NIC throughput as the minimum of three bounds —
+//! the 180 MHz clock, the network, and PCIe/DRAM — with the out-of-order
+//! engine's merge rate and the NIC DRAM cache hit rate lifting the memory
+//! bound under skewed workloads. This module measures those inputs on the
+//! *functional* store (real hash table, real cache, real station) and
+//! composes the bounds exactly as the paper reasons.
+
+use kvd_mem::MemoryEngine;
+use kvd_net::{KvRequest, NetConfig};
+use kvd_pcie::PcieConfig;
+use kvd_sim::{Bandwidth, DetRng, SimTime, ZipfSampler};
+
+use crate::lambda::decode_scalar;
+use crate::store::{KvDirectConfig, KvDirectStore};
+
+/// Key popularity distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyDist {
+    /// Uniform over the corpus.
+    Uniform,
+    /// The paper's long-tail workload: Zipf with skewness 0.99.
+    Zipf,
+}
+
+/// A YCSB-style workload point.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// KV size (key + value) in bytes.
+    pub kv_size: u64,
+    /// Fraction of PUT operations (0.0 … 1.0).
+    pub put_ratio: f64,
+    /// Popularity distribution.
+    pub dist: KeyDist,
+    /// Client-side batch factor (ops per packet; 1 = no batching).
+    pub batch: u64,
+}
+
+impl WorkloadSpec {
+    /// The paper's default benchmark point: small KVs, 50 % PUT, batched.
+    pub fn ycsb(kv_size: u64, put_ratio: f64, dist: KeyDist) -> Self {
+        WorkloadSpec {
+            kv_size,
+            put_ratio,
+            dist,
+            batch: 40,
+        }
+    }
+}
+
+/// Quantities measured on the functional store for one workload.
+#[derive(Debug, Clone, Copy)]
+pub struct MeasuredWorkload {
+    /// PCIe DMA requests per executed operation.
+    pub dma_reads_per_op: f64,
+    /// PCIe DMA writes per executed operation.
+    pub dma_writes_per_op: f64,
+    /// NIC DRAM accesses per executed operation.
+    pub dram_per_op: f64,
+    /// Fraction of operations merged by the reservation station.
+    pub forward_rate: f64,
+    /// NIC DRAM cache hit rate.
+    pub cache_hit_rate: f64,
+}
+
+impl MeasuredWorkload {
+    /// Total random memory accesses per operation.
+    pub fn accesses_per_op(&self) -> f64 {
+        self.dma_reads_per_op + self.dma_writes_per_op + self.dram_per_op
+    }
+}
+
+/// Runs `ops` workload operations against a scaled functional store and
+/// extracts the per-op memory behaviour.
+pub fn measure_workload(
+    cfg: &KvDirectConfig,
+    spec: &WorkloadSpec,
+    target_utilization: f64,
+    ops: usize,
+    seed: u64,
+) -> MeasuredWorkload {
+    let mut store = KvDirectStore::new(cfg.clone());
+    let mut rng = DetRng::seed(seed);
+    // Preload to the target utilization (the paper preloads to 50%).
+    let key_len = 8usize;
+    assert!(spec.kv_size as usize > key_len, "kv must exceed key size");
+    let val_len = spec.kv_size as usize - key_len;
+    let mut n_keys = 0u64;
+    while store.processor().table().memory_utilization() < target_utilization {
+        let key = n_keys.to_le_bytes();
+        let mut value = vec![0u8; val_len];
+        rng.fill_bytes(&mut value);
+        if store.put(&key, &value).is_err() {
+            break;
+        }
+        n_keys += 1;
+    }
+    assert!(n_keys > 0, "no keys fit the configured memory");
+    // Measure steady-state behaviour.
+    store.processor_mut().table_mut().mem_mut().reset_stats();
+    let stats_before = store.processor().station_stats();
+    let zipf = ZipfSampler::new(n_keys, 0.99);
+    let mut batch = Vec::with_capacity(spec.batch as usize);
+    let mut executed = 0usize;
+    while executed < ops {
+        batch.clear();
+        for _ in 0..spec.batch.min((ops - executed) as u64) {
+            let rank = match spec.dist {
+                KeyDist::Uniform => rng.u64_below(n_keys),
+                KeyDist::Zipf => zipf.sample(&mut rng),
+            };
+            let key = rank.to_le_bytes();
+            if rng.chance(spec.put_ratio) {
+                let mut value = vec![0u8; val_len];
+                rng.fill_bytes(&mut value);
+                batch.push(KvRequest::put(&key, &value));
+            } else {
+                batch.push(KvRequest::get(&key));
+            }
+            executed += 1;
+        }
+        store.execute_batch(&batch);
+    }
+    let mem = store.processor().table().mem().stats();
+    let st = store.processor().station_stats();
+    let forwarded = st.forwarded - stats_before.forwarded;
+    let n = executed as f64;
+    MeasuredWorkload {
+        dma_reads_per_op: mem.dma_reads as f64 / n,
+        dma_writes_per_op: mem.dma_writes as f64 / n,
+        dram_per_op: (mem.dram_reads + mem.dram_writes) as f64 / n,
+        forward_rate: forwarded as f64 / n,
+        cache_hit_rate: {
+            let lookups = mem.cache_hits + mem.cache_misses;
+            if lookups == 0 {
+                0.0
+            } else {
+                mem.cache_hits as f64 / lookups as f64
+            }
+        },
+    }
+}
+
+/// The hardware constants the composition uses.
+#[derive(Debug, Clone)]
+pub struct SystemModel {
+    /// Clock bound (paper: 180 Mops at 180 MHz, one op per cycle).
+    pub clock_mops: f64,
+    /// The network.
+    pub net: NetConfig,
+    /// One PCIe endpoint.
+    pub pcie: PcieConfig,
+    /// PCIe endpoints on the NIC (paper: 2 × Gen3 x8).
+    pub pcie_ports: usize,
+    /// NIC DRAM bandwidth (paper: 12.8 GB/s).
+    pub nic_dram_bandwidth: Bandwidth,
+    /// Aggregate host-DRAM random 64 B access capacity across the server
+    /// (calibrated so 10 NICs land at the paper's 1.22 Gops).
+    pub host_random_bandwidth: Bandwidth,
+    /// Idle server power (paper: 87.0 W measured on the wall).
+    pub idle_power_w: f64,
+    /// Power added per KV-Direct NIC at peak (paper: 34 W including PCIe,
+    /// host memory and the host daemon).
+    pub nic_power_w: f64,
+}
+
+impl SystemModel {
+    /// The paper's testbed.
+    pub fn paper() -> Self {
+        SystemModel {
+            clock_mops: 180.0,
+            net: NetConfig::forty_gbe(),
+            pcie: PcieConfig::gen3_x8(),
+            pcie_ports: 2,
+            nic_dram_bandwidth: Bandwidth::from_gbytes_per_sec(12.8),
+            host_random_bandwidth: Bandwidth::from_gbytes_per_sec(80.0),
+            idle_power_w: 87.0,
+            nic_power_w: 34.0,
+        }
+    }
+
+    /// Per-port random 64 B DMA read capacity (tag-limited; Figure 3a's
+    /// ~60 Mops).
+    pub fn port_read_mops(&self) -> f64 {
+        let rtt = self.pcie.mean_random_read_latency().as_secs_f64();
+        (self.pcie.read_tags as f64 / rtt / 1e6).min(self.pcie.bandwidth_bound_mops(64))
+    }
+
+    /// Per-port 64 B DMA write capacity (bandwidth-bound; ~87 Mops).
+    pub fn port_write_mops(&self) -> f64 {
+        self.pcie.bandwidth_bound_mops(64)
+    }
+
+    /// NIC DRAM random 64 B access capacity (12.8 GB/s / 64 B = 200 Mops).
+    pub fn dram_mops(&self) -> f64 {
+        self.nic_dram_bandwidth.transfers_per_sec(64) / 1e6
+    }
+
+    /// The network bound for a workload (paper §2.4: 78 Mops for 64 B KVs
+    /// with client-side batching).
+    pub fn network_bound_mops(&self, spec: &WorkloadSpec) -> f64 {
+        // Per-op wire bytes: key+value (+3B sizes +1B header) dominate
+        // the heavier direction (requests for PUT, responses for GET).
+        let op_bytes = spec.kv_size + 4;
+        self.net.ops_ceiling(op_bytes, spec.batch.max(1)) / 1e6
+    }
+
+    /// The PCIe/DRAM bound given measured per-op access counts.
+    pub fn memory_bound_mops(&self, m: &MeasuredWorkload) -> f64 {
+        // Seconds of device time per operation, devices in parallel.
+        let ports = self.pcie_ports as f64;
+        let pcie_secs = m.dma_reads_per_op / (ports * self.port_read_mops() * 1e6)
+            + m.dma_writes_per_op / (ports * self.port_write_mops() * 1e6);
+        let dram_secs = m.dram_per_op / (self.dram_mops() * 1e6);
+        let bottleneck = pcie_secs.max(dram_secs);
+        if bottleneck <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / bottleneck / 1e6
+        }
+    }
+
+    /// Composes the three bounds for a workload.
+    pub fn throughput(&self, spec: &WorkloadSpec, m: &MeasuredWorkload) -> ThroughputBreakdown {
+        let clock = self.clock_mops;
+        let network = self.network_bound_mops(spec);
+        let memory = self.memory_bound_mops(m);
+        ThroughputBreakdown {
+            clock_bound_mops: clock,
+            network_bound_mops: network,
+            memory_bound_mops: memory,
+            mops: clock.min(network).min(memory),
+        }
+    }
+
+    /// Multi-NIC scaling: per-NIC throughput capped by the server's
+    /// aggregate random host-memory capacity (the paper's 10-NIC point
+    /// lands at 1.22 Gops, slightly below 10 × 180).
+    pub fn multi_nic_mops(&self, per_nic_mops: f64, accesses_per_op: f64, nics: u32) -> f64 {
+        let linear = per_nic_mops * nics as f64;
+        let host_cap_mops =
+            self.host_random_bandwidth.transfers_per_sec(64) / 1e6 / accesses_per_op.max(1e-9);
+        linear.min(host_cap_mops)
+    }
+
+    /// Client-observed latency for one operation type (Figure 17).
+    ///
+    /// Composition: network round trip (+ batching assembly when batched)
+    /// + pipeline processing + the critical path of memory accesses.
+    pub fn latency(
+        &self,
+        spec: &WorkloadSpec,
+        m: &MeasuredWorkload,
+        is_put: bool,
+        percentile_95: bool,
+    ) -> SimTime {
+        let batch = if spec.batch > 1 { spec.batch } else { 1 };
+        let net = kvd_net::batching_latency(&self.net, spec.kv_size.max(9), batch);
+        // Critical-path memory accesses: a GET walks ~1 serial access,
+        // a PUT ~2 (read then write); cache hits replace the PCIe RTT
+        // with the DRAM access time; forwarded ops skip memory entirely.
+        let base_accesses = if is_put {
+            m.dma_writes_per_op + m.dma_reads_per_op
+        } else {
+            m.dma_reads_per_op
+        }
+        .max(0.0);
+        let pcie_rtt = if percentile_95 {
+            self.pcie.cached_read_latency.base() + self.pcie.noncached_extra
+        } else {
+            self.pcie.mean_random_read_latency()
+        };
+        let dram_t = SimTime::from_ns(120); // DDR3 random access
+        let mem_time =
+            SimTime::from_ns_f64(base_accesses * pcie_rtt.as_ns() + m.dram_per_op * dram_t.as_ns());
+        let processing = SimTime::from_ns(300); // decode + pipeline
+        let jitter = if percentile_95 {
+            SimTime::from_ns(800)
+        } else {
+            SimTime::ZERO
+        };
+        net + mem_time + processing + jitter
+    }
+
+    /// Wall power at peak with `nics` NICs (paper: 121.6 W for one).
+    pub fn power_w(&self, nics: u32) -> f64 {
+        self.idle_power_w + self.nic_power_w * nics as f64
+    }
+}
+
+/// The composed bounds for one workload point.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputBreakdown {
+    /// The 180 Mops clock ceiling.
+    pub clock_bound_mops: f64,
+    /// The network ceiling.
+    pub network_bound_mops: f64,
+    /// The PCIe/DRAM ceiling.
+    pub memory_bound_mops: f64,
+    /// min of the three — the predicted sustained throughput.
+    pub mops: f64,
+}
+
+/// One row of the systems comparison (paper Table 3).
+#[derive(Debug, Clone)]
+pub struct SystemRow {
+    /// System name.
+    pub name: &'static str,
+    /// Reported throughput in Mops.
+    pub tput_mops: f64,
+    /// Reported/estimated wall power in watts.
+    pub power_w: f64,
+    /// Reported average latency in microseconds (0 = not reported).
+    pub latency_us: f64,
+    /// Provenance note.
+    pub source: &'static str,
+}
+
+impl SystemRow {
+    /// Power efficiency in Kops per watt.
+    pub fn kops_per_watt(&self) -> f64 {
+        self.tput_mops * 1000.0 / self.power_w
+    }
+}
+
+/// Published comparison systems, as reported in the paper's Table 3
+/// (values approximate where the paper scan is unreadable; provenance in
+/// EXPERIMENTS.md).
+pub fn published_systems() -> Vec<SystemRow> {
+    vec![
+        SystemRow {
+            name: "Memcached",
+            tput_mops: 1.5,
+            power_w: 399.0,
+            latency_us: 50.0,
+            source: "paper Table 3 (approx.)",
+        },
+        SystemRow {
+            name: "MemC3",
+            tput_mops: 4.3,
+            power_w: 399.0,
+            latency_us: 50.0,
+            source: "paper Table 3 (approx.)",
+        },
+        SystemRow {
+            name: "RAMCloud",
+            tput_mops: 6.0,
+            power_w: 280.0,
+            latency_us: 5.0,
+            source: "paper Table 3 (approx.)",
+        },
+        SystemRow {
+            name: "MICA (CPU, 36 cores)",
+            tput_mops: 137.0,
+            power_w: 399.0,
+            latency_us: 81.0,
+            source: "paper Table 3 (approx.)",
+        },
+        SystemRow {
+            name: "FaRM (one-sided RDMA)",
+            tput_mops: 6.0,
+            power_w: 345.0,
+            latency_us: 4.5,
+            source: "paper Table 3 (approx.)",
+        },
+        SystemRow {
+            name: "DrTM-KV",
+            tput_mops: 115.7,
+            power_w: 742.0,
+            latency_us: 3.4,
+            source: "paper Table 3 (approx.)",
+        },
+        SystemRow {
+            name: "HERD (two-sided RDMA)",
+            tput_mops: 98.3,
+            power_w: 683.0,
+            latency_us: 5.0,
+            source: "paper Table 3 (approx.)",
+        },
+        SystemRow {
+            name: "Xilinx FPGA KVS",
+            tput_mops: 13.2,
+            power_w: 55.3,
+            latency_us: 3.5,
+            source: "paper Table 3 (approx.)",
+        },
+        SystemRow {
+            name: "Mega-KV (GPU)",
+            tput_mops: 166.0,
+            power_w: 950.0,
+            latency_us: 280.0,
+            source: "paper Table 3 (approx.)",
+        },
+    ]
+}
+
+/// Host CPU impact at KV-Direct peak load (paper Table 4): a simple
+/// bandwidth-contention model over one NUMA node.
+#[derive(Debug, Clone, Copy)]
+pub struct HostImpact {
+    /// CPU-visible sequential memory bandwidth, GB/s.
+    pub seq_bandwidth_gbs: f64,
+    /// CPU random 64 B access throughput, Mops.
+    pub random_mops: f64,
+    /// CPU-visible memory latency, ns.
+    pub latency_ns: f64,
+}
+
+/// Models host memory performance with KV-Direct idle vs at peak.
+///
+/// KV-Direct consumes at most the two PCIe links' worth of host DRAM
+/// bandwidth (~13 GB/s of ~60 GB/s per socket), so the impact on the CPU
+/// stays small — the paper "finds a minimal impact on other workloads".
+pub fn host_impact(model: &SystemModel, kvd_peak: bool) -> HostImpact {
+    let socket_bw = 59.6; // GB/s, E5-2650 v2 with 8 DDR3-1600 channels
+    let cpu_random_mops = 29.3 * 8.0; // paper's per-core × 8 cores
+    let cpu_latency = 110.0; // paper §2.2: 64-byte random read, ns
+    if !kvd_peak {
+        return HostImpact {
+            seq_bandwidth_gbs: socket_bw,
+            random_mops: cpu_random_mops,
+            latency_ns: cpu_latency,
+        };
+    }
+    let kvd_bw = model.pcie.bandwidth.gbytes_per_sec() * model.pcie_ports as f64;
+    let share = kvd_bw / socket_bw;
+    HostImpact {
+        seq_bandwidth_gbs: socket_bw - kvd_bw,
+        random_mops: cpu_random_mops * (1.0 - share * 0.5),
+        latency_ns: cpu_latency * (1.0 + share * 0.3),
+    }
+}
+
+/// Convenience: measured corpus value read (used by examples/benches).
+pub fn scalar_of(store: &mut KvDirectStore, key: &[u8]) -> u64 {
+    decode_scalar(store.get(key).as_deref())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> KvDirectConfig {
+        KvDirectConfig::with_memory(1 << 20)
+    }
+
+    #[test]
+    fn port_capacities_match_figure3() {
+        let m = SystemModel::paper();
+        assert!(
+            (m.port_read_mops() - 61.0).abs() < 3.0,
+            "{}",
+            m.port_read_mops()
+        );
+        assert!((m.port_write_mops() - 87.4).abs() < 1.0);
+        assert!((m.dram_mops() - 200.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn network_bound_matches_paper_78mops() {
+        let m = SystemModel::paper();
+        let spec = WorkloadSpec::ycsb(60, 0.0, KeyDist::Uniform);
+        let b = m.network_bound_mops(&spec);
+        assert!((b - 75.0).abs() < 8.0, "got {b}");
+    }
+
+    #[test]
+    fn tiny_kv_longtail_reaches_clock_bound() {
+        // Paper Figure 16b: 10B KVs, long-tail, read-intensive → 180 Mops.
+        let cfg = small_cfg();
+        let spec = WorkloadSpec::ycsb(10, 0.0, KeyDist::Zipf);
+        let mw = measure_workload(&cfg, &spec, 0.4, 20_000, 1);
+        let model = SystemModel::paper();
+        let t = model.throughput(&spec, &mw);
+        // Inline GETs: ~1 access/op split across three devices; forwarding
+        // and caching push the memory bound above the clock.
+        assert!(
+            t.memory_bound_mops > 120.0,
+            "memory bound {} (accesses/op {})",
+            t.memory_bound_mops,
+            mw.accesses_per_op()
+        );
+        assert!(t.mops > 100.0, "composed {}", t.mops);
+    }
+
+    #[test]
+    fn longtail_beats_uniform() {
+        // Paper: long-tail has up to 2x uniform throughput (merging +
+        // caching).
+        let cfg = small_cfg();
+        let spec_u = WorkloadSpec::ycsb(10, 0.5, KeyDist::Uniform);
+        let spec_z = WorkloadSpec::ycsb(10, 0.5, KeyDist::Zipf);
+        let mu = measure_workload(&cfg, &spec_u, 0.4, 20_000, 2);
+        let mz = measure_workload(&cfg, &spec_z, 0.4, 20_000, 2);
+        assert!(mz.forward_rate > mu.forward_rate);
+        assert!(mz.cache_hit_rate > mu.cache_hit_rate);
+        let model = SystemModel::paper();
+        let tu = model.throughput(&spec_u, &mu);
+        let tz = model.throughput(&spec_z, &mz);
+        assert!(
+            tz.memory_bound_mops > tu.memory_bound_mops,
+            "zipf {} vs uniform {}",
+            tz.memory_bound_mops,
+            tu.memory_bound_mops
+        );
+        let _ = (tu.mops, tz.mops);
+    }
+
+    #[test]
+    fn large_kvs_are_network_bound() {
+        // Paper Figure 16: ≥62B KVs hit the network bound.
+        let model = SystemModel::paper();
+        let spec = WorkloadSpec::ycsb(254, 0.0, KeyDist::Uniform);
+        let cfg = small_cfg();
+        let mw = measure_workload(&cfg, &spec, 0.3, 5_000, 3);
+        let t = model.throughput(&spec, &mw);
+        assert!(
+            (t.mops - t.network_bound_mops).abs() < 1e-9,
+            "network should bind: {t:?}"
+        );
+        assert!(t.network_bound_mops < 25.0);
+    }
+
+    #[test]
+    fn multi_nic_matches_1_22_gops() {
+        // Paper: 10 NICs → 1.22 Gops, near-linear below that.
+        let model = SystemModel::paper();
+        let ten = model.multi_nic_mops(180.0, 1.0, 10);
+        assert!((ten - 1250.0).abs() < 100.0, "got {ten}");
+        let two = model.multi_nic_mops(180.0, 1.0, 2);
+        assert_eq!(two, 360.0, "linear when under the host cap");
+    }
+
+    #[test]
+    fn put_latency_exceeds_get() {
+        // Paper Figure 17: PUT has higher latency due to the extra
+        // memory access; everything lands in the 3–10us band.
+        let model = SystemModel::paper();
+        let spec = WorkloadSpec {
+            batch: 1,
+            ..WorkloadSpec::ycsb(62, 0.5, KeyDist::Uniform)
+        };
+        let cfg = small_cfg();
+        let mw = measure_workload(&cfg, &spec, 0.3, 5_000, 4);
+        let get50 = model.latency(&spec, &mw, false, false);
+        let put50 = model.latency(&spec, &mw, true, false);
+        let put95 = model.latency(&spec, &mw, true, true);
+        assert!(put50 > get50);
+        assert!(put95 > put50);
+        assert!(get50 > SimTime::from_us(1) && put95 < SimTime::from_us(12));
+    }
+
+    #[test]
+    fn power_matches_paper() {
+        let m = SystemModel::paper();
+        assert_eq!(m.power_w(0), 87.0);
+        assert!((m.power_w(1) - 121.0).abs() < 1.0);
+        // 1 Mops/W milestone: 180 Mops / 121 W > 1.0.
+        assert!(180.0 / m.power_w(1) / 1.0 > 1.0);
+    }
+
+    #[test]
+    fn kv_direct_3x_power_efficiency() {
+        // Paper: 3x more power efficient than the best CPU KVS.
+        let m = SystemModel::paper();
+        let best_other = published_systems()
+            .iter()
+            .map(|s| s.kops_per_watt())
+            .fold(0.0, f64::max);
+        let ours = 180.0 * 1000.0 / m.power_w(1);
+        assert!(ours / best_other > 3.0, "{ours} vs {best_other}");
+    }
+
+    #[test]
+    fn host_impact_is_minimal() {
+        let m = SystemModel::paper();
+        let idle = host_impact(&m, false);
+        let peak = host_impact(&m, true);
+        assert!(peak.seq_bandwidth_gbs > idle.seq_bandwidth_gbs * 0.6);
+        assert!(peak.random_mops > idle.random_mops * 0.8);
+        assert!(peak.latency_ns < idle.latency_ns * 1.2);
+    }
+}

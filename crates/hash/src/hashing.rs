@@ -1,0 +1,102 @@
+//! Key hashing.
+//!
+//! Two independent hashes per key: the primary hash selects the bucket,
+//! and 9 bits of the secondary hash are stored next to each pointer slot
+//! so lookups can skip non-matching slots without fetching their KV data
+//! (1/512 false-positive probability, paper §3.3.1). Chaining makes the
+//! table robust to hash quality, but a uniform mixer keeps clustering
+//! representative of the paper's setup.
+
+/// Number of secondary-hash bits stored in a slot.
+pub const SEC_HASH_BITS: u32 = 9;
+
+/// FNV-1a with a 64-bit seed fold and an avalanche finisher.
+fn hash_seeded(key: &[u8], seed: u64) -> u64 {
+    const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = FNV_OFFSET ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // SplitMix64 finisher for avalanche.
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+/// The primary hash: selects the bucket.
+pub fn primary_hash(key: &[u8]) -> u64 {
+    hash_seeded(key, 0x1234_5678_9ABC_DEF0)
+}
+
+/// The secondary hash: 9 bits stored beside pointer slots.
+pub fn secondary_hash(key: &[u8]) -> u16 {
+    (hash_seeded(key, 0x0FED_CBA9_8765_4321) & ((1 << SEC_HASH_BITS) - 1)) as u16
+}
+
+/// Hash used by the out-of-order engine's reservation station (a
+/// different stream again, so dependency-station collisions are
+/// independent of bucket collisions).
+pub fn station_hash(key: &[u8]) -> u64 {
+    hash_seeded(key, 0x5151_5151_5151_5151)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(primary_hash(b"key"), primary_hash(b"key"));
+        assert_eq!(secondary_hash(b"key"), secondary_hash(b"key"));
+    }
+
+    #[test]
+    fn secondary_fits_nine_bits() {
+        for i in 0..1000u32 {
+            let k = i.to_le_bytes();
+            assert!(secondary_hash(&k) < 512);
+        }
+    }
+
+    #[test]
+    fn primary_and_secondary_decorrelated() {
+        // Keys colliding in low primary bits should not collide in the
+        // secondary hash more than chance predicts.
+        let mut sec_collisions = 0;
+        let base = secondary_hash(&0u32.to_le_bytes());
+        for i in 1..2000u32 {
+            if secondary_hash(&i.to_le_bytes()) == base {
+                sec_collisions += 1;
+            }
+        }
+        // Expected ~2000/512 ≈ 4.
+        assert!(sec_collisions < 20, "got {sec_collisions}");
+    }
+
+    #[test]
+    fn buckets_spread_uniformly() {
+        let n_buckets = 64u64;
+        let mut counts = vec![0u32; n_buckets as usize];
+        let n = 64_000;
+        for i in 0..n {
+            counts[(primary_hash(&(i as u64).to_le_bytes()) % n_buckets) as usize] += 1;
+        }
+        let expect = n / n_buckets as u32;
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as i64 - expect as i64).unsigned_abs() < expect as u64 / 2,
+                "bucket {b}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn different_streams_differ() {
+        let k = b"same-key";
+        let p = primary_hash(k);
+        let s = station_hash(k);
+        assert_ne!(p, s);
+    }
+}

@@ -1,0 +1,855 @@
+//! The hash table: bucket chains over a [`MemoryEngine`] plus the slab
+//! allocator for chained buckets and non-inline KV data.
+//!
+//! Memory-access behaviour matches the paper:
+//!
+//! * inline GET — 1 access (the bucket read);
+//! * inline PUT — 2 accesses (bucket read + write);
+//! * non-inline GET/PUT — one additional access for the KV data;
+//! * secondary-hash false positives and chain walks add accesses, which
+//!   is exactly what Figures 6/9/11 plot as utilization grows.
+
+use kvd_mem::MemoryEngine;
+use kvd_slab::{SlabAddr, SlabAllocator, SlabClass, SlabConfig, GRANULE};
+
+use crate::hashing::{primary_hash, secondary_hash};
+use crate::layout::{Bucket, BucketEntry, BUCKET_BYTES, MAX_INLINE_KV};
+
+/// Errors a table operation can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HashError {
+    /// The dynamic region cannot satisfy an allocation (table is full at
+    /// this utilization).
+    OutOfMemory,
+    /// Key exceeds the supported maximum (255 bytes).
+    KeyTooLarge,
+    /// Value exceeds the largest slab class.
+    ValueTooLarge,
+}
+
+impl std::fmt::Display for HashError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HashError::OutOfMemory => write!(f, "out of dynamic memory"),
+            HashError::KeyTooLarge => write!(f, "key larger than 255 bytes"),
+            HashError::ValueTooLarge => write!(f, "value exceeds largest slab class"),
+        }
+    }
+}
+
+impl std::error::Error for HashError {}
+
+/// Configuration of a [`HashTable`].
+#[derive(Debug, Clone)]
+pub struct HashTableConfig {
+    /// Total memory (hash index + dynamic region) in bytes.
+    pub total_memory: u64,
+    /// Fraction of memory used for the hash index (paper: "hash index
+    /// ratio", configured at initialization).
+    pub hash_index_ratio: f64,
+    /// KVs of `key+value` size at or below this are stored inline
+    /// (paper: "inline threshold", ≤ 48 B given 10 × 5 B slots).
+    pub inline_threshold: usize,
+    /// Use the extended slab ladder (up to 64 KiB values) instead of the
+    /// paper's 32–512 B.
+    pub extended_slabs: bool,
+}
+
+impl HashTableConfig {
+    /// A config with the given memory, ratio and threshold.
+    pub fn new(total_memory: u64, hash_index_ratio: f64, inline_threshold: usize) -> Self {
+        HashTableConfig {
+            total_memory,
+            hash_index_ratio,
+            inline_threshold,
+            extended_slabs: false,
+        }
+    }
+}
+
+/// Per-operation cost, in the paper's currency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCost {
+    /// Random memory accesses the operation performed.
+    pub accesses: u64,
+    /// Whether the key was found (GET/DELETE) or replaced (PUT).
+    pub hit: bool,
+}
+
+/// The KV-Direct hash table.
+///
+/// # Examples
+///
+/// ```
+/// use kvd_hash::{HashTable, HashTableConfig};
+/// use kvd_mem::FlatMemory;
+///
+/// let cfg = HashTableConfig::new(1 << 20, 0.5, 24);
+/// let mut t = HashTable::new(FlatMemory::new(1 << 20), cfg);
+/// t.put(b"answer", b"42").unwrap();
+/// assert_eq!(t.get(b"answer").unwrap(), b"42");
+/// assert!(t.delete(b"answer"));
+/// assert_eq!(t.get(b"answer"), None);
+/// ```
+pub struct HashTable<M: MemoryEngine> {
+    mem: M,
+    alloc: SlabAllocator,
+    n_buckets: u64,
+    dyn_base: u64,
+    inline_threshold: usize,
+    total_memory: u64,
+    count: u64,
+    stored_kv_bytes: u64,
+}
+
+impl<M: MemoryEngine> HashTable<M> {
+    /// Creates a table over `mem` with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (no buckets, no dynamic
+    /// region, threshold beyond [`MAX_INLINE_KV`], or memory smaller than
+    /// the configured `total_memory`).
+    pub fn new(mem: M, cfg: HashTableConfig) -> Self {
+        assert!(
+            cfg.total_memory <= mem.capacity(),
+            "memory engine too small"
+        );
+        assert!(
+            (0.0..=1.0).contains(&cfg.hash_index_ratio),
+            "hash index ratio must be in [0,1]"
+        );
+        assert!(
+            cfg.inline_threshold <= MAX_INLINE_KV,
+            "inline threshold beyond bucket capacity"
+        );
+        let index_bytes = ((cfg.total_memory as f64 * cfg.hash_index_ratio) as u64)
+            / BUCKET_BYTES as u64
+            * BUCKET_BYTES as u64;
+        let n_buckets = index_bytes / BUCKET_BYTES as u64;
+        assert!(n_buckets > 0, "hash index ratio leaves no buckets");
+        // The dynamic region starts right after the index, granule-aligned.
+        let dyn_base = index_bytes.next_multiple_of(GRANULE);
+        let dyn_len = (cfg.total_memory - dyn_base) / GRANULE * GRANULE;
+        assert!(dyn_len >= GRANULE, "no dynamic region left");
+        // 31-bit granule pointers bound the dynamic region (64 GiB).
+        assert!(
+            dyn_len / GRANULE < (1 << 31),
+            "dynamic region exceeds 31-bit pointers"
+        );
+        let slab_cfg = if cfg.extended_slabs {
+            SlabConfig::extended(dyn_base, dyn_len)
+        } else {
+            SlabConfig::paper(dyn_base, dyn_len)
+        };
+        HashTable {
+            mem,
+            alloc: SlabAllocator::new(slab_cfg),
+            n_buckets,
+            dyn_base,
+            inline_threshold: cfg.inline_threshold,
+            total_memory: cfg.total_memory,
+            count: 0,
+            stored_kv_bytes: 0,
+        }
+    }
+
+    /// The underlying memory engine (for access statistics).
+    pub fn mem(&self) -> &M {
+        &self.mem
+    }
+
+    /// Mutable access to the memory engine.
+    pub fn mem_mut(&mut self) -> &mut M {
+        &mut self.mem
+    }
+
+    /// The slab allocator (for its statistics).
+    pub fn allocator(&self) -> &SlabAllocator {
+        &self.alloc
+    }
+
+    /// Number of KV pairs stored.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns `true` if the table stores nothing.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Number of hash-index buckets.
+    pub fn n_buckets(&self) -> u64 {
+        self.n_buckets
+    }
+
+    /// Logical KV bytes stored.
+    pub fn stored_bytes(&self) -> u64 {
+        self.stored_kv_bytes
+    }
+
+    /// Memory utilization: stored KV bytes over total memory (the paper's
+    /// metric, preferred over load factor).
+    pub fn memory_utilization(&self) -> f64 {
+        self.stored_kv_bytes as f64 / self.total_memory as f64
+    }
+
+    fn bucket_addr(&self, index: u64) -> u64 {
+        index * BUCKET_BYTES as u64
+    }
+
+    fn chain_to_addr(&self, ptr: u32) -> u64 {
+        self.dyn_base + ptr as u64 * GRANULE
+    }
+
+    fn addr_to_ptr(&self, addr: u64) -> u32 {
+        debug_assert!(addr >= self.dyn_base);
+        debug_assert_eq!((addr - self.dyn_base) % GRANULE, 0);
+        ((addr - self.dyn_base) / GRANULE) as u32
+    }
+
+    fn read_bucket(&mut self, addr: u64, cost: &mut u64) -> Bucket {
+        let mut bytes = [0u8; BUCKET_BYTES];
+        self.mem.read(addr, &mut bytes);
+        *cost += 1;
+        Bucket::decode(&bytes)
+    }
+
+    fn write_bucket(&mut self, addr: u64, bucket: &Bucket, cost: &mut u64) {
+        self.mem.write(addr, &bucket.encode());
+        *cost += 1;
+    }
+
+    fn read_kv_data(&mut self, ptr: u32, class: SlabClass, cost: &mut u64) -> (Vec<u8>, Vec<u8>) {
+        let addr = self.chain_to_addr(ptr);
+        let mut buf = vec![0u8; class.size() as usize];
+        self.mem.read(addr, &mut buf);
+        *cost += 1;
+        decode_kv(&buf)
+    }
+
+    fn write_kv_data(
+        &mut self,
+        addr: u64,
+        class: SlabClass,
+        key: &[u8],
+        value: &[u8],
+        cost: &mut u64,
+    ) {
+        let mut buf = vec![0u8; class.size() as usize];
+        encode_kv(&mut buf, key, value);
+        self.mem.write(addr, &buf);
+        *cost += 1;
+    }
+
+    /// Looks up `key`, returning its value, with the operation cost.
+    pub fn get_with_cost(&mut self, key: &[u8]) -> (Option<Vec<u8>>, OpCost) {
+        let mut cost = 0u64;
+        let sec = secondary_hash(key);
+        let mut addr = self.bucket_addr(primary_hash(key) % self.n_buckets);
+        loop {
+            let bucket = self.read_bucket(addr, &mut cost);
+            for e in bucket.entries() {
+                match e {
+                    BucketEntry::Inline {
+                        key: k, value: v, ..
+                    } => {
+                        if k == key {
+                            return (
+                                Some(v),
+                                OpCost {
+                                    accesses: cost,
+                                    hit: true,
+                                },
+                            );
+                        }
+                    }
+                    BucketEntry::Pointer {
+                        ptr, sec: s, class, ..
+                    } => {
+                        if s == sec {
+                            // The key is always checked for correctness
+                            // (secondary hash can false-positive).
+                            let (k, v) = self.read_kv_data(ptr, class, &mut cost);
+                            if k == key {
+                                return (
+                                    Some(v),
+                                    OpCost {
+                                        accesses: cost,
+                                        hit: true,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            match bucket.chain() {
+                Some(p) => addr = self.chain_to_addr(p),
+                None => {
+                    return (
+                        None,
+                        OpCost {
+                            accesses: cost,
+                            hit: false,
+                        },
+                    )
+                }
+            }
+        }
+    }
+
+    /// Looks up `key`.
+    pub fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        self.get_with_cost(key).0
+    }
+
+    /// Inserts or replaces `key → value`, with the operation cost.
+    ///
+    /// Returns `hit = true` when an existing key was replaced.
+    pub fn put_with_cost(&mut self, key: &[u8], value: &[u8]) -> Result<OpCost, HashError> {
+        if key.is_empty() || key.len() > u8::MAX as usize {
+            return Err(HashError::KeyTooLarge);
+        }
+        let mut cost = 0u64;
+        let kv_len = key.len() + value.len();
+        let inline_ok = kv_len <= self.inline_threshold && value.len() <= u8::MAX as usize;
+        let sec = secondary_hash(key);
+        let first_addr = self.bucket_addr(primary_hash(key) % self.n_buckets);
+
+        // Phase 1: walk the chain, looking for the key and remembering
+        // where a new entry could go.
+        let mut addr = first_addr;
+        let mut candidate: Option<(u64, Bucket)> = None;
+        let last = loop {
+            let bucket = self.read_bucket(addr, &mut cost);
+            for e in bucket.entries() {
+                match &e {
+                    BucketEntry::Inline {
+                        slot,
+                        key: k,
+                        value: old,
+                        ..
+                    } => {
+                        if k == key {
+                            let old_len = k.len() + old.len();
+                            return self.replace_inline(
+                                addr, bucket, *slot, key, value, inline_ok, old_len, cost,
+                            );
+                        }
+                    }
+                    BucketEntry::Pointer {
+                        slot,
+                        ptr,
+                        sec: s,
+                        class,
+                    } => {
+                        if *s == sec {
+                            let (k, old) = self.read_kv_data(*ptr, *class, &mut cost);
+                            if k == key {
+                                let old_len = k.len() + old.len();
+                                return self.replace_pointer(
+                                    addr, bucket, *slot, *ptr, *class, key, value, old_len, cost,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            let fits = if inline_ok {
+                bucket.free_slots() >= Bucket::inline_slots_needed(kv_len)
+            } else {
+                bucket.free_slots() >= 1
+            };
+            if fits && candidate.is_none() {
+                candidate = Some((addr, bucket.clone()));
+            }
+            match bucket.chain() {
+                Some(p) => addr = self.chain_to_addr(p),
+                None => break (addr, bucket),
+            }
+        };
+
+        // Phase 2: insert a new entry.
+        let (target_addr, mut target) = match candidate {
+            Some(c) => c,
+            None => {
+                // Extend the chain with a fresh 64B bucket from the slab
+                // allocator.
+                let slab = self
+                    .alloc
+                    .alloc(BUCKET_BYTES as u64)
+                    .ok_or(HashError::OutOfMemory)?;
+                debug_assert_eq!(slab.class.size(), BUCKET_BYTES as u64);
+                let (last_addr, mut last_bucket) = last;
+                last_bucket.set_chain(Some(self.addr_to_ptr(slab.addr)));
+                self.write_bucket(last_addr, &last_bucket, &mut cost);
+                (slab.addr, Bucket::empty())
+            }
+        };
+        if inline_ok {
+            target
+                .insert_inline(key, value)
+                .expect("candidate bucket had room");
+            self.write_bucket(target_addr, &target, &mut cost);
+        } else {
+            let slab = self.alloc_kv(key, value)?;
+            self.write_kv_data(slab.addr, slab.class, key, value, &mut cost);
+            target
+                .insert_pointer(self.addr_to_ptr(slab.addr), sec, slab.class)
+                .expect("candidate bucket had a free slot");
+            self.write_bucket(target_addr, &target, &mut cost);
+        }
+        self.count += 1;
+        self.stored_kv_bytes += kv_len as u64;
+        Ok(OpCost {
+            accesses: cost,
+            hit: false,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn replace_inline(
+        &mut self,
+        addr: u64,
+        mut bucket: Bucket,
+        slot: usize,
+        key: &[u8],
+        value: &[u8],
+        inline_ok: bool,
+        old_len: usize,
+        mut cost: u64,
+    ) -> Result<OpCost, HashError> {
+        bucket.remove(slot);
+        if inline_ok && bucket.insert_inline(key, value).is_some() {
+            self.write_bucket(addr, &bucket, &mut cost);
+        } else {
+            // Grown beyond inline: move to the slab area. If the bucket
+            // has no free slot after removing the inline run (it always
+            // does: the run freed ≥1 slot), insert the pointer here.
+            let slab = self.alloc_kv(key, value)?;
+            self.write_kv_data(slab.addr, slab.class, key, value, &mut cost);
+            bucket
+                .insert_pointer(self.addr_to_ptr(slab.addr), secondary_hash(key), slab.class)
+                .expect("removing an inline run frees at least one slot");
+            self.write_bucket(addr, &bucket, &mut cost);
+        }
+        self.stored_kv_bytes =
+            self.stored_kv_bytes - old_len as u64 + (key.len() + value.len()) as u64;
+        Ok(OpCost {
+            accesses: cost,
+            hit: true,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn replace_pointer(
+        &mut self,
+        addr: u64,
+        mut bucket: Bucket,
+        slot: usize,
+        ptr: u32,
+        class: SlabClass,
+        key: &[u8],
+        value: &[u8],
+        old_len: usize,
+        mut cost: u64,
+    ) -> Result<OpCost, HashError> {
+        let kv_len = key.len() + value.len();
+        let inline_ok = kv_len <= self.inline_threshold && value.len() <= u8::MAX as usize;
+        let mut slot = slot;
+        if inline_ok {
+            // Shrunk into inline range: prefer the bucket.
+            bucket.remove(slot);
+            if bucket.insert_inline(key, value).is_some() {
+                self.write_bucket(addr, &bucket, &mut cost);
+                self.alloc.free(SlabAddr {
+                    addr: self.chain_to_addr(ptr),
+                    class,
+                });
+                self.finish_replace(old_len, kv_len);
+                return Ok(OpCost {
+                    accesses: cost,
+                    hit: true,
+                });
+            }
+            // No room inline; fall through to the slab path. The pointer
+            // may land in a different slot after reinsertion.
+            slot = bucket
+                .insert_pointer(ptr, secondary_hash(key), class)
+                .expect("slot was just freed");
+        }
+        if fits_class(class, key, value) {
+            // Same slab class: overwrite the data in place; the bucket is
+            // untouched (1 read + 1 write total for inline-size KVs).
+            let data_addr = self.chain_to_addr(ptr);
+            self.write_kv_data(data_addr, class, key, value, &mut cost);
+        } else {
+            let slab = self.alloc_kv(key, value)?;
+            self.write_kv_data(slab.addr, slab.class, key, value, &mut cost);
+            bucket.remove(slot);
+            bucket
+                .insert_pointer(self.addr_to_ptr(slab.addr), secondary_hash(key), slab.class)
+                .expect("slot was just freed");
+            self.write_bucket(addr, &bucket, &mut cost);
+            self.alloc.free(SlabAddr {
+                addr: self.chain_to_addr(ptr),
+                class,
+            });
+        }
+        self.finish_replace(old_len, kv_len);
+        Ok(OpCost {
+            accesses: cost,
+            hit: true,
+        })
+    }
+
+    fn finish_replace(&mut self, old_len: usize, new_len: usize) {
+        self.stored_kv_bytes = self.stored_kv_bytes - old_len as u64 + new_len as u64;
+    }
+
+    fn alloc_kv(&mut self, key: &[u8], value: &[u8]) -> Result<SlabAddr, HashError> {
+        let need = kv_data_len(key, value);
+        match self.alloc.alloc(need) {
+            Some(s) => Ok(s),
+            None => {
+                // Distinguish "value can never fit" from "out of memory".
+                let fits_ladder = kvd_slab::SlabClass::for_size(need)
+                    .is_some_and(|c| c <= self.alloc.config().max_class);
+                if fits_ladder {
+                    Err(HashError::OutOfMemory)
+                } else {
+                    Err(HashError::ValueTooLarge)
+                }
+            }
+        }
+    }
+
+    /// Inserts or replaces `key → value`.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<bool, HashError> {
+        self.put_with_cost(key, value).map(|c| c.hit)
+    }
+
+    /// Deletes `key`, returning whether it existed, with the cost.
+    pub fn delete_with_cost(&mut self, key: &[u8]) -> (bool, OpCost) {
+        let mut cost = 0u64;
+        let sec = secondary_hash(key);
+        let mut addr = self.bucket_addr(primary_hash(key) % self.n_buckets);
+        loop {
+            let mut bucket = self.read_bucket(addr, &mut cost);
+            for e in bucket.entries() {
+                match e {
+                    BucketEntry::Inline {
+                        slot,
+                        key: k,
+                        value: v,
+                        ..
+                    } => {
+                        if k == key {
+                            bucket.remove(slot);
+                            self.write_bucket(addr, &bucket, &mut cost);
+                            self.count -= 1;
+                            self.stored_kv_bytes -= (k.len() + v.len()) as u64;
+                            return (
+                                true,
+                                OpCost {
+                                    accesses: cost,
+                                    hit: true,
+                                },
+                            );
+                        }
+                    }
+                    BucketEntry::Pointer {
+                        slot,
+                        ptr,
+                        sec: s,
+                        class,
+                    } => {
+                        if s == sec {
+                            let (k, v) = self.read_kv_data(ptr, class, &mut cost);
+                            if k == key {
+                                bucket.remove(slot);
+                                self.write_bucket(addr, &bucket, &mut cost);
+                                self.alloc.free(SlabAddr {
+                                    addr: self.chain_to_addr(ptr),
+                                    class,
+                                });
+                                self.count -= 1;
+                                self.stored_kv_bytes -= (k.len() + v.len()) as u64;
+                                return (
+                                    true,
+                                    OpCost {
+                                        accesses: cost,
+                                        hit: true,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            match bucket.chain() {
+                Some(p) => addr = self.chain_to_addr(p),
+                None => {
+                    return (
+                        false,
+                        OpCost {
+                            accesses: cost,
+                            hit: false,
+                        },
+                    )
+                }
+            }
+        }
+    }
+
+    /// Deletes `key`, returning whether it existed.
+    pub fn delete(&mut self, key: &[u8]) -> bool {
+        self.delete_with_cost(key).0
+    }
+}
+
+/// Slab bytes needed for a non-inline KV: 1-byte key length + 2-byte value
+/// length + payloads.
+fn kv_data_len(key: &[u8], value: &[u8]) -> u64 {
+    3 + key.len() as u64 + value.len() as u64
+}
+
+fn fits_class(class: SlabClass, key: &[u8], value: &[u8]) -> bool {
+    kv_data_len(key, value) <= class.size()
+}
+
+fn encode_kv(buf: &mut [u8], key: &[u8], value: &[u8]) {
+    buf[0] = key.len() as u8;
+    buf[1..3].copy_from_slice(&(value.len() as u16).to_le_bytes());
+    buf[3..3 + key.len()].copy_from_slice(key);
+    buf[3 + key.len()..3 + key.len() + value.len()].copy_from_slice(value);
+}
+
+fn decode_kv(buf: &[u8]) -> (Vec<u8>, Vec<u8>) {
+    let klen = buf[0] as usize;
+    let vlen = u16::from_le_bytes([buf[1], buf[2]]) as usize;
+    let key = buf[3..3 + klen].to_vec();
+    let value = buf[3 + klen..3 + klen + vlen].to_vec();
+    (key, value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvd_mem::FlatMemory;
+
+    fn table(mem_bytes: u64, ratio: f64, inline: usize) -> HashTable<FlatMemory> {
+        HashTable::new(
+            FlatMemory::new(mem_bytes),
+            HashTableConfig::new(mem_bytes, ratio, inline),
+        )
+    }
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let mut t = table(1 << 20, 0.5, 24);
+        assert!(!t.put(b"hello", b"world").unwrap());
+        assert_eq!(t.get(b"hello").unwrap(), b"world");
+        assert_eq!(t.len(), 1);
+        assert!(t.put(b"hello", b"earth").unwrap(), "replace reports hit");
+        assert_eq!(t.get(b"hello").unwrap(), b"earth");
+        assert_eq!(t.len(), 1);
+        assert!(t.delete(b"hello"));
+        assert_eq!(t.get(b"hello"), None);
+        assert!(!t.delete(b"hello"));
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.stored_bytes(), 0);
+    }
+
+    #[test]
+    fn inline_get_costs_one_access() {
+        let mut t = table(1 << 20, 0.5, 24);
+        t.put(b"k1", b"v1").unwrap();
+        let (v, cost) = t.get_with_cost(b"k1");
+        assert_eq!(v.unwrap(), b"v1");
+        assert_eq!(cost.accesses, 1, "inline GET = 1 bucket read");
+    }
+
+    #[test]
+    fn inline_put_costs_two_accesses() {
+        let mut t = table(1 << 20, 0.5, 24);
+        let cost = t.put_with_cost(b"k1", b"v1").unwrap();
+        assert_eq!(cost.accesses, 2, "inline PUT = bucket read + write");
+        // Replacement too.
+        let cost = t.put_with_cost(b"k1", b"v2").unwrap();
+        assert_eq!(cost.accesses, 2);
+    }
+
+    #[test]
+    fn noninline_adds_one_access() {
+        let mut t = table(1 << 20, 0.5, 24);
+        let value = vec![7u8; 100]; // beyond threshold
+        let cost = t.put_with_cost(b"key", &value).unwrap();
+        assert_eq!(cost.accesses, 3, "read bucket + write data + write bucket");
+        let (v, cost) = t.get_with_cost(b"key");
+        assert_eq!(v.unwrap(), value);
+        assert_eq!(cost.accesses, 2, "read bucket + read data");
+        // In-place same-class update: read bucket + read old data (key
+        // check) + write data.
+        let cost = t.put_with_cost(b"key", &[8u8; 101]).unwrap();
+        assert_eq!(cost.accesses, 3);
+        assert_eq!(t.get(b"key").unwrap(), vec![8u8; 101]);
+    }
+
+    #[test]
+    fn many_keys_roundtrip() {
+        let mut t = table(1 << 22, 0.5, 24);
+        let n = 2000u32;
+        for i in 0..n {
+            let k = format!("key-{i}");
+            let v = format!("value-{}", i * 3);
+            t.put(k.as_bytes(), v.as_bytes()).unwrap();
+        }
+        assert_eq!(t.len(), n as u64);
+        for i in 0..n {
+            let k = format!("key-{i}");
+            assert_eq!(
+                t.get(k.as_bytes()).unwrap(),
+                format!("value-{}", i * 3).as_bytes()
+            );
+        }
+        // Delete half, verify the rest.
+        for i in (0..n).step_by(2) {
+            assert!(t.delete(format!("key-{i}").as_bytes()));
+        }
+        for i in 0..n {
+            let present = t.get(format!("key-{i}").as_bytes()).is_some();
+            assert_eq!(present, i % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn values_of_every_size_class() {
+        let mut t = table(1 << 22, 0.25, 24);
+        // 501 is the largest value fitting the paper's 512B slab class
+        // beside an 8-byte key and the 3-byte data header.
+        for size in [0usize, 1, 24, 25, 48, 49, 64, 100, 255, 256, 400, 501] {
+            let key = format!("size-{size}");
+            let value = vec![size as u8; size];
+            t.put(key.as_bytes(), &value).unwrap();
+            assert_eq!(t.get(key.as_bytes()).unwrap(), value, "size {size}");
+        }
+    }
+
+    #[test]
+    fn value_too_large_rejected() {
+        let mut t = table(1 << 20, 0.5, 24);
+        let huge = vec![0u8; 600]; // paper ladder tops at 512
+        assert_eq!(t.put(b"k", &huge), Err(HashError::ValueTooLarge));
+        // Extended ladder accepts it.
+        let mut t = HashTable::new(
+            FlatMemory::new(1 << 20),
+            HashTableConfig {
+                extended_slabs: true,
+                ..HashTableConfig::new(1 << 20, 0.5, 24)
+            },
+        );
+        t.put(b"k", &huge).unwrap();
+        assert_eq!(t.get(b"k").unwrap(), huge);
+    }
+
+    #[test]
+    fn collision_chains_work() {
+        // Tiny index (1 bucket) forces every key into one chain.
+        let mut t = HashTable::new(
+            FlatMemory::new(1 << 16),
+            HashTableConfig::new(1 << 16, 64.0 / (1 << 16) as f64, 24),
+        );
+        assert_eq!(t.n_buckets(), 1);
+        for i in 0..100u32 {
+            t.put(format!("k{i}").as_bytes(), b"v").unwrap();
+        }
+        for i in 0..100u32 {
+            assert_eq!(t.get(format!("k{i}").as_bytes()).unwrap(), b"v");
+        }
+        // Chain walks cost more than one access.
+        let (_, cost) = t.get_with_cost(b"k99");
+        assert!(cost.accesses >= 1);
+        // Deleting everything keeps the chain walkable.
+        for i in 0..100u32 {
+            assert!(t.delete(format!("k{i}").as_bytes()), "k{i}");
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn shrink_to_inline_reclaims_slab() {
+        let mut t = table(1 << 20, 0.5, 24);
+        t.put(b"k", &[1u8; 200]).unwrap();
+        let allocs_before = t.allocator().stats().frees;
+        t.put(b"k", b"small").unwrap();
+        assert_eq!(t.get(b"k").unwrap(), b"small");
+        assert!(t.allocator().stats().frees > allocs_before, "slab freed");
+        let (_, cost) = t.get_with_cost(b"k");
+        assert_eq!(cost.accesses, 1, "now served inline");
+    }
+
+    #[test]
+    fn grow_from_inline_to_slab() {
+        let mut t = table(1 << 20, 0.5, 24);
+        t.put(b"k", b"small").unwrap();
+        t.put(b"k", &vec![2u8; 300]).unwrap();
+        assert_eq!(t.get(b"k").unwrap(), vec![2u8; 300]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut t = table(1 << 20, 0.5, 24);
+        t.put(b"abc", b"defg").unwrap(); // 7 bytes
+        assert_eq!(t.stored_bytes(), 7);
+        t.put(b"abc", b"de").unwrap(); // 5 bytes
+        assert_eq!(t.stored_bytes(), 5);
+        t.delete(b"abc");
+        assert_eq!(t.stored_bytes(), 0);
+        assert_eq!(t.memory_utilization(), 0.0);
+    }
+
+    #[test]
+    fn empty_key_rejected() {
+        let mut t = table(1 << 20, 0.5, 24);
+        assert_eq!(t.put(b"", b"v"), Err(HashError::KeyTooLarge));
+    }
+
+    #[test]
+    fn fill_until_oom_then_recover() {
+        let mut t = table(1 << 14, 0.25, 24);
+        let mut inserted = Vec::new();
+        let mut i = 0u32;
+        loop {
+            let k = format!("key-{i}");
+            match t.put(k.as_bytes(), &[0u8; 40]) {
+                Ok(_) => inserted.push(k),
+                Err(HashError::OutOfMemory) => break,
+                Err(e) => panic!("unexpected {e}"),
+            }
+            i += 1;
+            assert!(i < 100_000, "table never filled");
+        }
+        assert!(!inserted.is_empty());
+        // All inserted keys still readable at capacity.
+        for k in &inserted {
+            assert!(t.get(k.as_bytes()).is_some(), "{k} lost near OOM");
+        }
+        // Delete everything; memory is reusable.
+        for k in &inserted {
+            assert!(t.delete(k.as_bytes()));
+        }
+        assert!(t.put(b"after", &[0u8; 40]).is_ok());
+    }
+
+    #[test]
+    fn zero_length_value_inline() {
+        let mut t = table(1 << 20, 0.5, 24);
+        t.put(b"empty", b"").unwrap();
+        assert_eq!(t.get(b"empty").unwrap(), b"");
+        assert!(t.delete(b"empty"));
+    }
+}

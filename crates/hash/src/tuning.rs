@@ -1,0 +1,320 @@
+//! Hash-table tuning experiments (paper §5.1.1, Figures 6, 9, 10).
+//!
+//! The table has two initialization-time free parameters — inline
+//! threshold and hash index ratio. The paper measures average memory
+//! accesses per operation while sweeping them against memory utilization,
+//! then chooses, for a required utilization and KV size, the largest hash
+//! index ratio that still reaches the utilization (Figure 10's dashed
+//! line) because more index means more inlining and fewer accesses.
+
+use kvd_mem::{FlatMemory, MemoryEngine};
+use kvd_sim::DetRng;
+
+use crate::table::{HashError, HashTable, HashTableConfig};
+
+/// Key length used by the tuning workloads (an 8-byte identifier, like
+/// the paper's pointer-sized keys in PageRank / sparse logistic
+/// regression).
+pub const TUNING_KEY_LEN: usize = 8;
+
+/// Average operation costs measured at some utilization.
+#[derive(Debug, Clone, Copy)]
+pub struct MeasuredCosts {
+    /// Utilization at which the measurement ran.
+    pub utilization: f64,
+    /// Mean memory accesses per GET of an existing key.
+    pub get_avg: f64,
+    /// Mean memory accesses per PUT (update of an existing key).
+    pub put_avg: f64,
+    /// Mean accesses per insertion of a new key (measured during fill).
+    pub insert_avg: f64,
+}
+
+fn key_bytes(id: u64) -> [u8; TUNING_KEY_LEN] {
+    id.to_le_bytes()
+}
+
+fn value_for(kv_size: usize, id: u64) -> Vec<u8> {
+    assert!(
+        kv_size > TUNING_KEY_LEN,
+        "kv size must exceed the key length"
+    );
+    let mut v = vec![0u8; kv_size - TUNING_KEY_LEN];
+    let tag = id.to_le_bytes();
+    let n = v.len().min(8);
+    v[..n].copy_from_slice(&tag[..n]);
+    v
+}
+
+/// Fills `table` with `kv_size`-byte KVs (8-byte keys) until it reaches
+/// `target_utilization` or runs out of memory.
+///
+/// Returns the inserted key ids and the mean insertion cost.
+pub fn fill_to_utilization<M: MemoryEngine>(
+    table: &mut HashTable<M>,
+    kv_size: usize,
+    target_utilization: f64,
+) -> (Vec<u64>, f64) {
+    let mut ids = Vec::new();
+    let mut accesses = 0u64;
+    let mut id = 0u64;
+    while table.memory_utilization() < target_utilization {
+        match table.put_with_cost(&key_bytes(id), &value_for(kv_size, id)) {
+            Ok(cost) => {
+                accesses += cost.accesses;
+                ids.push(id);
+            }
+            Err(HashError::OutOfMemory) => break,
+            Err(e) => panic!("unexpected fill error: {e}"),
+        }
+        id += 1;
+    }
+    let insert_avg = if ids.is_empty() {
+        0.0
+    } else {
+        accesses as f64 / ids.len() as f64
+    };
+    (ids, insert_avg)
+}
+
+/// Measures average GET and PUT costs over `samples` random existing keys.
+pub fn measure_costs<M: MemoryEngine>(
+    table: &mut HashTable<M>,
+    ids: &[u64],
+    kv_size: usize,
+    samples: usize,
+    seed: u64,
+) -> MeasuredCosts {
+    assert!(!ids.is_empty(), "cannot measure an empty table");
+    let mut rng = DetRng::seed(seed);
+    let mut get_total = 0u64;
+    let mut put_total = 0u64;
+    for _ in 0..samples {
+        let id = ids[rng.usize_below(ids.len())];
+        let (v, cost) = table.get_with_cost(&key_bytes(id));
+        assert!(v.is_some(), "inserted key {id} must be present");
+        get_total += cost.accesses;
+        let cost = table
+            .put_with_cost(&key_bytes(id), &value_for(kv_size, id))
+            .expect("update of existing key cannot OOM");
+        assert!(cost.hit, "update must hit");
+        put_total += cost.accesses;
+    }
+    MeasuredCosts {
+        utilization: table.memory_utilization(),
+        get_avg: get_total as f64 / samples as f64,
+        put_avg: put_total as f64 / samples as f64,
+        insert_avg: 0.0,
+    }
+}
+
+/// Builds a fresh table, fills it to `utilization`, and measures costs —
+/// the single data point behind every cell of Figures 6/9/11.
+pub fn point(
+    total_memory: u64,
+    hash_index_ratio: f64,
+    inline_threshold: usize,
+    kv_size: usize,
+    utilization: f64,
+    seed: u64,
+) -> MeasuredCosts {
+    let mut table = HashTable::new(
+        FlatMemory::new(total_memory),
+        HashTableConfig::new(total_memory, hash_index_ratio, inline_threshold),
+    );
+    let (ids, insert_avg) = fill_to_utilization(&mut table, kv_size, utilization);
+    if ids.is_empty() {
+        return MeasuredCosts {
+            utilization: 0.0,
+            get_avg: 0.0,
+            put_avg: 0.0,
+            insert_avg: 0.0,
+        };
+    }
+    table.mem_mut().reset_stats();
+    let mut m = measure_costs(&mut table, &ids, kv_size, 2000.min(ids.len() * 2), seed);
+    m.insert_avg = insert_avg;
+    m
+}
+
+/// Like [`point`], but with KV sizes drawn uniformly from `sizes` — the
+/// mixed-size workload behind Figure 6, where the inline threshold trades
+/// inlining gains against bucket pressure.
+pub fn point_mixed(
+    total_memory: u64,
+    hash_index_ratio: f64,
+    inline_threshold: usize,
+    sizes: &[usize],
+    utilization: f64,
+    seed: u64,
+) -> MeasuredCosts {
+    assert!(!sizes.is_empty());
+    let mut table = HashTable::new(
+        FlatMemory::new(total_memory),
+        HashTableConfig::new(total_memory, hash_index_ratio, inline_threshold),
+    );
+    let mut rng = DetRng::seed(seed ^ 0xFEED);
+    // Fill with per-key deterministic sizes so updates keep sizes stable.
+    let size_of = |id: u64| sizes[(id % sizes.len() as u64) as usize];
+    let mut ids = Vec::new();
+    let mut id = 0u64;
+    let mut insert_accesses = 0u64;
+    while table.memory_utilization() < utilization {
+        let kv = size_of(id);
+        match table.put_with_cost(&key_bytes(id), &value_for(kv, id)) {
+            Ok(c) => {
+                insert_accesses += c.accesses;
+                ids.push(id);
+            }
+            Err(HashError::OutOfMemory) => break,
+            Err(e) => panic!("unexpected fill error: {e}"),
+        }
+        id += 1;
+    }
+    if ids.is_empty() {
+        return MeasuredCosts {
+            utilization: 0.0,
+            get_avg: 0.0,
+            put_avg: 0.0,
+            insert_avg: 0.0,
+        };
+    }
+    let samples = 2000.min(ids.len() * 2);
+    let mut get_total = 0u64;
+    let mut put_total = 0u64;
+    for _ in 0..samples {
+        let id = ids[rng.usize_below(ids.len())];
+        let (v, cost) = table.get_with_cost(&key_bytes(id));
+        assert!(v.is_some());
+        get_total += cost.accesses;
+        let cost = table
+            .put_with_cost(&key_bytes(id), &value_for(size_of(id), id))
+            .expect("update cannot OOM");
+        put_total += cost.accesses;
+    }
+    MeasuredCosts {
+        utilization: table.memory_utilization(),
+        get_avg: get_total as f64 / samples as f64,
+        put_avg: put_total as f64 / samples as f64,
+        insert_avg: insert_accesses as f64 / ids.len() as f64,
+    }
+}
+
+/// The highest utilization a configuration can reach before OOM
+/// (Figure 10's per-ratio ceiling).
+pub fn max_achievable_utilization(
+    total_memory: u64,
+    hash_index_ratio: f64,
+    inline_threshold: usize,
+    kv_size: usize,
+) -> f64 {
+    let mut table = HashTable::new(
+        FlatMemory::new(total_memory),
+        HashTableConfig::new(total_memory, hash_index_ratio, inline_threshold),
+    );
+    let (_, _) = fill_to_utilization(&mut table, kv_size, 1.0);
+    table.memory_utilization()
+}
+
+/// The paper's offline tuning procedure (Figure 10): choose the largest
+/// hash index ratio whose achievable utilization still meets the target,
+/// then return it with the measured access cost at the target.
+///
+/// Returns `(ratio, costs_at_target)`.
+pub fn optimal_config(
+    total_memory: u64,
+    inline_threshold: usize,
+    kv_size: usize,
+    target_utilization: f64,
+    seed: u64,
+) -> Option<(f64, MeasuredCosts)> {
+    let ratios = [0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1];
+    for &r in &ratios {
+        let max = max_achievable_utilization(total_memory, r, inline_threshold, kv_size);
+        if max >= target_utilization {
+            let costs = point(
+                total_memory,
+                r,
+                inline_threshold,
+                kv_size,
+                target_utilization,
+                seed,
+            );
+            return Some((r, costs));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MEM: u64 = 1 << 19; // 512 KiB keeps tests fast
+
+    #[test]
+    fn fill_reaches_target() {
+        let mut t = HashTable::new(FlatMemory::new(MEM), HashTableConfig::new(MEM, 0.5, 24));
+        let (ids, insert_avg) = fill_to_utilization(&mut t, 16, 0.3);
+        assert!(t.memory_utilization() >= 0.3);
+        assert!(!ids.is_empty());
+        assert!(insert_avg >= 2.0, "inline insert costs at least 2");
+    }
+
+    #[test]
+    fn inline_point_close_to_ideal_at_low_utilization() {
+        // Paper: "close to 1 memory access per GET and close to 2 memory
+        // accesses per PUT under non-extreme memory utilizations".
+        let m = point(MEM, 0.6, 24, 16, 0.35, 1);
+        assert!(m.get_avg < 1.5, "GET {}", m.get_avg);
+        assert!(m.put_avg < 3.0 && m.put_avg >= 2.0, "PUT {}", m.put_avg);
+    }
+
+    #[test]
+    fn accesses_grow_with_utilization() {
+        // Figure 6/9b: memory access count increases with utilization.
+        let lo = point(MEM, 0.6, 24, 16, 0.25, 2);
+        let hi = point(MEM, 0.6, 24, 16, 0.5, 2);
+        assert!(hi.utilization > lo.utilization);
+        assert!(
+            hi.get_avg >= lo.get_avg - 0.05,
+            "GET {} → {}",
+            lo.get_avg,
+            hi.get_avg
+        );
+    }
+
+    #[test]
+    fn offline_kvs_cost_one_more_access() {
+        // Figure 9: inline vs offline. Same KV size; thresholds straddle.
+        let inline = point(MEM, 0.6, 24, 16, 0.3, 3);
+        let offline = point(MEM, 0.3, 10, 16, 0.3, 3);
+        assert!(
+            offline.get_avg > inline.get_avg + 0.5,
+            "inline {} offline {}",
+            inline.get_avg,
+            offline.get_avg
+        );
+    }
+
+    #[test]
+    fn max_utilization_drops_with_ratio_for_offline_kvs() {
+        // Figure 10: for non-inline KVs, a bigger index starves the
+        // dynamic region, capping achievable utilization.
+        let lo_ratio = max_achievable_utilization(MEM, 0.2, 10, 64);
+        let hi_ratio = max_achievable_utilization(MEM, 0.8, 10, 64);
+        assert!(
+            lo_ratio > hi_ratio,
+            "ratio 0.2 → {lo_ratio}, ratio 0.8 → {hi_ratio}"
+        );
+    }
+
+    #[test]
+    fn optimal_config_meets_target() {
+        let (ratio, costs) = optimal_config(MEM, 24, 16, 0.4, 4).expect("achievable");
+        assert!((0.1..=0.9).contains(&ratio));
+        assert!(costs.utilization >= 0.4);
+        // An impossible target returns None.
+        assert!(optimal_config(MEM, 10, 64, 0.99, 4).is_none());
+    }
+}

@@ -1,0 +1,183 @@
+//! Sparse host memory.
+//!
+//! The paper's KVS occupies 64 GiB of host memory. To let the same address
+//! arithmetic run on a development machine, [`HostMemory`] is paged and
+//! allocates 64 KiB pages on first touch; untouched pages read as zero.
+
+use std::collections::HashMap;
+
+/// Page size for sparse allocation (simulation artifact, not a paper
+/// parameter).
+const PAGE_SHIFT: u32 = 16;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// A sparse, allocate-on-touch byte-addressable memory.
+///
+/// # Examples
+///
+/// ```
+/// use kvd_mem::HostMemory;
+///
+/// let mut m = HostMemory::new(1 << 30); // 1 GiB address space
+/// m.write(0x1234_5678, b"hello");
+/// let mut buf = [0u8; 5];
+/// m.read(0x1234_5678, &mut buf);
+/// assert_eq!(&buf, b"hello");
+/// // Untouched memory reads as zero.
+/// m.read(0, &mut buf);
+/// assert_eq!(&buf, &[0; 5]);
+/// ```
+pub struct HostMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    capacity: u64,
+}
+
+impl HostMemory {
+    /// Creates a memory with `capacity` bytes of address space.
+    pub fn new(capacity: u64) -> Self {
+        HostMemory {
+            pages: HashMap::new(),
+            capacity,
+        }
+    }
+
+    /// Total address-space capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes of memory actually resident (allocated pages).
+    pub fn resident_bytes(&self) -> u64 {
+        (self.pages.len() * PAGE_SIZE) as u64
+    }
+
+    fn check_range(&self, addr: u64, len: usize) {
+        assert!(
+            addr.checked_add(len as u64)
+                .is_some_and(|end| end <= self.capacity),
+            "access [{addr:#x}, +{len}) out of bounds (capacity {:#x})",
+            self.capacity
+        );
+    }
+
+    /// Reads `buf.len()` bytes at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds capacity.
+    pub fn read(&self, addr: u64, buf: &mut [u8]) {
+        self.check_range(addr, buf.len());
+        let mut off = 0usize;
+        while off < buf.len() {
+            let a = addr + off as u64;
+            let page = a >> PAGE_SHIFT;
+            let in_page = (a & (PAGE_SIZE as u64 - 1)) as usize;
+            let n = (PAGE_SIZE - in_page).min(buf.len() - off);
+            match self.pages.get(&page) {
+                Some(p) => buf[off..off + n].copy_from_slice(&p[in_page..in_page + n]),
+                None => buf[off..off + n].fill(0),
+            }
+            off += n;
+        }
+    }
+
+    /// Writes `data` at `addr`, allocating pages as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds capacity.
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        self.check_range(addr, data.len());
+        let mut off = 0usize;
+        while off < data.len() {
+            let a = addr + off as u64;
+            let page = a >> PAGE_SHIFT;
+            let in_page = (a & (PAGE_SIZE as u64 - 1)) as usize;
+            let n = (PAGE_SIZE - in_page).min(data.len() - off);
+            let p = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+            p[in_page..in_page + n].copy_from_slice(&data[off..off + n]);
+            off += n;
+        }
+    }
+
+    /// Reads a little-endian `u64` at `addr`.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    pub fn write_u64(&mut self, addr: u64, v: u64) {
+        self.write(addr, &v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_filled_by_default() {
+        let m = HostMemory::new(1 << 20);
+        let mut buf = [0xAAu8; 16];
+        m.read(1000, &mut buf);
+        assert_eq!(buf, [0; 16]);
+    }
+
+    #[test]
+    fn write_read_roundtrip_across_pages() {
+        let mut m = HostMemory::new(1 << 20);
+        // Straddle the 64KiB page boundary.
+        let addr = (1 << 16) - 3;
+        let data: Vec<u8> = (0..10).collect();
+        m.write(addr, &data);
+        let mut buf = vec![0u8; 10];
+        m.read(addr, &mut buf);
+        assert_eq!(buf, data);
+        assert_eq!(m.resident_bytes(), 2 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn sparse_residency() {
+        let mut m = HostMemory::new(1 << 40); // 1 TiB address space
+        m.write(1 << 39, &[1]);
+        assert_eq!(m.resident_bytes(), PAGE_SIZE as u64);
+        assert_eq!(m.capacity(), 1 << 40);
+    }
+
+    #[test]
+    fn u64_helpers() {
+        let mut m = HostMemory::new(1 << 20);
+        m.write_u64(64, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(m.read_u64(64), 0xDEAD_BEEF_CAFE_F00D);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rejects_out_of_bounds_read() {
+        let m = HostMemory::new(100);
+        let mut buf = [0u8; 8];
+        m.read(96, &mut buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rejects_out_of_bounds_write() {
+        let mut m = HostMemory::new(100);
+        m.write(u64::MAX - 2, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let mut m = HostMemory::new(1 << 20);
+        m.write(10, b"aaaa");
+        m.write(12, b"bb");
+        let mut buf = [0u8; 4];
+        m.read(10, &mut buf);
+        assert_eq!(&buf, b"aabb");
+    }
+}

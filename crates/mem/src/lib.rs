@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! Memory subsystem models for the KV-Direct reproduction.
+//!
+//! KV-Direct stores the key-value corpus in **host memory** (64 GiB in the
+//! paper) reached over PCIe, and uses the NIC's small on-board **DRAM**
+//! (4 GiB, 12.8 GB/s) neither as pure cache nor as a fixed partition but as
+//! a *hybrid*: a cache for a fixed, hash-selected portion of host memory
+//! (§3.3.4, Figure 7). This crate provides:
+//!
+//! * [`HostMemory`] — a sparse, allocate-on-touch byte store so paper-scale
+//!   address spaces work laptop-scale.
+//! * [`NicDram`] — the on-board DRAM: a direct-mapped 64 B-line cache with
+//!   per-line metadata kept in the spare ECC bits (the paper's trick of
+//!   widening the parity granularity from 64 to 256 data bits to free
+//!   6 bits per 64 B line).
+//! * [`LoadDispatcher`] — the hash split between cacheable and
+//!   non-cacheable addresses, parameterized by the load dispatch ratio `l`,
+//!   plus the paper's balance equation for choosing `l`.
+//! * [`MemoryEngine`] / [`AccessStats`] — the unified access interface the
+//!   hash table and slab allocator run against, with DMA/DRAM accounting
+//!   (the paper's currency: memory accesses per KV operation).
+//! * [`FlatMemory`] — a counting-only engine for pure algorithmic
+//!   experiments (Figures 6/9/10/11).
+//! * [`DispatchedMemory`] — the full host + NIC-DRAM + dispatcher stack
+//!   (Figure 14), including a timed replay driver.
+
+pub mod dispatch;
+pub mod engine;
+pub mod host;
+pub mod nicdram;
+pub mod replay;
+
+pub use dispatch::{DispatchConfig, LoadDispatcher};
+pub use engine::{AccessKind, AccessStats, DispatchedMemory, FlatMemory, MemoryEngine};
+pub use host::HostMemory;
+pub use nicdram::{NicDram, NicDramConfig};
+
+/// Cache-line granularity used throughout the paper (bytes).
+pub const LINE: u64 = 64;

@@ -1,0 +1,329 @@
+//! NIC on-board DRAM modelled as a direct-mapped write-back cache.
+//!
+//! The paper's programmable NIC carries 4 GiB of DDR3-1600 (12.8 GB/s) —
+//! an order of magnitude smaller than the 64 GiB host KVS and slightly
+//! slower than the two PCIe Gen3 x8 links combined (§3.3.4). KV-Direct
+//! uses it as a cache for the *cacheable portion* of host memory selected
+//! by the load dispatcher.
+//!
+//! Per-line metadata (address tag + dirty flag) is stored in the spare ECC
+//! bits: ECC DRAM has 8 ECC bits per 64 data bits; widening the Hamming
+//! parity granularity from 64 to 256 data bits frees 6 bits per 64 B line
+//! (§4, "DRAM Load Dispatcher"). No valid bit is needed because the NIC
+//! accesses the KVS exclusively: the cache is initialized to tag 0, clean,
+//! all-zero data — coherent with zero-initialized host memory.
+
+use kvd_sim::Bandwidth;
+
+use crate::LINE;
+
+/// Spare metadata bits available per 64 B line via the ECC trick.
+pub const ECC_SPARE_BITS: u32 = 6;
+
+/// Configuration of the NIC on-board DRAM.
+#[derive(Debug, Clone)]
+pub struct NicDramConfig {
+    /// Capacity in bytes (paper: 4 GiB; scaled down in tests).
+    pub capacity: u64,
+    /// Random-access bandwidth (paper: 12.8 GB/s, single DDR3-1600
+    /// channel).
+    pub bandwidth: Bandwidth,
+}
+
+impl NicDramConfig {
+    /// The paper's NIC DRAM, scaled by `scale` (capacity only; bandwidth is
+    /// a property of the device, not the corpus size).
+    pub fn paper_scaled(scale: u64) -> Self {
+        assert!(scale > 0);
+        NicDramConfig {
+            capacity: (4u64 << 30) / scale,
+            bandwidth: Bandwidth::from_gbytes_per_sec(12.8),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct LineMeta {
+    tag: u8,
+    dirty: bool,
+}
+
+/// Result of a cache fill: the dirty line that had to be written back, if
+/// any.
+pub type Eviction = Option<(u64, Box<[u8]>)>;
+
+/// A direct-mapped, write-back, 64 B-line cache over host line addresses.
+///
+/// Host lines map to slots by `line % slots`; the tag is `line / slots`,
+/// which must fit the ECC spare bits (tag + dirty ≤ 6 bits ⇒ host:DRAM
+/// capacity ratio ≤ 32; the paper's ratio is 16, needing 4 tag bits + 1
+/// dirty).
+///
+/// # Examples
+///
+/// ```
+/// use kvd_mem::{NicDram, NicDramConfig};
+/// use kvd_sim::Bandwidth;
+///
+/// let cfg = NicDramConfig {
+///     capacity: 64 * 1024,
+///     bandwidth: Bandwidth::from_gbytes_per_sec(12.8),
+/// };
+/// let mut cache = NicDram::new(cfg, 16 * 64 * 1024); // 16:1 host ratio
+/// assert!(cache.lookup(0)); // tag-0 lines start resident (zeroed)
+/// assert!(!cache.lookup(1024)); // a tag-1 line does not
+/// ```
+pub struct NicDram {
+    cfg: NicDramConfig,
+    slots: u64,
+    meta: Vec<LineMeta>,
+    data: Vec<u8>,
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+}
+
+impl NicDram {
+    /// Creates a cache for a host memory of `host_capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host:DRAM ratio needs more metadata than the ECC
+    /// spare bits provide, or if sizes are not multiples of the 64 B line.
+    pub fn new(cfg: NicDramConfig, host_capacity: u64) -> Self {
+        assert_eq!(cfg.capacity % LINE, 0, "capacity must be line-aligned");
+        assert_eq!(
+            host_capacity % LINE,
+            0,
+            "host capacity must be line-aligned"
+        );
+        let slots = cfg.capacity / LINE;
+        assert!(slots > 0, "cache too small for even one line");
+        let ratio = host_capacity.div_ceil(cfg.capacity).max(1);
+        // Tag bits = log2(ratio); together with the dirty bit they must fit
+        // the ECC spare bits.
+        let tag_bits = ratio.next_power_of_two().trailing_zeros();
+        assert!(
+            tag_bits < ECC_SPARE_BITS,
+            "host:DRAM ratio {ratio} needs more metadata than {ECC_SPARE_BITS} ECC spare bits"
+        );
+        NicDram {
+            slots,
+            meta: vec![LineMeta::default(); slots as usize],
+            data: vec![0; cfg.capacity as usize],
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NicDramConfig {
+        &self.cfg
+    }
+
+    fn slot_of(&self, host_line: u64) -> u64 {
+        host_line % self.slots
+    }
+
+    fn tag_of(&self, host_line: u64) -> u8 {
+        let t = host_line / self.slots;
+        debug_assert!(t <= u8::MAX as u64, "tag overflow");
+        t as u8
+    }
+
+    /// Returns `true` if `host_line` is resident.
+    pub fn lookup(&self, host_line: u64) -> bool {
+        let slot = self.slot_of(host_line);
+        self.meta[slot as usize].tag == self.tag_of(host_line)
+    }
+
+    /// Reads a resident line into `buf` (64 bytes) and counts a hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not resident; callers must [`lookup`] first.
+    ///
+    /// [`lookup`]: NicDram::lookup
+    pub fn read_hit(&mut self, host_line: u64, buf: &mut [u8]) {
+        assert!(self.lookup(host_line), "read_hit on non-resident line");
+        assert_eq!(buf.len() as u64, LINE);
+        let off = (self.slot_of(host_line) * LINE) as usize;
+        buf.copy_from_slice(&self.data[off..off + LINE as usize]);
+        self.hits += 1;
+    }
+
+    /// Writes a resident line and marks it dirty; counts a hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not resident.
+    pub fn write_hit(&mut self, host_line: u64, data: &[u8]) {
+        assert!(self.lookup(host_line), "write_hit on non-resident line");
+        assert_eq!(data.len() as u64, LINE);
+        let slot = self.slot_of(host_line);
+        let off = (slot * LINE) as usize;
+        self.data[off..off + LINE as usize].copy_from_slice(data);
+        self.meta[slot as usize].dirty = true;
+        self.hits += 1;
+    }
+
+    /// Installs `host_line` with `data`, evicting the previous occupant.
+    ///
+    /// Returns the evicted line's address and contents if it was dirty
+    /// (the caller must write it back to host memory). Counts a miss.
+    pub fn fill(&mut self, host_line: u64, data: &[u8], dirty: bool) -> Eviction {
+        assert_eq!(data.len() as u64, LINE);
+        assert!(!self.lookup(host_line), "fill of already-resident line");
+        self.misses += 1;
+        let slot = self.slot_of(host_line);
+        let off = (slot * LINE) as usize;
+        let old = &mut self.meta[slot as usize];
+        let evicted = if old.dirty {
+            self.writebacks += 1;
+            let old_line = old.tag as u64 * self.slots + slot;
+            Some((old_line, self.data[off..off + LINE as usize].into()))
+        } else {
+            None
+        };
+        self.meta[slot as usize] = LineMeta {
+            tag: self.tag_of(host_line),
+            dirty,
+        };
+        self.data[off..off + LINE as usize].copy_from_slice(data);
+        evicted
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Dirty write-backs so far.
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Hit rate over all lookups that were served.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> NicDram {
+        // 4 KiB cache (64 slots) over a 64 KiB host: ratio 16, like paper.
+        NicDram::new(
+            NicDramConfig {
+                capacity: 4096,
+                bandwidth: Bandwidth::from_gbytes_per_sec(12.8),
+            },
+            64 * 1024,
+        )
+    }
+
+    #[test]
+    fn cold_cache_holds_tag_zero_zeroes() {
+        let mut c = cache();
+        // Line 5 has tag 0: resident, zero-filled, coherent with zeroed
+        // host memory (the paper's no-valid-bit initialization).
+        assert!(c.lookup(5));
+        let mut buf = [0xFFu8; 64];
+        c.read_hit(5, &mut buf);
+        assert_eq!(buf, [0u8; 64]);
+        // Line 5 + 64 slots has tag 1: not resident.
+        assert!(!c.lookup(5 + 64));
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let mut c = cache();
+        let line = 64 + 3; // tag 1, slot 3
+        assert!(!c.lookup(line));
+        let data = [7u8; 64];
+        let ev = c.fill(line, &data, false);
+        assert!(ev.is_none(), "clean tag-0 line needs no writeback");
+        assert!(c.lookup(line));
+        let mut buf = [0u8; 64];
+        c.read_hit(line, &mut buf);
+        assert_eq!(buf, data);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn dirty_eviction_returns_contents() {
+        let mut c = cache();
+        // Dirty the tag-0 occupant of slot 9.
+        c.write_hit(9, &[3u8; 64]);
+        // Fill the same slot with tag 2 → must evict dirty line 9.
+        let ev = c.fill(2 * 64 + 9, &[4u8; 64], false);
+        let (line, data) = ev.expect("dirty line must be evicted");
+        assert_eq!(line, 9);
+        assert_eq!(&data[..], &[3u8; 64]);
+        assert_eq!(c.writebacks(), 1);
+    }
+
+    #[test]
+    fn fill_marked_dirty_writes_back_later() {
+        let mut c = cache();
+        let ev = c.fill(64 + 1, &[1u8; 64], true); // write-allocate
+        assert!(ev.is_none());
+        let ev = c.fill(2 * 64 + 1, &[2u8; 64], false);
+        let (line, data) = ev.expect("dirty filled line must evict");
+        assert_eq!(line, 64 + 1);
+        assert_eq!(&data[..], &[1u8; 64]);
+    }
+
+    #[test]
+    fn hit_rate_accounting() {
+        let mut c = cache();
+        let mut buf = [0u8; 64];
+        c.read_hit(0, &mut buf);
+        c.read_hit(1, &mut buf);
+        c.fill(64, &[0u8; 64], false);
+        assert!((c.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-resident")]
+    fn read_hit_requires_residency() {
+        let mut c = cache();
+        let mut buf = [0u8; 64];
+        c.read_hit(64, &mut buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "ECC spare bits")]
+    fn rejects_ratio_beyond_ecc_bits() {
+        // Ratio 64 needs 6 tag bits + dirty = 7 > 6 spare bits.
+        NicDram::new(
+            NicDramConfig {
+                capacity: 4096,
+                bandwidth: Bandwidth::from_gbytes_per_sec(12.8),
+            },
+            64 * 4096,
+        );
+    }
+
+    #[test]
+    fn paper_ratio_fits_ecc_bits() {
+        // 16:1 (the paper's 64GiB:4GiB) needs 4 tag bits + 1 dirty ≤ 6.
+        let c = NicDram::new(NicDramConfig::paper_scaled(1024), (64u64 << 30) / 1024);
+        assert_eq!(c.config().capacity, 4 << 20);
+    }
+}

@@ -1,0 +1,297 @@
+//! Client-side session: batching, framing and response correlation.
+//!
+//! The paper's clients batch KV operations into RDMA packets (§4) and
+//! may keep several packets in flight. [`ClientSession`] is that logic
+//! as a reusable library: queue operations, let the session cut batches
+//! at the configured size, and correlate responses back to operation
+//! handles in submission order (the KV processor preserves order within
+//! a packet, and packets are sequenced per session).
+
+use std::collections::VecDeque;
+
+use crate::config::NetConfig;
+use crate::wire::{decode_responses, encode_packet, KvRequest, KvResponse, WireError};
+use bytes::Bytes;
+
+/// Handle for a submitted operation, redeemable for its response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpHandle(u64);
+
+/// An encoded request packet ready for the wire, tagged with a sequence
+/// number.
+#[derive(Debug, Clone)]
+pub struct OutboundPacket {
+    /// Per-session packet sequence number.
+    pub seq: u64,
+    /// Encoded payload (count header + packed operations).
+    pub payload: Bytes,
+    /// Handles of the operations inside, in order.
+    pub handles: Vec<OpHandle>,
+}
+
+/// Errors a session can surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionError {
+    /// A response packet arrived out of sequence.
+    OutOfOrder {
+        /// Sequence number expected next.
+        expected: u64,
+        /// Sequence number received.
+        got: u64,
+    },
+    /// A response packet's operation count disagrees with its request.
+    CountMismatch,
+    /// The response payload failed to decode.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::OutOfOrder { expected, got } => {
+                write!(f, "response packet {got} arrived, expected {expected}")
+            }
+            SessionError::CountMismatch => write!(f, "response count mismatch"),
+            SessionError::Wire(e) => write!(f, "wire error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// A client-side KV-Direct session.
+///
+/// # Examples
+///
+/// ```
+/// use kvd_net::client::ClientSession;
+/// use kvd_net::{decode_packet, encode_responses, KvRequest, KvResponse, NetConfig, Status};
+///
+/// let mut session = ClientSession::new(NetConfig::forty_gbe(), 4);
+/// let h1 = session.submit(KvRequest::put(b"k", b"v"));
+/// let h2 = session.submit(KvRequest::get(b"k"));
+/// // Batch size 4 not reached: force a flush (end of client tick).
+/// let packet = session.flush().expect("two ops queued");
+///
+/// // ... server side: decode, execute, respond ...
+/// let reqs = decode_packet(&packet.payload).unwrap();
+/// let resps: Vec<KvResponse> = reqs
+///     .iter()
+///     .map(|_| KvResponse { status: Status::Ok, value: b"v".to_vec() })
+///     .collect();
+///
+/// // ... client side: correlate.
+/// let done = session
+///     .on_response(packet.seq, &encode_responses(&resps))
+///     .unwrap();
+/// assert_eq!(done[0].0, h1);
+/// assert_eq!(done[1].0, h2);
+/// assert_eq!(done[1].1.value, b"v");
+/// ```
+pub struct ClientSession {
+    cfg: NetConfig,
+    batch: usize,
+    pending: Vec<(OpHandle, KvRequest)>,
+    inflight: VecDeque<OutboundPacket>,
+    next_handle: u64,
+    next_seq: u64,
+    next_resp_seq: u64,
+}
+
+impl ClientSession {
+    /// Creates a session cutting packets at `batch` operations.
+    pub fn new(cfg: NetConfig, batch: usize) -> Self {
+        assert!(batch >= 1);
+        ClientSession {
+            cfg,
+            batch,
+            pending: Vec::new(),
+            inflight: VecDeque::new(),
+            next_handle: 0,
+            next_seq: 0,
+            next_resp_seq: 0,
+        }
+    }
+
+    /// Queues one operation; returns its handle. When the pending batch
+    /// reaches the configured size, [`take_packet`] will yield a packet.
+    ///
+    /// [`take_packet`]: ClientSession::take_packet
+    pub fn submit(&mut self, req: KvRequest) -> OpHandle {
+        let h = OpHandle(self.next_handle);
+        self.next_handle += 1;
+        self.pending.push((h, req));
+        h
+    }
+
+    /// Returns the next full packet, if the batch threshold is met.
+    pub fn take_packet(&mut self) -> Option<OutboundPacket> {
+        if self.pending.len() >= self.batch {
+            Some(self.cut_packet())
+        } else {
+            None
+        }
+    }
+
+    /// Flushes a partial batch (end of a client tick); `None` if empty.
+    pub fn flush(&mut self) -> Option<OutboundPacket> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            Some(self.cut_packet())
+        }
+    }
+
+    fn cut_packet(&mut self) -> OutboundPacket {
+        let n = self.pending.len().min(self.batch);
+        let batch: Vec<(OpHandle, KvRequest)> = self.pending.drain(..n).collect();
+        let (handles, reqs): (Vec<OpHandle>, Vec<KvRequest>) = batch.into_iter().unzip();
+        let payload = encode_packet(&reqs);
+        let pkt = OutboundPacket {
+            seq: self.next_seq,
+            payload,
+            handles,
+        };
+        self.next_seq += 1;
+        self.inflight.push_back(pkt.clone());
+        pkt
+    }
+
+    /// Processes a response packet, returning `(handle, response)` pairs
+    /// in submission order.
+    ///
+    /// Packets must arrive in sequence (the session models one reliable
+    /// flow, as the paper's RDMA transport provides).
+    pub fn on_response(
+        &mut self,
+        seq: u64,
+        payload: &[u8],
+    ) -> Result<Vec<(OpHandle, KvResponse)>, SessionError> {
+        if seq != self.next_resp_seq {
+            return Err(SessionError::OutOfOrder {
+                expected: self.next_resp_seq,
+                got: seq,
+            });
+        }
+        let pkt = self
+            .inflight
+            .pop_front()
+            .ok_or(SessionError::CountMismatch)?;
+        debug_assert_eq!(pkt.seq, seq, "inflight queue tracks sequence order");
+        let resps = decode_responses(payload).map_err(SessionError::Wire)?;
+        if resps.len() != pkt.handles.len() {
+            return Err(SessionError::CountMismatch);
+        }
+        self.next_resp_seq += 1;
+        Ok(pkt.handles.into_iter().zip(resps).collect())
+    }
+
+    /// Operations queued but not yet cut into a packet.
+    pub fn pending_ops(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Packets sent and awaiting responses.
+    pub fn inflight_packets(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// The network configuration this session assumes.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{decode_packet, encode_responses, Status};
+
+    fn ok(value: &[u8]) -> KvResponse {
+        KvResponse {
+            status: Status::Ok,
+            value: value.to_vec(),
+        }
+    }
+
+    fn respond_all(payload: &Bytes) -> Bytes {
+        let reqs = decode_packet(payload).expect("decodes");
+        let resps: Vec<KvResponse> = reqs.iter().map(|r| ok(&r.key)).collect();
+        encode_responses(&resps)
+    }
+
+    #[test]
+    fn batch_cutting_at_threshold() {
+        let mut s = ClientSession::new(NetConfig::forty_gbe(), 3);
+        s.submit(KvRequest::get(b"a"));
+        assert!(s.take_packet().is_none());
+        s.submit(KvRequest::get(b"b"));
+        assert!(s.take_packet().is_none());
+        s.submit(KvRequest::get(b"c"));
+        let pkt = s.take_packet().expect("threshold reached");
+        assert_eq!(pkt.handles.len(), 3);
+        assert_eq!(s.pending_ops(), 0);
+        assert_eq!(s.inflight_packets(), 1);
+    }
+
+    #[test]
+    fn correlation_in_submission_order() {
+        let mut s = ClientSession::new(NetConfig::forty_gbe(), 2);
+        let h: Vec<OpHandle> = (0..4u8).map(|i| s.submit(KvRequest::get(&[i]))).collect();
+        let p0 = s.take_packet().expect("first batch");
+        let p1 = s.take_packet().expect("second batch");
+        let r0 = s.on_response(p0.seq, &respond_all(&p0.payload)).unwrap();
+        let r1 = s.on_response(p1.seq, &respond_all(&p1.payload)).unwrap();
+        assert_eq!(r0[0].0, h[0]);
+        assert_eq!(r0[1].0, h[1]);
+        assert_eq!(r1[0].0, h[2]);
+        assert_eq!(r1[1].0, h[3]);
+        // Echoed keys prove the pairing.
+        assert_eq!(r1[1].1.value, vec![3u8]);
+        assert_eq!(s.inflight_packets(), 0);
+    }
+
+    #[test]
+    fn out_of_order_response_rejected() {
+        let mut s = ClientSession::new(NetConfig::forty_gbe(), 1);
+        s.submit(KvRequest::get(b"a"));
+        s.submit(KvRequest::get(b"b"));
+        let p0 = s.take_packet().expect("one");
+        let p1 = s.take_packet().expect("two");
+        let err = s
+            .on_response(p1.seq, &respond_all(&p1.payload))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::OutOfOrder {
+                expected: 0,
+                got: 1
+            }
+        );
+        // The in-order packet still works.
+        assert!(s.on_response(p0.seq, &respond_all(&p0.payload)).is_ok());
+    }
+
+    #[test]
+    fn count_mismatch_detected() {
+        let mut s = ClientSession::new(NetConfig::forty_gbe(), 2);
+        s.submit(KvRequest::get(b"a"));
+        s.submit(KvRequest::get(b"b"));
+        let p = s.take_packet().expect("batch");
+        let short = encode_responses(&[ok(b"a")]);
+        assert_eq!(
+            s.on_response(p.seq, &short).unwrap_err(),
+            SessionError::CountMismatch
+        );
+    }
+
+    #[test]
+    fn flush_handles_partial_batches() {
+        let mut s = ClientSession::new(NetConfig::forty_gbe(), 100);
+        assert!(s.flush().is_none());
+        s.submit(KvRequest::delete(b"x"));
+        let p = s.flush().expect("partial flush");
+        assert_eq!(p.handles.len(), 1);
+        assert!(s.flush().is_none());
+    }
+}

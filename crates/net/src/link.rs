@@ -1,0 +1,91 @@
+//! The 40 GbE link as a timed resource.
+
+use kvd_sim::{BandwidthLink, SimTime};
+
+use crate::config::NetConfig;
+
+/// A directional network link: serialization + propagation latency.
+///
+/// # Examples
+///
+/// ```
+/// use kvd_net::{NetConfig, NetLink};
+/// use kvd_sim::SimTime;
+///
+/// let mut link = NetLink::new(NetConfig::forty_gbe());
+/// let arrive = link.send(SimTime::ZERO, 1000);
+/// // ~1us one-way propagation + ~0.2us serialization of 1088 wire bytes.
+/// assert!(arrive > SimTime::from_us(1));
+/// assert!(arrive < SimTime::from_us(2));
+/// ```
+pub struct NetLink {
+    cfg: NetConfig,
+    line: BandwidthLink,
+    packets: u64,
+    payload_bytes: u64,
+}
+
+impl NetLink {
+    /// Creates an idle link.
+    pub fn new(cfg: NetConfig) -> Self {
+        NetLink {
+            line: BandwidthLink::new(cfg.bandwidth),
+            packets: 0,
+            payload_bytes: 0,
+            cfg,
+        }
+    }
+
+    /// Sends a packet with `payload` bytes at `now`; returns its arrival
+    /// time at the far end (one-way: half the round-trip latency).
+    pub fn send(&mut self, now: SimTime, payload: u64) -> SimTime {
+        let wire = self.cfg.wire_bytes(payload);
+        let serialized = self.line.transfer(now, wire);
+        self.packets += 1;
+        self.payload_bytes += payload;
+        serialized + self.cfg.latency / 2
+    }
+
+    /// When the link is next free to serialize.
+    pub fn free_at(&self) -> SimTime {
+        self.line.free_at()
+    }
+
+    /// Packets sent.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Payload bytes sent.
+    pub fn payload_bytes(&self) -> u64 {
+        self.payload_bytes
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_queues_packets() {
+        let mut link = NetLink::new(NetConfig::forty_gbe());
+        let a = link.send(SimTime::ZERO, 4096);
+        let b = link.send(SimTime::ZERO, 4096);
+        assert!(b > a, "second packet queues behind the first");
+        assert_eq!(link.packets(), 2);
+        assert_eq!(link.payload_bytes(), 8192);
+    }
+
+    #[test]
+    fn latency_dominates_small_packets() {
+        let mut link = NetLink::new(NetConfig::forty_gbe());
+        let arrive = link.send(SimTime::ZERO, 64);
+        let lat = arrive.as_us();
+        assert!((1.0..1.1).contains(&lat), "got {lat}us");
+    }
+}

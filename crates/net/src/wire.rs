@@ -1,0 +1,449 @@
+//! KV operation wire format and the vector operation decoder.
+//!
+//! Each packet carries a 2-byte count followed by packed operations. Per
+//! operation, one header byte holds the opcode and two compression flags
+//! (paper §4: "the KV format includes two flag bits to allow copying key
+//! and value size, or the value of the previous KV in the packet"):
+//!
+//! ```text
+//! header: [ opcode:4 | same_sizes:1 | same_value:1 | reserved:2 ]
+//! if !same_sizes:  klen u8, vlen u16
+//! if func op:      lambda id u16
+//! key bytes
+//! if carries value && !same_value: value bytes
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Operation codes — the KV-Direct operations of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum OpCode {
+    /// `get(k) → v`
+    Get = 0,
+    /// `put(k, v) → bool`
+    Put = 1,
+    /// `delete(k) → bool`
+    Delete = 2,
+    /// `update_scalar2scalar(k, Δ, λ) → v`
+    UpdateScalar = 3,
+    /// `update_scalar2vector(k, Δ, λ) → [v]`
+    UpdateScalarToVector = 4,
+    /// `update_vector2vector(k, [Δ], λ) → [v]`
+    UpdateVector = 5,
+    /// `reduce(k, Σ, λ) → Σ`
+    Reduce = 6,
+    /// `filter(k, λ) → [v]`
+    Filter = 7,
+}
+
+impl OpCode {
+    fn from_bits(b: u8) -> Option<OpCode> {
+        Some(match b {
+            0 => OpCode::Get,
+            1 => OpCode::Put,
+            2 => OpCode::Delete,
+            3 => OpCode::UpdateScalar,
+            4 => OpCode::UpdateScalarToVector,
+            5 => OpCode::UpdateVector,
+            6 => OpCode::Reduce,
+            7 => OpCode::Filter,
+            _ => return None,
+        })
+    }
+
+    /// Whether the request carries a value/parameter payload.
+    pub fn carries_value(self) -> bool {
+        !matches!(self, OpCode::Get | OpCode::Delete | OpCode::Filter)
+    }
+
+    /// Whether the request names a pre-registered λ function.
+    pub fn is_func(self) -> bool {
+        matches!(
+            self,
+            OpCode::UpdateScalar
+                | OpCode::UpdateScalarToVector
+                | OpCode::UpdateVector
+                | OpCode::Reduce
+                | OpCode::Filter
+        )
+    }
+}
+
+const FLAG_SAME_SIZES: u8 = 1 << 4;
+const FLAG_SAME_VALUE: u8 = 1 << 5;
+
+/// One KV request as decoded by the KV processor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvRequest {
+    /// The operation.
+    pub op: OpCode,
+    /// The key.
+    pub key: Vec<u8>,
+    /// Value (PUT) or parameter (vector ops); empty when absent.
+    pub value: Vec<u8>,
+    /// Pre-registered λ id for func ops.
+    pub lambda: u16,
+}
+
+impl KvRequest {
+    /// A GET request.
+    pub fn get(key: &[u8]) -> Self {
+        KvRequest {
+            op: OpCode::Get,
+            key: key.to_vec(),
+            value: Vec::new(),
+            lambda: 0,
+        }
+    }
+
+    /// A PUT request.
+    pub fn put(key: &[u8], value: &[u8]) -> Self {
+        KvRequest {
+            op: OpCode::Put,
+            key: key.to_vec(),
+            value: value.to_vec(),
+            lambda: 0,
+        }
+    }
+
+    /// A DELETE request.
+    pub fn delete(key: &[u8]) -> Self {
+        KvRequest {
+            op: OpCode::Delete,
+            key: key.to_vec(),
+            value: Vec::new(),
+            lambda: 0,
+        }
+    }
+}
+
+/// Response status codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// Operation succeeded.
+    Ok = 0,
+    /// Key not found.
+    NotFound = 1,
+    /// Out of memory.
+    OutOfMemory = 2,
+    /// Malformed request or unregistered λ.
+    Invalid = 3,
+}
+
+impl Status {
+    fn from_bits(b: u8) -> Option<Status> {
+        Some(match b {
+            0 => Status::Ok,
+            1 => Status::NotFound,
+            2 => Status::OutOfMemory,
+            3 => Status::Invalid,
+            _ => return None,
+        })
+    }
+}
+
+/// One KV response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvResponse {
+    /// Outcome.
+    pub status: Status,
+    /// Returned value (GET, UPDATE originals, REDUCE result, FILTER
+    /// output); empty when none.
+    pub value: Vec<u8>,
+}
+
+/// Errors produced by the decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Packet ended mid-field.
+    Truncated,
+    /// Unknown opcode or status.
+    BadCode,
+    /// First op of a packet used a copy flag.
+    DanglingCopyFlag,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "packet truncated"),
+            WireError::BadCode => write!(f, "unknown opcode or status"),
+            WireError::DanglingCopyFlag => write!(f, "copy flag on first op"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes a batch of requests into one packet payload, applying the
+/// same-sizes / same-value compression automatically.
+///
+/// # Examples
+///
+/// ```
+/// use kvd_net::{decode_packet, encode_packet, KvRequest};
+///
+/// let ops = vec![
+///     KvRequest::put(b"key1", b"value"),
+///     KvRequest::put(b"key2", b"value"), // same sizes AND same value
+/// ];
+/// let bytes = encode_packet(&ops);
+/// assert_eq!(decode_packet(&bytes).unwrap(), ops);
+/// // The second op elides sizes and value: only header + key.
+/// assert!(bytes.len() < 2 * (1 + 3 + 4 + 5) + 2);
+/// ```
+pub fn encode_packet(ops: &[KvRequest]) -> Bytes {
+    assert!(ops.len() <= u16::MAX as usize, "batch too large");
+    let mut buf = BytesMut::new();
+    buf.put_u16_le(ops.len() as u16);
+    let mut prev: Option<&KvRequest> = None;
+    for op in ops {
+        debug_assert!(op.key.len() <= u8::MAX as usize, "key too long for wire");
+        debug_assert!(
+            op.value.len() <= u16::MAX as usize,
+            "value too long for wire"
+        );
+        let mut header = op.op as u8;
+        let same_sizes =
+            prev.is_some_and(|p| p.key.len() == op.key.len() && p.value.len() == op.value.len());
+        let same_value = op.op.carries_value()
+            && prev.is_some_and(|p| p.value == op.value && !op.value.is_empty());
+        if same_sizes {
+            header |= FLAG_SAME_SIZES;
+        }
+        if same_value {
+            header |= FLAG_SAME_VALUE;
+        }
+        buf.put_u8(header);
+        if !same_sizes {
+            buf.put_u8(op.key.len() as u8);
+            buf.put_u16_le(op.value.len() as u16);
+        }
+        if op.op.is_func() {
+            buf.put_u16_le(op.lambda);
+        }
+        buf.put_slice(&op.key);
+        if op.op.carries_value() && !same_value {
+            buf.put_slice(&op.value);
+        }
+        prev = Some(op);
+    }
+    buf.freeze()
+}
+
+/// Decodes a packet payload back into requests (the NIC-side decoder).
+pub fn decode_packet(mut bytes: &[u8]) -> Result<Vec<KvRequest>, WireError> {
+    if bytes.remaining() < 2 {
+        return Err(WireError::Truncated);
+    }
+    let n = bytes.get_u16_le() as usize;
+    let mut out: Vec<KvRequest> = Vec::with_capacity(n);
+    for _ in 0..n {
+        if bytes.remaining() < 1 {
+            return Err(WireError::Truncated);
+        }
+        let header = bytes.get_u8();
+        let op = OpCode::from_bits(header & 0x0F).ok_or(WireError::BadCode)?;
+        let same_sizes = header & FLAG_SAME_SIZES != 0;
+        let same_value = header & FLAG_SAME_VALUE != 0;
+        let (klen, vlen) = if same_sizes {
+            let prev = out.last().ok_or(WireError::DanglingCopyFlag)?;
+            (prev.key.len(), prev.value.len())
+        } else {
+            if bytes.remaining() < 3 {
+                return Err(WireError::Truncated);
+            }
+            let k = bytes.get_u8() as usize;
+            let v = bytes.get_u16_le() as usize;
+            (k, v)
+        };
+        let lambda = if op.is_func() {
+            if bytes.remaining() < 2 {
+                return Err(WireError::Truncated);
+            }
+            bytes.get_u16_le()
+        } else {
+            0
+        };
+        if bytes.remaining() < klen {
+            return Err(WireError::Truncated);
+        }
+        let key = bytes[..klen].to_vec();
+        bytes.advance(klen);
+        let value = if op.carries_value() {
+            if same_value {
+                out.last().ok_or(WireError::DanglingCopyFlag)?.value.clone()
+            } else {
+                if bytes.remaining() < vlen {
+                    return Err(WireError::Truncated);
+                }
+                let v = bytes[..vlen].to_vec();
+                bytes.advance(vlen);
+                v
+            }
+        } else {
+            Vec::new()
+        };
+        out.push(KvRequest {
+            op,
+            key,
+            value,
+            lambda,
+        });
+    }
+    Ok(out)
+}
+
+/// Encodes a batch of responses.
+pub fn encode_responses(rs: &[KvResponse]) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u16_le(rs.len() as u16);
+    for r in rs {
+        buf.put_u8(r.status as u8);
+        buf.put_u16_le(r.value.len() as u16);
+        buf.put_slice(&r.value);
+    }
+    buf.freeze()
+}
+
+/// Decodes a batch of responses.
+pub fn decode_responses(mut bytes: &[u8]) -> Result<Vec<KvResponse>, WireError> {
+    if bytes.remaining() < 2 {
+        return Err(WireError::Truncated);
+    }
+    let n = bytes.get_u16_le() as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        if bytes.remaining() < 3 {
+            return Err(WireError::Truncated);
+        }
+        let status = Status::from_bits(bytes.get_u8()).ok_or(WireError::BadCode)?;
+        let vlen = bytes.get_u16_le() as usize;
+        if bytes.remaining() < vlen {
+            return Err(WireError::Truncated);
+        }
+        let value = bytes[..vlen].to_vec();
+        bytes.advance(vlen);
+        out.push(KvResponse { status, value });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_batch() {
+        let ops = vec![
+            KvRequest::get(b"alpha"),
+            KvRequest::put(b"beta", b"123456"),
+            KvRequest::delete(b"gamma"),
+            KvRequest {
+                op: OpCode::UpdateScalar,
+                key: b"counter".to_vec(),
+                value: 5u64.to_le_bytes().to_vec(),
+                lambda: 42,
+            },
+            KvRequest {
+                op: OpCode::Reduce,
+                key: b"vec".to_vec(),
+                value: 0u64.to_le_bytes().to_vec(),
+                lambda: 7,
+            },
+            KvRequest {
+                op: OpCode::Filter,
+                key: b"vec2".to_vec(),
+                value: Vec::new(),
+                lambda: 9,
+            },
+        ];
+        let bytes = encode_packet(&ops);
+        assert_eq!(decode_packet(&bytes).unwrap(), ops);
+    }
+
+    #[test]
+    fn same_size_compression_saves_bytes() {
+        // 64 PUTs with identical shapes but distinct values: sizes elided
+        // after the first, values still carried.
+        let ops: Vec<KvRequest> = (0..64u64)
+            .map(|i| KvRequest::put(&i.to_le_bytes(), &(i + 1000).to_le_bytes()))
+            .collect();
+        let bytes = encode_packet(&ops);
+        // First op: 1 + 3 + 8 + 8 = 20; rest: 1 + 8 + 8 = 17.
+        assert_eq!(bytes.len(), 2 + 20 + 63 * 17);
+        assert_eq!(decode_packet(&bytes).unwrap(), ops);
+    }
+
+    #[test]
+    fn same_value_compression() {
+        // Identical values: elided entirely (graph workloads write the
+        // same weight to many edges).
+        let ops: Vec<KvRequest> = (0..10u64)
+            .map(|i| KvRequest::put(&i.to_le_bytes(), b"same-value!!"))
+            .collect();
+        let bytes = encode_packet(&ops);
+        let naive: usize = ops
+            .iter()
+            .map(|o| 1 + 3 + o.key.len() + o.value.len())
+            .sum();
+        assert!(bytes.len() < naive - 9 * 12 + 16, "no value elision?");
+        assert_eq!(decode_packet(&bytes).unwrap(), ops);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let bytes = encode_packet(&[]);
+        assert_eq!(decode_packet(&bytes).unwrap(), Vec::<KvRequest>::new());
+    }
+
+    #[test]
+    fn truncated_packets_rejected() {
+        let ops = vec![KvRequest::put(b"key", b"value")];
+        let bytes = encode_packet(&ops);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_packet(&bytes[..cut]).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        let mut bytes = encode_packet(&[KvRequest::get(b"k")]).to_vec();
+        bytes[2] = 0x0F; // opcode 15
+        assert_eq!(decode_packet(&bytes), Err(WireError::BadCode));
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let rs = vec![
+            KvResponse {
+                status: Status::Ok,
+                value: b"v".to_vec(),
+            },
+            KvResponse {
+                status: Status::NotFound,
+                value: Vec::new(),
+            },
+            KvResponse {
+                status: Status::OutOfMemory,
+                value: Vec::new(),
+            },
+        ];
+        let bytes = encode_responses(&rs);
+        assert_eq!(decode_responses(&bytes).unwrap(), rs);
+    }
+
+    #[test]
+    fn get_after_put_does_not_inherit_value() {
+        // GET carries no value even when flags could apply.
+        let ops = vec![KvRequest::put(b"aaaa", b"vvvv"), KvRequest::get(b"bbbb")];
+        let bytes = encode_packet(&ops);
+        let decoded = decode_packet(&bytes).unwrap();
+        assert_eq!(decoded[1].value, Vec::<u8>::new());
+    }
+}

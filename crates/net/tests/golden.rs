@@ -1,0 +1,88 @@
+//! Golden-bytes tests: the wire format is a protocol, so its byte layout
+//! must never change silently. These snapshots pin the exact encoding;
+//! if one fails, either restore compatibility or bump the protocol
+//! deliberately (and update the snapshot with the rationale).
+
+use kvd_net::{encode_packet, encode_responses, KvRequest, KvResponse, OpCode, Status};
+
+#[test]
+fn golden_single_get() {
+    let bytes = encode_packet(&[KvRequest::get(b"key")]);
+    assert_eq!(
+        bytes.as_ref(),
+        [
+            0x01, 0x00, // count = 1
+            0x00, // header: GET, no flags
+            0x03, // klen = 3
+            0x00, 0x00, // vlen = 0
+            b'k', b'e', b'y',
+        ]
+    );
+}
+
+#[test]
+fn golden_put_pair_with_compression() {
+    let bytes = encode_packet(&[
+        KvRequest::put(b"ab", b"XY"),
+        KvRequest::put(b"cd", b"XY"), // same sizes AND same value
+    ]);
+    assert_eq!(
+        bytes.as_ref(),
+        [
+            0x02, 0x00, // count = 2
+            0x01, // header: PUT
+            0x02, // klen = 2
+            0x02, 0x00, // vlen = 2
+            b'a', b'b', b'X', b'Y', // first op in full
+            0x31, // header: PUT | SAME_SIZES(0x10) | SAME_VALUE(0x20)
+            b'c', b'd', // only the key
+        ]
+    );
+}
+
+#[test]
+fn golden_update_scalar() {
+    let bytes = encode_packet(&[KvRequest {
+        op: OpCode::UpdateScalar,
+        key: b"k".to_vec(),
+        value: 7u64.to_le_bytes().to_vec(),
+        lambda: 0x0102,
+    }]);
+    assert_eq!(
+        bytes.as_ref(),
+        [
+            0x01, 0x00, // count
+            0x03, // header: UpdateScalar
+            0x01, // klen
+            0x08, 0x00, // vlen = 8
+            0x02, 0x01, // lambda 0x0102 LE
+            b'k', // key
+            0x07, 0, 0, 0, 0, 0, 0, 0, // value (7 LE)
+        ]
+    );
+}
+
+#[test]
+fn golden_response() {
+    let bytes = encode_responses(&[
+        KvResponse {
+            status: Status::Ok,
+            value: b"v".to_vec(),
+        },
+        KvResponse {
+            status: Status::NotFound,
+            value: Vec::new(),
+        },
+    ]);
+    assert_eq!(
+        bytes.as_ref(),
+        [
+            0x02, 0x00, // count
+            0x00, // Ok
+            0x01, 0x00, // vlen = 1
+            b'v', //
+            0x01, // NotFound
+            0x00, 0x00, // vlen = 0
+        ]
+    );
+}

@@ -1,0 +1,507 @@
+//! Cycle-level pipeline timing model (paper Figure 13).
+//!
+//! Reproduces the paper's comparison of the out-of-order engine against a
+//! pipeline that stalls on data hazards:
+//!
+//! * **Without OoO**, an atomic on a key must wait out the full memory
+//!   round trip (~1 µs over PCIe plus NIC processing) before the next
+//!   dependent operation can issue — 0.94 Mops single-key in the paper.
+//! * **With OoO**, dependent operations are queued in the reservation
+//!   station and executed by data forwarding at one per clock cycle,
+//!   reaching the 180 Mops clock bound (a 191× improvement).
+//!
+//! The model admits at most one operation per cycle (the fully pipelined
+//! decoder), tracks up to `max_inflight` concurrent memory operations
+//! (the paper: 256 in-flight KV operations saturate PCIe/DRAM), and
+//! charges `memory_latency_cycles` per memory access.
+
+use std::collections::{HashMap, VecDeque};
+
+use kvd_sim::{EventQueue, Freq, SimTime};
+
+/// Operation kind for the timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimOp {
+    /// A read (GET).
+    Get,
+    /// A write (PUT).
+    Put,
+    /// An atomic read-modify-write.
+    Atomic,
+}
+
+impl SimOp {
+    fn writes(self) -> bool {
+        matches!(self, SimOp::Put | SimOp::Atomic)
+    }
+}
+
+/// Configuration of the pipeline model.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Processor clock (paper: 180 MHz, one op per cycle).
+    pub clock: Freq,
+    /// Memory round trip in cycles (PCIe RTT + NIC processing ≈ 1.05 µs
+    /// ≈ 190 cycles at 180 MHz).
+    pub memory_latency_cycles: u64,
+    /// Concurrent memory operations supported (paper: 256 in-flight).
+    pub max_inflight: usize,
+    /// Enable the out-of-order engine.
+    pub ooo: bool,
+    /// Reservation station hash slots (paper: 1024).
+    pub station_slots: u64,
+    /// Reservation station capacity (paper: 256).
+    pub station_capacity: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            clock: Freq::from_mhz(180),
+            memory_latency_cycles: 190,
+            max_inflight: 256,
+            ooo: true,
+            station_slots: 1024,
+            station_capacity: 256,
+        }
+    }
+}
+
+/// Result of a pipeline simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineResult {
+    /// Operations simulated.
+    pub ops: u64,
+    /// Total cycles until the last operation retired.
+    pub cycles: u64,
+    /// Sustained throughput in Mops.
+    pub mops: f64,
+    /// Operations served by data forwarding (no memory access).
+    pub forwarded: u64,
+    /// Cycles lost to hazard stalls (no-OoO) or backpressure.
+    pub stall_cycles: u64,
+}
+
+#[derive(Default)]
+struct SimSlot {
+    busy: bool,
+    busy_key: u64,
+    pending: VecDeque<(u64, SimOp)>,
+    cached_key: Option<u64>,
+}
+
+/// Simulates the pipeline over an operation trace of `(key, op)` pairs.
+///
+/// # Examples
+///
+/// ```
+/// use kvd_ooo::{simulate_throughput, PipelineConfig, SimOp};
+///
+/// // Single-key atomics, with and without the engine.
+/// let trace: Vec<(u64, SimOp)> = (0..20_000).map(|_| (0u64, SimOp::Atomic)).collect();
+/// let with = simulate_throughput(&PipelineConfig::default(), &trace);
+/// let without = simulate_throughput(
+///     &PipelineConfig { ooo: false, ..PipelineConfig::default() },
+///     &trace,
+/// );
+/// assert!(with.mops / without.mops > 50.0);
+/// ```
+pub fn simulate_throughput(cfg: &PipelineConfig, trace: &[(u64, SimOp)]) -> PipelineResult {
+    if cfg.ooo {
+        simulate_ooo(cfg, trace)
+    } else {
+        simulate_stalling(cfg, trace)
+    }
+}
+
+/// The baseline: in-order issue, stall while a hazardous operation is in
+/// flight. The paper stalls "when a PUT operation finds any in-flight
+/// operation with the same key" (reads may share).
+fn simulate_stalling(cfg: &PipelineConfig, trace: &[(u64, SimOp)]) -> PipelineResult {
+    let mut cycle = 0u64;
+    let mut completions: EventQueue<(u64, bool)> = EventQueue::new(); // (key, writes)
+    let mut inflight: HashMap<u64, (u32, u32)> = HashMap::new(); // key → (readers, writers)
+    let mut inflight_total = 0usize;
+    let mut stall_cycles = 0u64;
+    let mut last_retire = 0u64;
+
+    let drain = |cycle: u64,
+                 completions: &mut EventQueue<(u64, bool)>,
+                 inflight: &mut HashMap<u64, (u32, u32)>,
+                 inflight_total: &mut usize,
+                 last_retire: &mut u64| {
+        while let Some(at) = completions.peek_time() {
+            if at.as_ps() > cycle {
+                break;
+            }
+            let (at, (key, writes)) = completions.pop().expect("peeked");
+            let e = inflight.get_mut(&key).expect("inflight accounting");
+            if writes {
+                e.1 -= 1;
+            } else {
+                e.0 -= 1;
+            }
+            if *e == (0, 0) {
+                inflight.remove(&key);
+            }
+            *inflight_total -= 1;
+            *last_retire = (*last_retire).max(at.as_ps());
+        }
+    };
+
+    for &(key, op) in trace {
+        loop {
+            drain(
+                cycle,
+                &mut completions,
+                &mut inflight,
+                &mut inflight_total,
+                &mut last_retire,
+            );
+            let hazard = match inflight.get(&key) {
+                Some(&(readers, writers)) => writers > 0 || (op.writes() && readers > 0),
+                None => false,
+            };
+            if !hazard && inflight_total < cfg.max_inflight {
+                break;
+            }
+            // Stall until the next completion.
+            let next = completions
+                .peek_time()
+                .expect("stalled with nothing in flight")
+                .as_ps();
+            stall_cycles += next.saturating_sub(cycle);
+            cycle = cycle.max(next);
+        }
+        let e = inflight.entry(key).or_insert((0, 0));
+        if op.writes() {
+            e.1 += 1;
+        } else {
+            e.0 += 1;
+        }
+        inflight_total += 1;
+        completions.push(
+            SimTime::from_ps(cycle + cfg.memory_latency_cycles),
+            (key, op.writes()),
+        );
+        cycle += 1;
+    }
+    // Drain the tail.
+    while let Some((at, _)) = completions.pop() {
+        last_retire = last_retire.max(at.as_ps());
+    }
+    finish(cfg, trace.len() as u64, last_retire, 0, stall_cycles)
+}
+
+/// The out-of-order engine: dependent ops queue in the reservation
+/// station and retire by data forwarding at one per cycle.
+fn simulate_ooo(cfg: &PipelineConfig, trace: &[(u64, SimOp)]) -> PipelineResult {
+    let mut cycle = 0u64;
+    let mut completions: EventQueue<u64> = EventQueue::new(); // slot index
+    let mut slots: HashMap<u64, SimSlot> = HashMap::new();
+    let mut inflight_total = 0usize;
+    let mut tracked = 0usize; // queued + busy in the station
+    let mut forwarded = 0u64;
+    let mut stall_cycles = 0u64;
+    let mut last_retire = 0u64;
+    let mut retired = 0u64;
+    let n = trace.len() as u64;
+
+    let slot_of = |key: u64| -> u64 {
+        let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) % cfg.station_slots
+    };
+
+    let mut idx = 0usize;
+    while retired < n {
+        // Process completions due at this cycle: drain chains by
+        // forwarding (the dedicated execution engine retires one op per
+        // cycle; we account that by bumping `cycle` per drained op when
+        // the decoder is idle — conservatively, chain drain and admission
+        // share the one-op-per-cycle retire bound).
+        let mut progressed = false;
+        while let Some(at) = completions.peek_time() {
+            if at.as_ps() > cycle {
+                break;
+            }
+            let (_, sidx) = completions.pop().expect("peeked");
+            let slot = slots.get_mut(&sidx).expect("completion for unknown slot");
+            slot.busy = false;
+            slot.cached_key = Some(slot.busy_key);
+            inflight_total -= 1;
+            tracked -= 1;
+            retired += 1;
+            last_retire = last_retire.max(cycle);
+            progressed = true;
+            // Drain forwarding chain.
+            while let Some(&(k, _op)) = slot.pending.front() {
+                if Some(k) == slot.cached_key {
+                    slot.pending.pop_front();
+                    tracked -= 1;
+                    retired += 1;
+                    forwarded += 1;
+                    // One retire per cycle for the chain.
+                    cycle += 1;
+                    last_retire = last_retire.max(cycle);
+                } else if inflight_total < cfg.max_inflight {
+                    let (k, _op) = slot.pending.pop_front().expect("front");
+                    slot.busy = true;
+                    slot.busy_key = k;
+                    slot.cached_key = None;
+                    inflight_total += 1;
+                    completions.push(SimTime::from_ps(cycle + cfg.memory_latency_cycles), sidx);
+                    break;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        // Admit the next operation (at most one per cycle).
+        if idx < trace.len() {
+            let (key, _op) = trace[idx];
+            let sidx = slot_of(key);
+            let slot = slots.entry(sidx).or_default();
+            if slot.busy || !slot.pending.is_empty() {
+                if tracked < cfg.station_capacity {
+                    slot.pending.push_back(trace[idx]);
+                    tracked += 1;
+                    idx += 1;
+                    progressed = true;
+                } // else: backpressure — wait for completions.
+            } else if slot.cached_key == Some(key) {
+                // Fast path: forwarding cache hit.
+                retired += 1;
+                forwarded += 1;
+                idx += 1;
+                last_retire = last_retire.max(cycle);
+                progressed = true;
+            } else if inflight_total < cfg.max_inflight {
+                slot.busy = true;
+                slot.busy_key = key;
+                slot.cached_key = None;
+                tracked += 1;
+                inflight_total += 1;
+                completions.push(SimTime::from_ps(cycle + cfg.memory_latency_cycles), sidx);
+                idx += 1;
+                progressed = true;
+            }
+        }
+
+        if progressed {
+            cycle += 1;
+        } else {
+            // Nothing to do this cycle: jump to the next completion.
+            match completions.peek_time() {
+                Some(at) => {
+                    stall_cycles += at.as_ps().saturating_sub(cycle);
+                    cycle = cycle.max(at.as_ps());
+                }
+                None => {
+                    assert!(
+                        idx >= trace.len() && retired >= n,
+                        "deadlock: idle with work remaining"
+                    );
+                    break;
+                }
+            }
+        }
+    }
+    finish(cfg, n, last_retire.max(cycle), forwarded, stall_cycles)
+}
+
+fn finish(
+    cfg: &PipelineConfig,
+    ops: u64,
+    cycles: u64,
+    forwarded: u64,
+    stall_cycles: u64,
+) -> PipelineResult {
+    let cycles = cycles.max(1);
+    let secs = cycles as f64 / cfg.clock.ops_per_sec();
+    PipelineResult {
+        ops,
+        cycles,
+        mops: ops as f64 / secs / 1e6,
+        forwarded,
+        stall_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvd_sim::{DetRng, ZipfSampler};
+
+    fn atomics_trace(keys: u64, n: usize, seed: u64) -> Vec<(u64, SimOp)> {
+        let mut rng = DetRng::seed(seed);
+        (0..n)
+            .map(|_| (rng.u64_below(keys), SimOp::Atomic))
+            .collect()
+    }
+
+    #[test]
+    fn single_key_atomics_without_ooo_matches_paper() {
+        // Paper: 0.94 Mops (one op per ~1.06us memory round trip).
+        let cfg = PipelineConfig {
+            ooo: false,
+            ..PipelineConfig::default()
+        };
+        let r = simulate_throughput(&cfg, &atomics_trace(1, 5000, 1));
+        assert!(r.mops > 0.8 && r.mops < 1.1, "got {} Mops", r.mops);
+    }
+
+    #[test]
+    fn single_key_atomics_with_ooo_reach_clock_bound() {
+        // Paper: 180 Mops, one per clock cycle.
+        let r = simulate_throughput(&PipelineConfig::default(), &atomics_trace(1, 50_000, 2));
+        assert!(r.mops > 150.0, "got {} Mops", r.mops);
+        assert!(r.forwarded > 45_000);
+    }
+
+    #[test]
+    fn ooo_speedup_factor_is_two_orders() {
+        // Paper: "single-key atomics throughput improves by 191x".
+        let trace = atomics_trace(1, 20_000, 3);
+        let with = simulate_throughput(&PipelineConfig::default(), &trace);
+        let without = simulate_throughput(
+            &PipelineConfig {
+                ooo: false,
+                ..PipelineConfig::default()
+            },
+            &trace,
+        );
+        let speedup = with.mops / without.mops;
+        assert!(speedup > 100.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn multi_key_atomics_scale_linearly_without_ooo() {
+        // Paper Figure 13a: throughput grows with the number of keys.
+        let cfg = PipelineConfig {
+            ooo: false,
+            ..PipelineConfig::default()
+        };
+        let r1 = simulate_throughput(&cfg, &atomics_trace(1, 20_000, 4));
+        let r10 = simulate_throughput(&cfg, &atomics_trace(10, 20_000, 4));
+        let r100 = simulate_throughput(&cfg, &atomics_trace(100, 20_000, 4));
+        // Head-of-line blocking caps effective concurrency near √keys, so
+        // growth is monotonic but sublinear — still "far from the optimal
+        // throughput of KV-Direct" as the paper puts it.
+        assert!(
+            r10.mops > r1.mops * 2.0,
+            "10 keys {} vs 1 key {}",
+            r10.mops,
+            r1.mops
+        );
+        assert!(
+            r100.mops > r10.mops * 2.0,
+            "100 keys {} vs 10 keys {}",
+            r100.mops,
+            r10.mops
+        );
+        assert!(r100.mops < 100.0, "still far from the 180 Mops bound");
+    }
+
+    #[test]
+    fn uniform_gets_reach_clock_bound_both_ways() {
+        // Hazards are rare with many keys; both pipelines hit ~180 Mops
+        // (reads don't conflict with reads even without OoO).
+        let mut rng = DetRng::seed(5);
+        let trace: Vec<(u64, SimOp)> = (0..50_000)
+            .map(|_| (rng.u64_below(1 << 20), SimOp::Get))
+            .collect();
+        for ooo in [false, true] {
+            let r = simulate_throughput(
+                &PipelineConfig {
+                    ooo,
+                    ..PipelineConfig::default()
+                },
+                &trace,
+            );
+            assert!(r.mops > 150.0, "ooo={ooo}: {} Mops", r.mops);
+        }
+    }
+
+    #[test]
+    fn longtail_put_ratio_hurts_stalling_pipeline() {
+        // Paper Figure 13b: without OoO, throughput decays as the PUT
+        // ratio grows under the long-tail workload; with OoO it holds.
+        let zipf = ZipfSampler::new(100_000, 0.99);
+        let mut rng = DetRng::seed(6);
+        let mk_trace = |put_pct: f64, rng: &mut DetRng| -> Vec<(u64, SimOp)> {
+            (0..30_000)
+                .map(|_| {
+                    let op = if rng.chance(put_pct) {
+                        SimOp::Put
+                    } else {
+                        SimOp::Get
+                    };
+                    (zipf.sample(rng), op)
+                })
+                .collect()
+        };
+        let cfg_stall = PipelineConfig {
+            ooo: false,
+            ..PipelineConfig::default()
+        };
+        let t0 = mk_trace(0.0, &mut rng);
+        let t100 = mk_trace(1.0, &mut rng);
+        let read_only = simulate_throughput(&cfg_stall, &t0);
+        let write_only = simulate_throughput(&cfg_stall, &t100);
+        assert!(
+            write_only.mops < read_only.mops * 0.7,
+            "PUT 100% {} vs GET 100% {}",
+            write_only.mops,
+            read_only.mops
+        );
+        // With OoO both stay near the clock bound.
+        let with = simulate_throughput(&PipelineConfig::default(), &t100);
+        assert!(with.mops > 100.0, "with OoO: {}", with.mops);
+    }
+
+    #[test]
+    fn midrange_uniform_keys_show_collision_backpressure() {
+        // Characterization (documented in EXPERIMENTS.md): with ~100
+        // uniform keys over 1024 station slots, colliding key pairs
+        // ping-pong the per-slot value cache and their queues
+        // backpressure admission, denting throughput relative to both
+        // very few keys (all cached) and very many (no reuse, pure
+        // pipelining). A real consequence of per-slot caching.
+        let mk = |keys: u64| {
+            let trace = {
+                let mut rng = DetRng::seed(keys);
+                (0..60_000)
+                    .map(|_| (rng.u64_below(keys), SimOp::Atomic))
+                    .collect::<Vec<_>>()
+            };
+            simulate_throughput(&PipelineConfig::default(), &trace).mops
+        };
+        let few = mk(10);
+        let mid = mk(100);
+        let many = mk(10_000);
+        assert!(mid < few, "dip vanished: {mid} vs few {few}");
+        assert!(mid < many, "dip vanished: {mid} vs many {many}");
+    }
+
+    #[test]
+    fn station_collisions_do_not_deadlock() {
+        // Tiny station: lots of false dependencies, still terminates.
+        let cfg = PipelineConfig {
+            station_slots: 4,
+            station_capacity: 8,
+            ..PipelineConfig::default()
+        };
+        let r = simulate_throughput(&cfg, &atomics_trace(64, 10_000, 7));
+        assert_eq!(r.ops, 10_000);
+        assert!(r.mops > 0.0);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let r = simulate_throughput(&PipelineConfig::default(), &[]);
+        assert_eq!(r.ops, 0);
+    }
+}

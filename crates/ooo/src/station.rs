@@ -1,0 +1,601 @@
+//! The functional reservation station.
+//!
+//! `kvd-core` drives this engine for every operation: the station decides
+//! whether an operation can be served from the forwarding cache (fast
+//! path), must be issued to the main pipeline (a real hash-table access),
+//! or must queue behind a dependent in-flight operation. Completions
+//! drain dependency chains with data forwarding.
+//!
+//! Dependencies are tracked by key *hash* (1024 slots in the paper's
+//! BRAM), so false-positive dependencies exist but none are missed —
+//! matching §3.3.3 exactly.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// The transform of an atomic update: old value → new value.
+///
+/// In the paper these are user-defined λ functions pre-registered and
+/// compiled to hardware; here they are Rust closures registered with the
+/// store.
+pub type UpdateFn = Arc<dyn Fn(Option<&[u8]>) -> Option<Vec<u8>> + Send + Sync>;
+
+/// What a station-managed operation does to its key.
+#[derive(Clone)]
+pub enum KvOpKind {
+    /// Read the value.
+    Get,
+    /// Insert or replace the value.
+    Put(Vec<u8>),
+    /// Remove the key.
+    Delete,
+    /// Atomic read-modify-write; returns the original value.
+    Update(UpdateFn),
+}
+
+impl std::fmt::Debug for KvOpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvOpKind::Get => write!(f, "Get"),
+            KvOpKind::Put(v) => write!(f, "Put({} bytes)", v.len()),
+            KvOpKind::Delete => write!(f, "Delete"),
+            KvOpKind::Update(_) => write!(f, "Update(λ)"),
+        }
+    }
+}
+
+/// An operation tracked by the station.
+#[derive(Debug, Clone)]
+pub struct StationOp {
+    /// Caller-assigned identifier, echoed in results.
+    pub id: u64,
+    /// The key.
+    pub key: Vec<u8>,
+    /// The operation kind.
+    pub kind: KvOpKind,
+}
+
+/// Result of an operation executed (fast path or chain drain) by the
+/// station.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpResult {
+    /// The operation's id.
+    pub id: u64,
+    /// GET: the value (`None` = miss). PUT/DELETE: the previous value.
+    /// UPDATE: the original value (paper semantics).
+    pub value: Option<Vec<u8>>,
+}
+
+/// A deferred write the caller must apply to the hash table: the key and
+/// its final cached value (`None` = the key was deleted through the
+/// cache).
+pub type Writeback = (Vec<u8>, Option<Vec<u8>>);
+
+/// Outcome of [`ReservationStation::admit`].
+#[derive(Debug)]
+pub enum Admission {
+    /// Served from the forwarding cache in one cycle; no memory access.
+    Fast(OpResult),
+    /// The caller must execute this operation against the hash table and
+    /// then call [`ReservationStation::complete`]. If `writeback` is
+    /// present, apply it first (dirty cache eviction).
+    Issue {
+        /// The operation to execute.
+        op: StationOp,
+        /// Dirty eviction to apply before (or with) the issue.
+        writeback: Option<Writeback>,
+    },
+    /// Queued behind a dependent operation; results arrive via
+    /// [`ReservationStation::complete`].
+    Queued,
+    /// The station is at capacity (the paper sizes it at 256 in-flight
+    /// operations); the operation is handed back — retry after a
+    /// completion.
+    Full(StationOp),
+}
+
+/// Outcome of [`ReservationStation::complete`].
+#[derive(Debug, Default)]
+pub struct Completion {
+    /// Results of chained operations executed by data forwarding.
+    pub results: Vec<OpResult>,
+    /// The next dependent (hash-colliding, different-key) operation to
+    /// issue to the pipeline, if the chain head needs memory.
+    pub issue: Option<StationOp>,
+    /// Dirty eviction to apply before the issue.
+    pub writeback: Option<Writeback>,
+}
+
+/// Configuration of the reservation station.
+#[derive(Debug, Clone, Copy)]
+pub struct StationConfig {
+    /// Hash slots (paper: 1024, for <25% collision probability at 256
+    /// in-flight ops).
+    pub hash_slots: usize,
+    /// Maximum queued + in-flight operations (paper: 256).
+    pub capacity: usize,
+}
+
+impl Default for StationConfig {
+    fn default() -> Self {
+        StationConfig {
+            hash_slots: 1024,
+            capacity: 256,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Cached {
+    key: Vec<u8>,
+    /// `None` means the key is (now) absent.
+    value: Option<Vec<u8>>,
+    dirty: bool,
+}
+
+#[derive(Default)]
+struct Slot {
+    busy: bool,
+    pending: VecDeque<StationOp>,
+    cache: Option<Cached>,
+}
+
+/// Counters exposed for the evaluation (merge rate, write-backs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StationStats {
+    /// Operations served by the fast path or chain forwarding (the
+    /// paper's "merged" operations — up to 15% under long-tail).
+    pub forwarded: u64,
+    /// Operations issued to the main pipeline.
+    pub issued: u64,
+    /// Operations that had to queue.
+    pub queued: u64,
+    /// Dirty-cache write-backs emitted.
+    pub writebacks: u64,
+    /// Admissions rejected for capacity.
+    pub rejected: u64,
+}
+
+/// The reservation station (paper Figure 4, §3.3.3).
+///
+/// # Examples
+///
+/// ```
+/// use kvd_ooo::{Admission, KvOpKind, ReservationStation, StationConfig, StationOp};
+///
+/// let mut rs = ReservationStation::new(StationConfig::default());
+/// let op = StationOp { id: 1, key: b"k".to_vec(), kind: KvOpKind::Get };
+/// // Nothing cached: the op must go to memory.
+/// let issued = match rs.admit(op) {
+///     Admission::Issue { op, .. } => op,
+///     _ => panic!("expected issue"),
+/// };
+/// // Memory returned the value; completion installs the forwarding cache.
+/// rs.complete(&issued.key, Some(b"v".to_vec()));
+/// // A second GET on the same key is served without memory access.
+/// let op2 = StationOp { id: 2, key: b"k".to_vec(), kind: KvOpKind::Get };
+/// match rs.admit(op2) {
+///     Admission::Fast(r) => assert_eq!(r.value.unwrap(), b"v"),
+///     _ => panic!("expected fast path"),
+/// }
+/// ```
+pub struct ReservationStation {
+    cfg: StationConfig,
+    slots: Vec<Slot>,
+    total_tracked: usize,
+    stats: StationStats,
+}
+
+impl ReservationStation {
+    /// Creates an empty station.
+    pub fn new(cfg: StationConfig) -> Self {
+        assert!(cfg.hash_slots > 0 && cfg.capacity > 0);
+        let mut slots = Vec::with_capacity(cfg.hash_slots);
+        slots.resize_with(cfg.hash_slots, Slot::default);
+        ReservationStation {
+            cfg,
+            slots,
+            total_tracked: 0,
+            stats: StationStats::default(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> StationStats {
+        self.stats
+    }
+
+    /// Operations currently tracked (busy + queued).
+    pub fn tracked(&self) -> usize {
+        self.total_tracked
+    }
+
+    fn slot_index(&self, key: &[u8]) -> usize {
+        (kvd_station_hash(key) % self.cfg.hash_slots as u64) as usize
+    }
+
+    /// Applies `kind` to a cached value, returning the op's result and the
+    /// new cache value + dirtiness.
+    fn execute_on_cache(kind: &KvOpKind, cached: &mut Cached) -> OpResultValue {
+        match kind {
+            KvOpKind::Get => OpResultValue {
+                value: cached.value.clone(),
+                dirtied: false,
+            },
+            KvOpKind::Put(v) => {
+                let old = cached.value.replace(v.clone());
+                OpResultValue {
+                    value: old,
+                    dirtied: true,
+                }
+            }
+            KvOpKind::Delete => {
+                let old = cached.value.take();
+                OpResultValue {
+                    value: old,
+                    dirtied: true,
+                }
+            }
+            KvOpKind::Update(f) => {
+                let old = cached.value.clone();
+                cached.value = f(old.as_deref());
+                OpResultValue {
+                    value: old,
+                    dirtied: true,
+                }
+            }
+        }
+    }
+
+    /// Admits one operation.
+    pub fn admit(&mut self, op: StationOp) -> Admission {
+        let idx = self.slot_index(&op.key);
+        if self.slots[idx].busy || !self.slots[idx].pending.is_empty() {
+            if self.total_tracked >= self.cfg.capacity {
+                self.stats.rejected += 1;
+                return Admission::Full(op);
+            }
+            self.stats.queued += 1;
+            self.total_tracked += 1;
+            self.slots[idx].pending.push_back(op);
+            return Admission::Queued;
+        }
+        let slot = &mut self.slots[idx];
+        if let Some(cached) = &mut slot.cache {
+            if cached.key == op.key {
+                let r = Self::execute_on_cache(&op.kind, cached);
+                cached.dirty |= r.dirtied;
+                self.stats.forwarded += 1;
+                return Admission::Fast(OpResult {
+                    id: op.id,
+                    value: r.value,
+                });
+            }
+        }
+        // Different key (or cold slot): evict any dirty cache and issue.
+        let writeback = Self::take_writeback(slot, &mut self.stats);
+        slot.busy = true;
+        slot.cache = None;
+        self.total_tracked += 1;
+        self.stats.issued += 1;
+        Admission::Issue { op, writeback }
+    }
+
+    fn take_writeback(slot: &mut Slot, stats: &mut StationStats) -> Option<Writeback> {
+        match slot.cache.take() {
+            Some(c) if c.dirty => {
+                stats.writebacks += 1;
+                Some((c.key, c.value))
+            }
+            _ => None,
+        }
+    }
+
+    /// Reports the completion of an issued operation: `cache_value` is the
+    /// key's value after the operation (loaded for GET, written for
+    /// PUT/UPDATE, `None` for DELETE or a miss). Drains the dependency
+    /// chain with data forwarding.
+    pub fn complete(&mut self, key: &[u8], cache_value: Option<Vec<u8>>) -> Completion {
+        let idx = self.slot_index(key);
+        let slot = &mut self.slots[idx];
+        assert!(slot.busy, "completion for a non-busy slot");
+        slot.busy = false;
+        self.total_tracked -= 1;
+        slot.cache = Some(Cached {
+            key: key.to_vec(),
+            value: cache_value,
+            dirty: false,
+        });
+        let mut out = Completion::default();
+        // Examine the chain sequentially (paper: "Pending operations in
+        // the same hash slot are checked one by one").
+        while let Some(front) = slot.pending.front() {
+            let cached = slot.cache.as_mut().expect("installed above");
+            if front.key == cached.key {
+                let op = slot.pending.pop_front().expect("front checked");
+                let r = Self::execute_on_cache(&op.kind, cached);
+                cached.dirty |= r.dirtied;
+                self.total_tracked -= 1;
+                self.stats.forwarded += 1;
+                out.results.push(OpResult {
+                    id: op.id,
+                    value: r.value,
+                });
+            } else {
+                // Hash-colliding different key: evict and issue it.
+                let op = slot.pending.pop_front().expect("front checked");
+                out.writeback = Self::take_writeback(slot, &mut self.stats);
+                slot.busy = true;
+                // Tracked count unchanged: it moves from queued to busy.
+                self.stats.issued += 1;
+                out.issue = Some(op);
+                return out;
+            }
+        }
+        out
+    }
+
+    /// Flushes every dirty cached value, returning the write-backs the
+    /// caller must apply. Clean caches are kept for future forwarding.
+    pub fn flush(&mut self) -> Vec<Writeback> {
+        let mut out = Vec::new();
+        for slot in &mut self.slots {
+            if let Some(c) = &mut slot.cache {
+                if c.dirty {
+                    c.dirty = false;
+                    self.stats.writebacks += 1;
+                    out.push((c.key.clone(), c.value.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// True if no operation is busy or queued anywhere.
+    pub fn idle(&self) -> bool {
+        self.total_tracked == 0
+    }
+}
+
+struct OpResultValue {
+    value: Option<Vec<u8>>,
+    dirtied: bool,
+}
+
+/// The station's key hash (a distinct stream from the table's hashes).
+fn kvd_station_hash(key: &[u8]) -> u64 {
+    // FNV-1a + finisher, seeded differently from the hash index.
+    const SEED: u64 = 0x5151_5151_5151_5151;
+    let mut h = 0xCBF2_9CE4_8422_2325u64 ^ SEED.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(id: u64, key: &[u8]) -> StationOp {
+        StationOp {
+            id,
+            key: key.to_vec(),
+            kind: KvOpKind::Get,
+        }
+    }
+
+    fn put(id: u64, key: &[u8], v: &[u8]) -> StationOp {
+        StationOp {
+            id,
+            key: key.to_vec(),
+            kind: KvOpKind::Put(v.to_vec()),
+        }
+    }
+
+    fn incr(id: u64, key: &[u8]) -> StationOp {
+        StationOp {
+            id,
+            key: key.to_vec(),
+            kind: KvOpKind::Update(Arc::new(|old| {
+                let v = old
+                    .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte counter")))
+                    .unwrap_or(0);
+                Some((v + 1).to_le_bytes().to_vec())
+            })),
+        }
+    }
+
+    #[test]
+    fn cold_get_issues_then_caches() {
+        let mut rs = ReservationStation::new(StationConfig::default());
+        let a = rs.admit(get(1, b"k"));
+        assert!(matches!(a, Admission::Issue { .. }));
+        let c = rs.complete(b"k", Some(b"v1".to_vec()));
+        assert!(c.results.is_empty() && c.issue.is_none());
+        match rs.admit(get(2, b"k")) {
+            Admission::Fast(r) => assert_eq!(r.value.unwrap(), b"v1"),
+            a => panic!("expected fast path, got {a:?}"),
+        }
+        assert_eq!(rs.stats().forwarded, 1);
+    }
+
+    #[test]
+    fn dependent_ops_queue_and_forward() {
+        let mut rs = ReservationStation::new(StationConfig::default());
+        assert!(matches!(rs.admit(get(1, b"k")), Admission::Issue { .. }));
+        assert!(matches!(rs.admit(put(2, b"k", b"new")), Admission::Queued));
+        assert!(matches!(rs.admit(get(3, b"k")), Admission::Queued));
+        let c = rs.complete(b"k", Some(b"old".to_vec()));
+        assert_eq!(c.results.len(), 2);
+        // PUT returns the previous value; the following GET sees the PUT.
+        assert_eq!(
+            c.results[0],
+            OpResult {
+                id: 2,
+                value: Some(b"old".to_vec())
+            }
+        );
+        assert_eq!(
+            c.results[1],
+            OpResult {
+                id: 3,
+                value: Some(b"new".to_vec())
+            }
+        );
+        assert!(c.issue.is_none());
+        assert!(rs.idle());
+        // The dirtied cache flushes as a write-back PUT.
+        let wb = rs.flush();
+        assert_eq!(wb, vec![(b"k".to_vec(), Some(b"new".to_vec()))]);
+    }
+
+    #[test]
+    fn single_key_atomics_forward_one_memory_op() {
+        let mut rs = ReservationStation::new(StationConfig::default());
+        let n = 100u64;
+        let mut issued = 0;
+        let mut results = Vec::new();
+        for i in 0..n {
+            match rs.admit(incr(i, b"ctr")) {
+                Admission::Issue { op, .. } => {
+                    issued += 1;
+                    // Simulate memory: counter was absent; op creates 1.
+                    assert_eq!(op.id, 0);
+                    let c = rs.complete(b"ctr", Some(1u64.to_le_bytes().to_vec()));
+                    results.extend(c.results);
+                }
+                Admission::Fast(r) => results.push(r),
+                a => panic!("unexpected {a:?}"),
+            }
+        }
+        assert_eq!(issued, 1, "only the first atomic touches memory");
+        // Original-value semantics: op i observes counter == i.
+        // (op 0's own result is produced by the caller, so results are 1..n)
+        assert_eq!(results.len() as u64, n - 1);
+        for r in &results {
+            let v = u64::from_le_bytes(r.value.clone().unwrap().try_into().unwrap());
+            assert_eq!(v, r.id, "op {} saw {v}", r.id);
+        }
+        let wb = rs.flush();
+        assert_eq!(wb.len(), 1);
+        assert_eq!(wb[0].1, Some(n.to_le_bytes().to_vec()));
+    }
+
+    #[test]
+    fn hash_collisions_are_conservative_dependencies() {
+        // Find two different keys in the same station slot.
+        let cfg = StationConfig {
+            hash_slots: 4,
+            capacity: 64,
+        };
+        let mut rs = ReservationStation::new(cfg);
+        let base_slot = {
+            let mut t = ReservationStation::new(cfg);
+            match t.admit(get(0, b"a")) {
+                Admission::Issue { .. } => {}
+                _ => unreachable!(),
+            }
+            t.slot_index(b"a")
+        };
+        let mut collider = None;
+        for i in 0u32..1000 {
+            let k = format!("x{i}");
+            if rs.slot_index(k.as_bytes()) == base_slot && k != "a" {
+                collider = Some(k);
+                break;
+            }
+        }
+        let collider = collider.expect("4 slots guarantee a collider");
+        assert!(matches!(rs.admit(get(1, b"a")), Admission::Issue { .. }));
+        // Different key, same slot: must queue (false-positive dep).
+        assert!(matches!(
+            rs.admit(get(2, collider.as_bytes())),
+            Admission::Queued
+        ));
+        // Completion of "a" must re-issue the collider, not forward it.
+        let c = rs.complete(b"a", Some(b"va".to_vec()));
+        assert!(c.results.is_empty());
+        let issued = c.issue.expect("collider must be issued");
+        assert_eq!(issued.key, collider.as_bytes());
+        let c2 = rs.complete(collider.as_bytes(), None);
+        assert!(c2.results.is_empty() && c2.issue.is_none());
+        assert!(rs.idle());
+    }
+
+    #[test]
+    fn capacity_backpressure() {
+        let mut rs = ReservationStation::new(StationConfig {
+            hash_slots: 8,
+            capacity: 4,
+        });
+        assert!(matches!(rs.admit(get(0, b"k")), Admission::Issue { .. }));
+        for i in 1..4 {
+            assert!(matches!(rs.admit(get(i, b"k")), Admission::Queued));
+        }
+        assert!(matches!(rs.admit(get(4, b"k")), Admission::Full(_)));
+        assert_eq!(rs.stats().rejected, 1);
+        // Draining frees capacity.
+        let c = rs.complete(b"k", None);
+        assert_eq!(c.results.len(), 3);
+        assert!(matches!(rs.admit(get(5, b"k")), Admission::Fast(_)));
+    }
+
+    #[test]
+    fn delete_through_cache() {
+        let mut rs = ReservationStation::new(StationConfig::default());
+        assert!(matches!(rs.admit(get(0, b"k")), Admission::Issue { .. }));
+        rs.complete(b"k", Some(b"v".to_vec()));
+        match rs.admit(StationOp {
+            id: 1,
+            key: b"k".to_vec(),
+            kind: KvOpKind::Delete,
+        }) {
+            Admission::Fast(r) => assert_eq!(r.value.unwrap(), b"v"),
+            a => panic!("{a:?}"),
+        }
+        match rs.admit(get(2, b"k")) {
+            Admission::Fast(r) => assert_eq!(r.value, None, "deleted via cache"),
+            a => panic!("{a:?}"),
+        }
+        let wb = rs.flush();
+        assert_eq!(wb, vec![(b"k".to_vec(), None)]);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_cache() {
+        // Two same-slot keys; dirty the first, then admit the second.
+        let cfg = StationConfig {
+            hash_slots: 1,
+            capacity: 16,
+        };
+        let mut rs = ReservationStation::new(cfg);
+        assert!(matches!(
+            rs.admit(put(0, b"a", b"1")),
+            Admission::Issue { .. }
+        ));
+        rs.complete(b"a", Some(b"1".to_vec()));
+        // Dirty the cache via fast path.
+        assert!(matches!(rs.admit(put(1, b"a", b"2")), Admission::Fast(_)));
+        // A different key in the (only) slot evicts it.
+        match rs.admit(get(2, b"b")) {
+            Admission::Issue { writeback, .. } => {
+                assert_eq!(writeback, Some((b"a".to_vec(), Some(b"2".to_vec()))));
+            }
+            a => panic!("{a:?}"),
+        }
+    }
+
+    #[test]
+    fn flush_keeps_clean_caches() {
+        let mut rs = ReservationStation::new(StationConfig::default());
+        assert!(matches!(rs.admit(get(0, b"k")), Admission::Issue { .. }));
+        rs.complete(b"k", Some(b"v".to_vec()));
+        assert!(rs.flush().is_empty(), "clean cache needs no write-back");
+        // Still forwards afterwards.
+        assert!(matches!(rs.admit(get(1, b"k")), Admission::Fast(_)));
+    }
+}

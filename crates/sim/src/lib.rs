@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! Discrete-event simulation substrate for the KV-Direct reproduction.
+//!
+//! The KV-Direct paper (SOSP '17) measures an FPGA-based key-value processor
+//! attached to host memory over PCIe Gen3. This crate provides the building
+//! blocks every hardware model in the workspace shares:
+//!
+//! * [`time`] — a picosecond-resolution virtual clock ([`SimTime`]) and
+//!   frequency/bandwidth arithmetic.
+//! * [`queue`] — a deterministic event queue ([`EventQueue`]) with FIFO
+//!   tie-breaking for equal timestamps.
+//! * [`resource`] — reusable contention models: serialization on a
+//!   bandwidth-limited link, fixed+jitter latency stages, credit pools
+//!   (PCIe flow control) and tag pools (DMA read tags).
+//! * [`stats`] — log-bucketed latency histograms, counters and summaries.
+//! * [`rng`] — seeded deterministic RNG plus Zipf samplers (the paper's
+//!   "long-tail" workload is Zipf with skewness 0.99).
+//! * [`report`] — plain-text table rendering used by the benchmark
+//!   harnesses that regenerate the paper's tables and figures.
+//!
+//! Everything here is deterministic given a seed, so simulation results are
+//! reproducible run-to-run.
+
+pub mod queue;
+pub mod report;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use resource::{BandwidthLink, CreditPool, LatencyModel, TagPool};
+pub use rng::{DetRng, ZipfSampler};
+pub use stats::{Counter, Histogram, Summary};
+pub use time::{Bandwidth, Freq, SimTime};

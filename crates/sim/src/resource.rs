@@ -1,0 +1,399 @@
+//! Contention models shared by the hardware simulations.
+//!
+//! Four primitives cover every bottleneck in the paper's evaluation:
+//!
+//! * [`BandwidthLink`] — serialization on a shared link (PCIe lanes, DDR3
+//!   channel, 40 GbE port). Requests queue behind each other; the link
+//!   tracks when it next becomes free.
+//! * [`LatencyModel`] — a fixed propagation delay plus optional uniform
+//!   jitter (e.g. the paper's 800 ns cached PCIe DMA read with an extra
+//!   0–500 ns spread for DRAM access/refresh/reordering).
+//! * [`CreditPool`] — PCIe credit-based flow control (the root complex in
+//!   the paper advertises 88 posted / 84 non-posted header credits).
+//! * [`TagPool`] — PCIe DMA read tags (the paper's FPGA DMA engine supports
+//!   64 tags, capping read concurrency at 64 requests in flight).
+
+use crate::rng::DetRng;
+use crate::time::{Bandwidth, SimTime};
+
+/// A bandwidth-limited, work-conserving serial link.
+///
+/// A transfer submitted at time `t` starts at `max(t, link free time)` and
+/// occupies the link for `bytes / bandwidth`. This is the standard
+/// single-server queue used for PCIe lane serialization, the NIC DRAM
+/// channel and the Ethernet port.
+///
+/// # Examples
+///
+/// ```
+/// use kvd_sim::{Bandwidth, BandwidthLink, SimTime};
+///
+/// let mut link = BandwidthLink::new(Bandwidth::from_gbytes_per_sec(1.0));
+/// let done1 = link.transfer(SimTime::ZERO, 1000); // 1us
+/// let done2 = link.transfer(SimTime::ZERO, 1000); // queues behind
+/// assert_eq!(done1, SimTime::from_us(1));
+/// assert_eq!(done2, SimTime::from_us(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BandwidthLink {
+    bandwidth: Bandwidth,
+    free_at: SimTime,
+    bytes_moved: u64,
+    busy_time: SimTime,
+}
+
+impl BandwidthLink {
+    /// Creates an idle link with the given bandwidth.
+    pub fn new(bandwidth: Bandwidth) -> Self {
+        BandwidthLink {
+            bandwidth,
+            free_at: SimTime::ZERO,
+            bytes_moved: 0,
+            busy_time: SimTime::ZERO,
+        }
+    }
+
+    /// Submits a transfer of `bytes` at time `now`; returns its completion
+    /// time.
+    pub fn transfer(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        let start = now.max(self.free_at);
+        let end = start + self.bandwidth.transfer_time(bytes);
+        self.busy_time += end - start;
+        self.free_at = end;
+        self.bytes_moved += bytes;
+        end
+    }
+
+    /// Time at which the link next becomes idle.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Total bytes moved so far.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// Total time spent transferring (for utilization accounting).
+    pub fn busy_time(&self) -> SimTime {
+        self.busy_time
+    }
+
+    /// The configured bandwidth.
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.bandwidth
+    }
+
+    /// Utilization over `[0, horizon]`.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            0.0
+        } else {
+            self.busy_time.as_ns() / horizon.as_ns()
+        }
+    }
+}
+
+/// A fixed latency plus uniform jitter stage.
+///
+/// # Examples
+///
+/// ```
+/// use kvd_sim::{LatencyModel, DetRng, SimTime};
+///
+/// let lat = LatencyModel::fixed(SimTime::from_ns(800));
+/// let mut rng = DetRng::seed(1);
+/// assert_eq!(lat.sample(&mut rng), SimTime::from_ns(800));
+///
+/// let jittery = LatencyModel::with_jitter(SimTime::from_ns(800), SimTime::from_ns(500));
+/// let s = jittery.sample(&mut rng);
+/// assert!(s >= SimTime::from_ns(800) && s <= SimTime::from_ns(1300));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    base: SimTime,
+    jitter: SimTime,
+}
+
+impl LatencyModel {
+    /// A deterministic fixed latency.
+    pub fn fixed(base: SimTime) -> Self {
+        LatencyModel {
+            base,
+            jitter: SimTime::ZERO,
+        }
+    }
+
+    /// A fixed latency plus uniform jitter in `[0, jitter]`.
+    pub fn with_jitter(base: SimTime, jitter: SimTime) -> Self {
+        LatencyModel { base, jitter }
+    }
+
+    /// Draws one latency sample.
+    pub fn sample(&self, rng: &mut DetRng) -> SimTime {
+        if self.jitter == SimTime::ZERO {
+            self.base
+        } else {
+            self.base + SimTime::from_ps(rng.u64_below(self.jitter.as_ps() + 1))
+        }
+    }
+
+    /// The minimum (base) latency.
+    pub fn base(&self) -> SimTime {
+        self.base
+    }
+
+    /// The mean latency (base + jitter/2).
+    pub fn mean(&self) -> SimTime {
+        self.base + self.jitter / 2
+    }
+}
+
+/// A counted-credit pool modelling PCIe flow control.
+///
+/// Credits are acquired when a TLP is issued and released when the far end
+/// frees the buffer. In the discrete-event models, releases carry a
+/// timestamp; `earliest_available` tells the caller when it may next issue
+/// if the pool is currently empty.
+///
+/// # Examples
+///
+/// ```
+/// use kvd_sim::{CreditPool, SimTime};
+///
+/// let mut pool = CreditPool::new(2);
+/// assert!(pool.try_acquire());
+/// assert!(pool.try_acquire());
+/// assert!(!pool.try_acquire());
+/// pool.release();
+/// assert!(pool.try_acquire());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CreditPool {
+    capacity: u32,
+    available: u32,
+    /// Pending timed releases (sorted insertion not required; scanned).
+    releases: Vec<SimTime>,
+    stalls: u64,
+}
+
+impl CreditPool {
+    /// Creates a pool with `capacity` credits, all available.
+    pub fn new(capacity: u32) -> Self {
+        CreditPool {
+            capacity,
+            available: capacity,
+            releases: Vec::new(),
+            stalls: 0,
+        }
+    }
+
+    /// Acquires a credit immediately if one is available.
+    pub fn try_acquire(&mut self) -> bool {
+        if self.available > 0 {
+            self.available -= 1;
+            true
+        } else {
+            self.stalls += 1;
+            false
+        }
+    }
+
+    /// Releases one credit immediately.
+    pub fn release(&mut self) {
+        assert!(self.available < self.capacity, "credit over-release");
+        self.available += 1;
+    }
+
+    /// Schedules a credit release at `at` (used by timed models).
+    pub fn release_at(&mut self, at: SimTime) {
+        assert!(
+            self.available as usize + self.releases.len() < self.capacity as usize,
+            "credit over-release"
+        );
+        self.releases.push(at);
+    }
+
+    /// Applies all releases scheduled at or before `now`.
+    pub fn advance_to(&mut self, now: SimTime) {
+        let before = self.releases.len();
+        self.releases.retain(|&t| t > now);
+        self.available += (before - self.releases.len()) as u32;
+        debug_assert!(self.available <= self.capacity);
+    }
+
+    /// Acquires a credit at `now`, or returns the earliest future time a
+    /// credit frees up.
+    pub fn acquire_at(&mut self, now: SimTime) -> Result<(), SimTime> {
+        self.advance_to(now);
+        if self.try_acquire() {
+            Ok(())
+        } else {
+            Err(self
+                .releases
+                .iter()
+                .copied()
+                .min()
+                .expect("empty pool with no pending releases"))
+        }
+    }
+
+    /// Credits currently available.
+    pub fn available(&self) -> u32 {
+        self.available
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// How many acquisition attempts found the pool empty.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+}
+
+/// A pool of identifying tags for out-of-order completions.
+///
+/// The paper's FPGA DMA engine supports 64 PCIe tags; a DMA read cannot be
+/// issued until a tag is free, limiting read concurrency (and hence the
+/// ~60 Mops read ceiling of Figure 3a).
+#[derive(Debug, Clone)]
+pub struct TagPool {
+    free: Vec<u16>,
+    capacity: u16,
+    stalls: u64,
+}
+
+impl TagPool {
+    /// Creates a pool with tags `0..capacity`, all free.
+    pub fn new(capacity: u16) -> Self {
+        TagPool {
+            free: (0..capacity).rev().collect(),
+            capacity,
+            stalls: 0,
+        }
+    }
+
+    /// Takes a free tag, if any.
+    pub fn acquire(&mut self) -> Option<u16> {
+        let tag = self.free.pop();
+        if tag.is_none() {
+            self.stalls += 1;
+        }
+        tag
+    }
+
+    /// Returns a tag to the pool.
+    pub fn release(&mut self, tag: u16) {
+        debug_assert!(tag < self.capacity, "foreign tag");
+        debug_assert!(!self.free.contains(&tag), "double release of tag {tag}");
+        self.free.push(tag);
+    }
+
+    /// Number of free tags.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total number of tags.
+    pub fn capacity(&self) -> u16 {
+        self.capacity
+    }
+
+    /// How many acquisition attempts found no free tag.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Bandwidth;
+
+    #[test]
+    fn link_serializes_back_to_back() {
+        let mut link = BandwidthLink::new(Bandwidth::from_gbytes_per_sec(2.0));
+        let a = link.transfer(SimTime::ZERO, 2000); // 1us
+        let b = link.transfer(SimTime::from_ns(100), 2000); // queued
+        assert_eq!(a, SimTime::from_us(1));
+        assert_eq!(b, SimTime::from_us(2));
+        assert_eq!(link.bytes_moved(), 4000);
+    }
+
+    #[test]
+    fn link_idles_between_sparse_transfers() {
+        let mut link = BandwidthLink::new(Bandwidth::from_gbytes_per_sec(1.0));
+        link.transfer(SimTime::ZERO, 100); // done at 100ns
+        let done = link.transfer(SimTime::from_us(5), 100);
+        assert_eq!(done, SimTime::from_us(5) + SimTime::from_ns(100));
+        // Busy 200ns over a 10us horizon = 2%.
+        assert!((link.utilization(SimTime::from_us(10)) - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_jitter_within_bounds() {
+        let lat = LatencyModel::with_jitter(SimTime::from_ns(800), SimTime::from_ns(250));
+        let mut rng = DetRng::seed(42);
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for _ in 0..10_000 {
+            let s = lat.sample(&mut rng);
+            assert!(s >= SimTime::from_ns(800));
+            assert!(s <= SimTime::from_ns(1050));
+            if s < SimTime::from_ns(850) {
+                seen_low = true;
+            }
+            if s > SimTime::from_ns(1000) {
+                seen_high = true;
+            }
+        }
+        assert!(seen_low && seen_high, "jitter should cover the range");
+        assert_eq!(lat.mean(), SimTime::from_ns(925));
+    }
+
+    #[test]
+    fn credit_pool_timed_acquire() {
+        let mut pool = CreditPool::new(1);
+        assert!(pool.acquire_at(SimTime::ZERO).is_ok());
+        pool.release_at(SimTime::from_ns(100));
+        // Before the release lands, acquisition reports the release time.
+        assert_eq!(
+            pool.acquire_at(SimTime::from_ns(50)),
+            Err(SimTime::from_ns(100))
+        );
+        // At the release time, acquisition succeeds.
+        assert!(pool.acquire_at(SimTime::from_ns(100)).is_ok());
+        assert!(pool.stalls() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "credit over-release")]
+    fn credit_pool_rejects_over_release() {
+        let mut pool = CreditPool::new(1);
+        pool.release();
+    }
+
+    #[test]
+    fn tag_pool_acquire_release_cycle() {
+        let mut pool = TagPool::new(4);
+        let tags: Vec<u16> = std::iter::from_fn(|| pool.acquire()).collect();
+        assert_eq!(tags.len(), 4);
+        assert!(pool.acquire().is_none());
+        // Both the terminating `from_fn` probe and the explicit call stall.
+        assert_eq!(pool.stalls(), 2);
+        pool.release(tags[2]);
+        assert_eq!(pool.acquire(), Some(tags[2]));
+    }
+
+    #[test]
+    fn tag_pool_tags_unique() {
+        let mut pool = TagPool::new(64);
+        let mut tags: Vec<u16> = std::iter::from_fn(|| pool.acquire()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), 64);
+    }
+}

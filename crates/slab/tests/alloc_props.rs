@@ -1,0 +1,100 @@
+//! Property tests for the slab allocator.
+//!
+//! Invariants (checked against arbitrary allocate/free interleavings):
+//! no two live slabs overlap; every slab is aligned to its class and
+//! inside the region; free + allocated bytes always cover the region
+//! exactly; lazy merging preserves all of that; and the merge kernels
+//! agree with each other on arbitrary inputs.
+
+use kvd_slab::{merge_bitmap, merge_radix, SlabAddr, SlabAllocator, SlabConfig};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(u64),
+    FreeNth(usize),
+    Merge,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (1u64..600).prop_map(Op::Alloc),
+        3 => any::<usize>().prop_map(Op::FreeNth),
+        1 => Just(Op::Merge),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn allocator_invariants_hold(ops in prop::collection::vec(op(), 1..200)) {
+        let region = 1u64 << 16;
+        let mut a = SlabAllocator::new(SlabConfig::paper(4096, region));
+        let mut live: Vec<SlabAddr> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc(size) => {
+                    if let Some(s) = a.alloc(size) {
+                        // In range, aligned, large enough.
+                        prop_assert!(s.addr >= 4096);
+                        prop_assert!(s.addr + s.class.size() <= 4096 + region);
+                        prop_assert_eq!((s.addr - 4096) % s.class.size(), 0);
+                        prop_assert!(s.class.size() >= size);
+                        live.push(s);
+                    }
+                }
+                Op::FreeNth(n) => {
+                    if !live.is_empty() {
+                        let s = live.swap_remove(n % live.len());
+                        a.free(s);
+                    }
+                }
+                Op::Merge => a.lazy_merge(),
+            }
+            // No overlaps among live slabs.
+            let mut ranges: Vec<(u64, u64)> =
+                live.iter().map(|s| (s.addr, s.addr + s.class.size())).collect();
+            ranges.sort_unstable();
+            for w in ranges.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "overlap {w:?}");
+            }
+            // Byte accounting closes.
+            let live_bytes: u64 = live.iter().map(|s| s.class.size()).sum();
+            prop_assert_eq!(a.allocated_bytes(), live_bytes);
+            prop_assert_eq!(a.free_bytes() + a.allocated_bytes(), region);
+        }
+        a.check_invariants();
+        // Everything freed → fully reusable for the biggest class.
+        for s in live.drain(..) {
+            a.free(s);
+        }
+        prop_assert_eq!(a.free_bytes(), region);
+        prop_assert!(a.alloc(512).is_some());
+    }
+
+    /// The bitmap and radix merge kernels agree on arbitrary free sets.
+    #[test]
+    fn merge_kernels_agree(
+        slots in prop::collection::btree_set(0u64..512, 0..256),
+        threads in 1usize..5,
+    ) {
+        let slab = 64u64;
+        let region = 512 * slab;
+        let free: Vec<u64> = slots.iter().map(|s| s * slab).collect();
+        let a = merge_bitmap(&free, region, slab);
+        let mut b = merge_radix(&free, slab, threads);
+        b.merged.sort_unstable();
+        b.unmerged.sort_unstable();
+        prop_assert_eq!(&a.merged, &b.merged);
+        prop_assert_eq!(&a.unmerged, &b.unmerged);
+        // Conservation: every input slot is in exactly one output.
+        prop_assert_eq!(a.merged.len() * 2 + a.unmerged.len(), free.len());
+        // Merged pairs really are aligned buddies from the input.
+        for &m in &a.merged {
+            prop_assert_eq!(m % (2 * slab), 0);
+            prop_assert!(slots.contains(&(m / slab)));
+            prop_assert!(slots.contains(&(m / slab + 1)));
+        }
+    }
+}

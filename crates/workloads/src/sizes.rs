@@ -1,0 +1,53 @@
+//! The paper's KV-size schedules (§5.2.1).
+//!
+//! "To test inline case, we use KV size that is a multiple of slot size
+//! (when size ≤ 50, i.e. 10 slots). To test non-inline case, we use KV
+//! size that is a power of two minus 2 bytes (for metadata)." Our slab
+//! record metadata is 3 bytes (1-byte key length + 2-byte value length),
+//! so the same principle yields powers of two minus 3.
+
+/// Inline KV sizes: multiples of the 5-byte slot size, 10..=50.
+pub fn inline_kv_sizes() -> Vec<u64> {
+    (2..=10).map(|slots| slots * 5).collect()
+}
+
+/// Non-inline KV sizes: powers of two minus the 3-byte record metadata
+/// (61, 125, 253, 509 — the paper's 62/126/254/510 with its 2-byte
+/// metadata).
+pub fn noninline_kv_sizes() -> Vec<u64> {
+    vec![61, 125, 253, 509]
+}
+
+/// The full Figure 16 x-axis: inline sizes then non-inline sizes.
+pub fn paper_kv_sizes() -> Vec<u64> {
+    let mut v = inline_kv_sizes();
+    v.extend(noninline_kv_sizes());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_sizes_are_slot_multiples() {
+        let v = inline_kv_sizes();
+        assert_eq!(v.first(), Some(&10));
+        assert_eq!(v.last(), Some(&50));
+        assert!(v.iter().all(|s| s % 5 == 0));
+    }
+
+    #[test]
+    fn noninline_sizes_are_pow2_minus_metadata() {
+        for s in noninline_kv_sizes() {
+            assert!((s + 3).is_power_of_two(), "{s}");
+        }
+    }
+
+    #[test]
+    fn schedule_is_sorted_and_disjoint() {
+        let v = paper_kv_sizes();
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(v.len(), 13);
+    }
+}

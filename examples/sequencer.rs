@@ -1,0 +1,71 @@
+//! Distributed sequencers and the out-of-order engine (paper §3.3.3).
+//!
+//! "Atomic operations on several extremely popular keys appear in
+//! applications such as centralized schedulers, sequencers, counters and
+//! short-term values." This example runs a multi-tenant sequencer
+//! service on KV-Direct and then *shows the mechanism*: the same
+//! single-key atomics trace is pushed through the cycle-level pipeline
+//! model with and without the out-of-order engine, reproducing the
+//! paper's 0.94 → 180 Mops jump (a ~191× improvement).
+//!
+//! Run with: `cargo run --release --example sequencer`
+
+use kv_direct::ooo::{simulate_throughput, PipelineConfig, SimOp};
+use kv_direct::{KvDirectConfig, KvDirectStore};
+
+fn main() {
+    // --- Functional service ---------------------------------------------
+    let mut store = KvDirectStore::new(KvDirectConfig::with_memory(4 << 20));
+    let tenants = ["orders", "payments", "audit-log"];
+    let mut handed_out = Vec::new();
+    for round in 0..5 {
+        for t in &tenants {
+            let key = format!("seq:{t}");
+            let ticket = store.fetch_add(key.as_bytes(), 1).unwrap();
+            handed_out.push((t.to_string(), ticket));
+            println!("round {round}: tenant {t:>10} got ticket {ticket}");
+        }
+    }
+    // Tickets are dense and strictly increasing per tenant.
+    for t in &tenants {
+        let mine: Vec<u64> = handed_out
+            .iter()
+            .filter(|(n, _)| n == t)
+            .map(|&(_, v)| v)
+            .collect();
+        assert_eq!(mine, (0..5).collect::<Vec<u64>>(), "tenant {t}");
+    }
+
+    // --- The mechanism: Figure 13a in miniature -------------------------
+    // A trace of dependent atomics on ONE hot sequencer key.
+    let trace: Vec<(u64, SimOp)> = (0..200_000).map(|_| (0u64, SimOp::Atomic)).collect();
+
+    let stall = simulate_throughput(
+        &PipelineConfig {
+            ooo: false,
+            ..PipelineConfig::default()
+        },
+        &trace,
+    );
+    let ooo = simulate_throughput(&PipelineConfig::default(), &trace);
+
+    println!("\n-- single-key atomics, cycle-level pipeline model --");
+    println!(
+        "pipeline stalling on hazards : {:>8.2} Mops   (paper: 0.94)",
+        stall.mops
+    );
+    println!(
+        "with out-of-order execution  : {:>8.2} Mops   (paper: 180, clock-bound)",
+        ooo.mops
+    );
+    println!(
+        "speedup                      : {:>8.0}x       (paper: 191x)",
+        ooo.mops / stall.mops
+    );
+    println!(
+        "operations forwarded          : {} of {}",
+        ooo.forwarded, ooo.ops
+    );
+
+    assert!(ooo.mops / stall.mops > 100.0, "OoO speedup collapsed");
+}

@@ -1,0 +1,178 @@
+//! End-to-end system behaviour under the paper's workloads.
+//!
+//! Runs YCSB-style workloads through the full store and checks the
+//! system-level properties the evaluation depends on: preload to a target
+//! utilization, correct data under uniform and long-tail mixes, the
+//! skew-dependent behaviour of the forwarding and caching layers, and
+//! the throughput composition's headline shapes.
+
+use kv_direct::timing::{measure_workload, KeyDist, SystemModel, WorkloadSpec};
+use kv_direct::workloads::{Dist, YcsbSpec, YcsbWorkload};
+use kv_direct::{KvDirectConfig, KvDirectStore, OpCode};
+
+fn run_workload(dist: Dist, put_ratio: f64) -> KvDirectStore {
+    use kv_direct::mem::MemoryEngine;
+    let mut store = KvDirectStore::new(KvDirectConfig::with_memory(8 << 20));
+    // Enough keys that the touched hash-index lines dwarf the NIC DRAM
+    // (8 MiB / 16 = 512 KiB), as in the paper's 64 GiB : 4 GiB setup.
+    let mut w = YcsbWorkload::new(YcsbSpec {
+        n_keys: 40_000,
+        kv_size: 16,
+        put_ratio,
+        dist,
+        seed: 99,
+    });
+    for chunk in w.preload_requests().chunks(64) {
+        for r in store.execute_batch(chunk) {
+            assert_eq!(r.status, kv_direct::Status::Ok);
+        }
+    }
+    // Measure steady state, not the preload.
+    store.processor_mut().table_mut().mem_mut().reset_stats();
+    for _ in 0..200 {
+        let batch = w.batch(40);
+        let rs = store.execute_batch(&batch);
+        // Every GET of a preloaded key must return its deterministic
+        // value or the most recent overwrite — never garbage sizes.
+        for (req, resp) in batch.iter().zip(&rs) {
+            if req.op == OpCode::Get {
+                assert_eq!(resp.status, kv_direct::Status::Ok, "missing preloaded key");
+                assert_eq!(resp.value.len(), 8, "value length corrupted");
+            }
+        }
+    }
+    store
+}
+
+#[test]
+fn ycsb_uniform_all_mixes() {
+    for put in [0.0, 0.5, 1.0] {
+        let store = run_workload(Dist::Uniform, put);
+        assert_eq!(store.processor().table().len(), 40_000);
+        assert_eq!(store.stats().writeback_failures, 0);
+    }
+}
+
+#[test]
+fn ycsb_longtail_all_mixes() {
+    for put in [0.0, 0.5, 1.0] {
+        let store = run_workload(Dist::long_tail(), put);
+        assert_eq!(store.processor().table().len(), 40_000);
+    }
+}
+
+#[test]
+fn longtail_forwards_more_than_uniform() {
+    // Paper §5.2.2: "the out-of-order execution engine merges up to 15%
+    // operations on the most popular keys" under long-tail.
+    let uni = run_workload(Dist::Uniform, 0.5);
+    let zipf = run_workload(Dist::long_tail(), 0.5);
+    let fu = uni.processor().station_stats().forwarded as f64 / uni.stats().requests as f64;
+    let fz = zipf.processor().station_stats().forwarded as f64 / zipf.stats().requests as f64;
+    assert!(fz > fu, "zipf {fz} should forward more than uniform {fu}");
+    assert!(fz > 0.02, "long-tail merge rate suspiciously low: {fz}");
+}
+
+#[test]
+fn longtail_caches_better_than_uniform() {
+    use kv_direct::mem::MemoryEngine;
+    let uni = run_workload(Dist::Uniform, 0.0);
+    let zipf = run_workload(Dist::long_tail(), 0.0);
+    // Steady-state (post-preload) hit rates from the resettable stats.
+    let rate = |s: &KvDirectStore| {
+        let m = s.processor().table().mem().stats();
+        m.cache_hits as f64 / (m.cache_hits + m.cache_misses).max(1) as f64
+    };
+    let hu = rate(&uni);
+    let hz = rate(&zipf);
+    assert!(hz > hu, "zipf hit rate {hz} vs uniform {hu}");
+}
+
+#[test]
+fn throughput_composition_headline_shapes() {
+    // The three Figure 16 regimes, at laptop scale:
+    let cfg = KvDirectConfig::with_memory(1 << 20);
+    let model = SystemModel::paper();
+
+    // (1) tiny KVs, long-tail, read-heavy → clock- or memory-bound well
+    //     above the network bound for ≥62B KVs;
+    let tiny = WorkloadSpec::ycsb(10, 0.1, KeyDist::Zipf);
+    let m_tiny = measure_workload(&cfg, &tiny, 0.4, 15_000, 5);
+    let t_tiny = model.throughput(&tiny, &m_tiny);
+
+    // (2) large KVs → network-bound;
+    let large = WorkloadSpec::ycsb(254, 0.1, KeyDist::Uniform);
+    let m_large = measure_workload(&cfg, &large, 0.3, 5_000, 5);
+    let t_large = model.throughput(&large, &m_large);
+
+    assert!(
+        t_tiny.mops > t_large.mops * 2.0,
+        "{} vs {}",
+        t_tiny.mops,
+        t_large.mops
+    );
+    assert!((t_large.mops - t_large.network_bound_mops).abs() < 1e-9);
+
+    // (3) write-heavy costs more memory accesses than read-heavy.
+    let writes = WorkloadSpec::ycsb(10, 1.0, KeyDist::Uniform);
+    let reads = WorkloadSpec::ycsb(10, 0.0, KeyDist::Uniform);
+    let mw = measure_workload(&cfg, &writes, 0.4, 10_000, 6);
+    let mr = measure_workload(&cfg, &reads, 0.4, 10_000, 6);
+    assert!(
+        mw.accesses_per_op() > mr.accesses_per_op(),
+        "PUT {} vs GET {}",
+        mw.accesses_per_op(),
+        mr.accesses_per_op()
+    );
+}
+
+#[test]
+fn store_survives_memory_pressure_gracefully() {
+    // Fill a small store past capacity through the public API; once full,
+    // errors must be clean and reads must stay correct.
+    let mut store = KvDirectStore::new(KvDirectConfig::with_memory(256 << 10));
+    let mut ok = Vec::new();
+    for i in 0..20_000u64 {
+        match store.put(&i.to_le_bytes(), &[7u8; 40]) {
+            Ok(()) => ok.push(i),
+            Err(kv_direct::StoreError::OutOfMemory) => break,
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+    assert!(!ok.is_empty());
+    for i in &ok {
+        assert!(
+            store.get(&i.to_le_bytes()).is_some(),
+            "acknowledged key {i} lost under pressure"
+        );
+    }
+}
+
+#[test]
+fn ycsb_presets_run_clean_through_the_store() {
+    use kv_direct::workloads::{PresetWorkload, YcsbPreset};
+    for preset in YcsbPreset::all() {
+        let mut store = KvDirectStore::new(KvDirectConfig::with_memory(8 << 20));
+        let mut w = PresetWorkload::new(preset, 5_000, 16, 11);
+        for chunk in w.preload().chunks(64) {
+            for r in store.execute_batch(chunk) {
+                assert_eq!(r.status, kv_direct::Status::Ok, "{preset:?} preload");
+            }
+        }
+        let mut errors = 0;
+        for _ in 0..100 {
+            let batch = w.batch(40);
+            for r in store.execute_batch(&batch) {
+                if r.status != kv_direct::Status::Ok {
+                    errors += 1;
+                }
+            }
+        }
+        assert_eq!(errors, 0, "{preset:?} produced failing responses");
+        assert_eq!(store.stats().writeback_failures, 0, "{preset:?}");
+        // F's RMWs really mutate: some counter moved off its preload value.
+        if preset == YcsbPreset::F {
+            assert!(store.stats().updates > 0);
+        }
+    }
+}
