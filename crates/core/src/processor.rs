@@ -14,11 +14,16 @@ use kvd_hash::{HashError, HashTable, HashTableConfig};
 use kvd_mem::MemoryEngine;
 use kvd_net::{KvRequest, KvResponse, OpCode, Status};
 use kvd_ooo::{Admission, KvOpKind, ReservationStation, StationConfig, StationOp};
+use kvd_sim::FaultPlane;
 
 use crate::lambda::{decode_scalar, decode_vector, encode_vector, Lambda, LambdaRegistry};
 
+/// Retries the processor grants a memory transaction before surfacing
+/// [`Status::DeviceError`] (matches the DMA engine's read retry budget).
+pub const DEFAULT_FAULT_RETRY_LIMIT: u32 = 4;
+
 /// Counters for the processor.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProcessorStats {
     /// Requests executed.
     pub requests: u64,
@@ -36,6 +41,12 @@ pub struct ProcessorStats {
     pub oom: u64,
     /// Station write-backs that failed (should stay zero; see docs).
     pub writeback_failures: u64,
+    /// Memory transactions re-run because the fault plane injected a
+    /// recoverable fault.
+    pub fault_retries: u64,
+    /// Requests failed with [`Status::DeviceError`] after the retry
+    /// budget ran out; the table was left untouched.
+    pub device_errors: u64,
 }
 
 /// Per-request context needed to build its response from the station's
@@ -74,6 +85,8 @@ pub struct KvProcessor<M: MemoryEngine> {
     stats: ProcessorStats,
     responses: Vec<Option<KvResponse>>,
     ctxs: Vec<RespCtx>,
+    faults: FaultPlane,
+    fault_retry_limit: u32,
 }
 
 impl KvProcessor<kvd_mem::FlatMemory> {
@@ -105,7 +118,32 @@ impl<M: MemoryEngine> KvProcessor<M> {
             stats: ProcessorStats::default(),
             responses: Vec::new(),
             ctxs: Vec::new(),
+            faults: FaultPlane::disabled(),
+            fault_retry_limit: DEFAULT_FAULT_RETRY_LIMIT,
         }
+    }
+
+    /// Attaches a fault plane: every issued memory transaction draws from
+    /// it, retrying recoverable faults up to the retry budget and failing
+    /// with [`Status::DeviceError`] (table untouched) past it.
+    pub fn set_fault_plane(&mut self, faults: FaultPlane) {
+        self.faults = faults;
+    }
+
+    /// Overrides the transaction retry budget
+    /// ([`DEFAULT_FAULT_RETRY_LIMIT`]).
+    pub fn set_fault_retry_limit(&mut self, limit: u32) {
+        self.fault_retry_limit = limit;
+    }
+
+    /// The processor's fault plane (injection counters live here).
+    pub fn faults(&self) -> &FaultPlane {
+        &self.faults
+    }
+
+    /// Mutable fault-plane access (rate changes, counter resets).
+    pub fn faults_mut(&mut self) -> &mut FaultPlane {
+        &mut self.faults
     }
 
     /// The hash table.
@@ -294,26 +332,32 @@ impl<M: MemoryEngine> KvProcessor<M> {
         let Some(op) = self.inflight.pop_front() else {
             return;
         };
-        let (result_value, cache_value, status_override) = self.execute_on_table(&op);
-        self.finish(op.id, result_value, status_override);
-        let mut completion = self.station.complete(&op.key, cache_value);
-        loop {
+        // Each issued op (including colliding-chain re-issues) is one
+        // memory transaction with its own fault draw.
+        let mut next = Some(op);
+        while let Some(op) = next.take() {
+            let txn = self.faults.transaction(self.fault_retry_limit);
+            self.stats.fault_retries += txn.retries as u64;
+            let mut completion = if txn.failed {
+                // The transaction died in the device after exhausting its
+                // retries: the table was never touched, so the station
+                // must reclaim the slot without installing a forwarding
+                // value — dependents re-reach memory themselves.
+                self.stats.device_errors += 1;
+                self.finish(op.id, None, Some(Status::DeviceError));
+                self.station.reclaim(&op.key)
+            } else {
+                let (result_value, cache_value, status_override) = self.execute_on_table(&op);
+                self.finish(op.id, result_value, status_override);
+                self.station.complete(&op.key, cache_value)
+            };
             for r in completion.results.drain(..) {
                 self.finish(r.id, r.value, None);
             }
             if let Some((k, v)) = completion.writeback.take() {
                 self.apply_writeback(&k, v);
             }
-            match completion.issue.take() {
-                Some(next) => {
-                    // Execute immediately to keep the drain loop simple;
-                    // colliding-chain re-issues are rare.
-                    let (rv, cv, st) = self.execute_on_table(&next);
-                    self.finish(next.id, rv, st);
-                    completion = self.station.complete(&next.key, cv);
-                }
-                None => break,
-            }
+            next = completion.issue.take();
         }
     }
 
@@ -693,5 +737,70 @@ mod tests {
         assert_eq!(decode_scalar(Some(&rs[1].value)), 6);
         assert_eq!(crate::lambda::decode_vector(&rs[2].value), vec![1, 2, 3]);
         assert_eq!(crate::lambda::decode_vector(&rs[3].value), vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn chained_same_key_ops_fail_independently_under_total_faults() {
+        use kvd_sim::{FaultPlane, FaultRates};
+        // Three ops on one key queue behind each other in the station.
+        // With every DMA transaction failing, each must be retired with
+        // DeviceError via the reclaim path (no forwarding cache installed,
+        // no table mutation, chain still drains).
+        let mut p = proc();
+        p.set_fault_plane(FaultPlane::new(
+            FaultRates {
+                pcie_corrupt: 1.0,
+                ..FaultRates::ZERO
+            },
+            5,
+        ));
+        let rs = p.execute_batch(&[
+            KvRequest::put(b"k", b"v1"),
+            KvRequest::put(b"k", b"v2"),
+            KvRequest::get(b"k"),
+        ]);
+        assert!(rs.iter().all(|r| r.status == Status::DeviceError));
+        assert_eq!(p.table().len(), 0, "no failed op reached the table");
+        assert_eq!(p.stats().device_errors, 3);
+        assert_eq!(p.station_stats().reclaimed, 3, "every op reclaimed");
+    }
+
+    #[test]
+    fn faulty_processor_never_loses_acknowledged_writes() {
+        use kvd_sim::{FaultPlane, FaultRates};
+        // Under moderate fault rates, an op's acknowledgement must be
+        // truthful: Ok puts are durable, DeviceError puts left no trace.
+        let mut p = proc();
+        p.set_fault_plane(FaultPlane::new(FaultRates::uniform(0.3), 77));
+        let reqs: Vec<KvRequest> = (0..500u32)
+            .map(|i| KvRequest::put(&i.to_le_bytes(), &i.to_le_bytes()))
+            .collect();
+        let rs = p.execute_batch(&reqs);
+        let mut oks = 0;
+        let mut errs = 0;
+        for (i, r) in rs.iter().enumerate() {
+            let key = (i as u32).to_le_bytes();
+            match r.status {
+                Status::Ok => {
+                    assert!(
+                        p.table_mut().get(&key).is_some(),
+                        "acknowledged key {i} lost"
+                    );
+                    oks += 1;
+                }
+                Status::DeviceError => {
+                    assert!(p.table_mut().get(&key).is_none(), "failed key {i} applied");
+                    errs += 1;
+                }
+                s => panic!("unexpected status {s:?}"),
+            }
+        }
+        assert!(oks > 400, "retry budget absorbs most faults: {oks}");
+        assert!(
+            errs > 0,
+            "~0.55^5 per-op exhaustion should fire over 500 ops"
+        );
+        assert_eq!(p.stats().device_errors, errs);
+        assert_eq!(p.faults().counters().exhausted, errs);
     }
 }

@@ -10,7 +10,7 @@ use kvd_hash::{HashTable, HashTableConfig};
 use kvd_mem::{DispatchConfig, DispatchedMemory, NicDramConfig};
 use kvd_net::{KvRequest, KvResponse, OpCode, Status};
 use kvd_ooo::StationConfig;
-use kvd_sim::Bandwidth;
+use kvd_sim::{Bandwidth, FaultCounters, FaultPlane, FaultRates};
 
 use crate::lambda::{decode_scalar, decode_vector, encode_vector, Lambda, LambdaRegistry};
 use crate::processor::{KvProcessor, ProcessorStats};
@@ -24,6 +24,9 @@ pub enum StoreError {
     NotFound,
     /// Malformed request, oversized key/value, or unregistered λ.
     Invalid,
+    /// A device-level fault exhausted its retry budget; the operation was
+    /// not applied and may be retried.
+    DeviceError,
 }
 
 impl std::fmt::Display for StoreError {
@@ -32,6 +35,7 @@ impl std::fmt::Display for StoreError {
             StoreError::OutOfMemory => write!(f, "out of memory"),
             StoreError::NotFound => write!(f, "key not found"),
             StoreError::Invalid => write!(f, "invalid request"),
+            StoreError::DeviceError => write!(f, "device error (retriable)"),
         }
     }
 }
@@ -44,6 +48,7 @@ fn status_to_err(s: Status) -> StoreError {
         Status::NotFound => StoreError::NotFound,
         Status::OutOfMemory => StoreError::OutOfMemory,
         Status::Invalid => StoreError::Invalid,
+        Status::DeviceError => StoreError::DeviceError,
     }
 }
 
@@ -70,6 +75,12 @@ pub struct KvDirectConfig {
     /// Allow values up to 64 KiB (extended slab ladder) instead of the
     /// paper's 512 B.
     pub extended_slabs: bool,
+    /// Fault-injection rates for the simulated hardware. `FaultRates::ZERO`
+    /// (the default) keeps every model on its fault-free fast path.
+    pub fault_rates: FaultRates,
+    /// Seed of the deterministic fault schedule; only meaningful when
+    /// `fault_rates` is non-zero.
+    pub fault_seed: u64,
 }
 
 impl KvDirectConfig {
@@ -83,6 +94,8 @@ impl KvDirectConfig {
             nic_dram_capacity: total_memory / 16,
             station: StationConfig::default(),
             extended_slabs: false,
+            fault_rates: FaultRates::ZERO,
+            fault_seed: 0,
         }
     }
 }
@@ -165,14 +178,22 @@ pub struct KvDirectStore {
 
 impl KvDirectStore {
     /// Builds a store over the full simulated memory stack.
+    ///
+    /// When `cfg.fault_rates` is non-zero, a root fault plane seeded with
+    /// `cfg.fault_seed` is forked into independent per-component streams:
+    /// the memory engine (DRAM ECC events, host stalls) and the processor's
+    /// DMA transaction path. A zero-rate config wires inert planes, leaving
+    /// the store bit-identical to a fault-free build.
     pub fn new(cfg: KvDirectConfig) -> Self {
-        let mem = DispatchedMemory::new(
+        let mut root = FaultPlane::new(cfg.fault_rates, cfg.fault_seed);
+        let mem = DispatchedMemory::with_faults(
             cfg.total_memory,
             NicDramConfig {
                 capacity: cfg.nic_dram_capacity,
                 bandwidth: Bandwidth::from_gbytes_per_sec(12.8),
             },
             DispatchConfig::new(cfg.load_dispatch_ratio),
+            root.fork(1),
         );
         let table = HashTable::new(
             mem,
@@ -183,9 +204,9 @@ impl KvDirectStore {
                 extended_slabs: cfg.extended_slabs,
             },
         );
-        KvDirectStore {
-            proc: KvProcessor::new(table, cfg.station, LambdaRegistry::with_builtins()),
-        }
+        let mut proc = KvProcessor::new(table, cfg.station, LambdaRegistry::with_builtins());
+        proc.set_fault_plane(root.fork(2));
+        KvDirectStore { proc }
     }
 
     /// The underlying processor (stats, preloading).
@@ -203,6 +224,20 @@ impl KvDirectStore {
         self.proc.stats()
     }
 
+    /// Store-wide rollup of injected faults across every component plane
+    /// (processor DMA transactions + memory-engine ECC/stall events).
+    pub fn fault_counters(&self) -> FaultCounters {
+        let mut total = *self.proc.faults().counters();
+        total.merge(self.proc.table().mem().faults().counters());
+        total
+    }
+
+    /// The memory engine's ECC recovery state (corrected/uncorrectable
+    /// counts and whether the DRAM-cache bypass breaker has tripped).
+    pub fn ecc_stats(&self) -> kvd_mem::EccStats {
+        *self.proc.table().mem().ecc()
+    }
+
     fn one(&mut self, req: KvRequest) -> KvResponse {
         self.proc
             .execute_batch(std::slice::from_ref(&req))
@@ -211,11 +246,26 @@ impl KvDirectStore {
     }
 
     /// `get(k) → v`.
+    ///
+    /// Conflates "not found" and device faults into `None`; use
+    /// [`try_get`](Self::try_get) to distinguish them under fault
+    /// injection.
     pub fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
         let r = self.one(KvRequest::get(key));
         match r.status {
             Status::Ok => Some(r.value),
             _ => None,
+        }
+    }
+
+    /// `get(k)` that separates absence (`Ok(None)`) from device faults
+    /// (`Err(DeviceError)`).
+    pub fn try_get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        let r = self.one(KvRequest::get(key));
+        match r.status {
+            Status::Ok => Ok(Some(r.value)),
+            Status::NotFound => Ok(None),
+            s => Err(status_to_err(s)),
         }
     }
 
@@ -433,6 +483,7 @@ impl MultiNicStore {
 mod tests {
     use super::*;
     use crate::lambda::builtin;
+    use kvd_mem::MemoryEngine;
 
     fn store() -> KvDirectStore {
         KvDirectStore::new(KvDirectConfig::with_memory(1 << 20))
@@ -602,6 +653,121 @@ mod tests {
             "unbalanced shards: {loads:?}"
         );
         assert_eq!(loads.iter().sum::<u64>(), 200);
+    }
+
+    #[test]
+    fn zero_rate_faults_leave_store_bit_identical() {
+        // A store built with an explicit zero-rate plane (and a non-zero
+        // seed that must never be consumed) matches a plain store on every
+        // observable: responses, processor stats, memory traffic.
+        let mut plain = store();
+        let mut zeroed = KvDirectStore::new(KvDirectConfig {
+            fault_rates: FaultRates::ZERO,
+            fault_seed: 0xDEAD_BEEF,
+            ..KvDirectConfig::with_memory(1 << 20)
+        });
+        for i in 0..300u64 {
+            let k = i.to_le_bytes();
+            let v = (i * 3).to_le_bytes();
+            assert_eq!(plain.put(&k, &v), zeroed.put(&k, &v));
+            assert_eq!(
+                plain.get(&(i / 2).to_le_bytes()),
+                zeroed.get(&(i / 2).to_le_bytes())
+            );
+        }
+        assert_eq!(plain.stats(), zeroed.stats());
+        assert_eq!(
+            plain.processor().table().mem().stats(),
+            zeroed.processor().table().mem().stats()
+        );
+        assert_eq!(zeroed.fault_counters().total_faults(), 0);
+        assert!(!zeroed.ecc_stats().bypassed);
+    }
+
+    #[test]
+    fn total_fault_exhaustion_surfaces_device_error_without_state_change() {
+        // Every DMA transaction fails: operations must report DeviceError
+        // and leave the table untouched (no partial writes).
+        let mut s = KvDirectStore::new(KvDirectConfig {
+            fault_rates: FaultRates {
+                pcie_corrupt: 1.0,
+                ..FaultRates::ZERO
+            },
+            fault_seed: 7,
+            ..KvDirectConfig::with_memory(1 << 20)
+        });
+        assert_eq!(s.put(b"k", b"v"), Err(StoreError::DeviceError));
+        assert_eq!(s.processor().table().len(), 0, "failed PUT not applied");
+        let st = s.stats();
+        assert_eq!(st.device_errors, 1);
+        assert!(st.fault_retries > 0, "retries precede exhaustion");
+        assert!(s.fault_counters().exhausted > 0);
+    }
+
+    #[test]
+    fn faulty_store_agrees_with_model_on_ok_responses() {
+        // Moderate fault rates: some ops may fail with DeviceError, but
+        // every op that reports Ok must match a fault-free HashMap model,
+        // and the store must never panic.
+        let mut s = KvDirectStore::new(KvDirectConfig {
+            fault_rates: FaultRates::uniform(0.05),
+            fault_seed: 42,
+            ..KvDirectConfig::with_memory(1 << 20)
+        });
+        let mut model = std::collections::HashMap::new();
+        let mut oks = 0u64;
+        let mut errs = 0u64;
+        for i in 0..500u64 {
+            let k = (i % 64).to_le_bytes();
+            if i % 3 == 0 {
+                match s.put(&k, &i.to_le_bytes()) {
+                    Ok(()) => {
+                        model.insert(k, i.to_le_bytes().to_vec());
+                        oks += 1;
+                    }
+                    Err(StoreError::DeviceError) => errs += 1,
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            } else {
+                match s.try_get(&k) {
+                    Ok(got) => {
+                        assert_eq!(
+                            got.as_deref(),
+                            model.get(&k).map(Vec::as_slice),
+                            "GET diverged from model"
+                        );
+                        oks += 1;
+                    }
+                    Err(StoreError::DeviceError) => errs += 1,
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+        }
+        assert!(oks > 400, "most ops should survive 5% rates: {oks}");
+        assert!(s.fault_counters().total_faults() > 0, "faults did fire");
+        let _ = errs;
+    }
+
+    #[test]
+    fn store_fault_schedule_is_seed_deterministic() {
+        let run = |seed: u64| {
+            let mut s = KvDirectStore::new(KvDirectConfig {
+                fault_rates: FaultRates::uniform(0.05),
+                fault_seed: seed,
+                ..KvDirectConfig::with_memory(1 << 20)
+            });
+            for i in 0..400u64 {
+                let k = (i % 32).to_le_bytes();
+                let _ = s.put(&k, &i.to_le_bytes());
+                let _ = s.get(&k);
+            }
+            (s.stats(), s.fault_counters(), s.ecc_stats())
+        };
+        assert_eq!(run(11), run(11), "same seed, same everything");
+        let (_, c11, _) = run(11);
+        let (_, c12, _) = run(12);
+        assert!(c11.total_faults() > 0);
+        assert_ne!(c11, c12, "different seeds, different schedules");
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub use kvd_core::{
     StoreError, SystemModel, ThroughputBreakdown, WorkloadSpec,
 };
 pub use kvd_net::{decode_packet, encode_packet, KvRequest, KvResponse, NetConfig, OpCode, Status};
+pub use kvd_sim::{FaultCounters, FaultPlane, FaultRates};
 
 /// The paper's λ machinery (element codecs, registry).
 pub mod lambda {

@@ -12,6 +12,8 @@
 //! * [`DispatchedMemory`] — the full stack: host memory behind PCIe, NIC
 //!   DRAM cache, and the hash-based load dispatcher.
 
+use kvd_sim::{DramFault, FaultPlane};
+
 use crate::dispatch::{DispatchConfig, LoadDispatcher};
 use crate::host::HostMemory;
 use crate::nicdram::{NicDram, NicDramConfig};
@@ -178,6 +180,32 @@ impl MemoryEngine for FlatMemory {
     }
 }
 
+/// ECC and degradation accounting of a [`DispatchedMemory`].
+///
+/// Faults are injected by the engine's [`FaultPlane`]; every injection is
+/// *recovered* — data bytes are never corrupted — and these counters record
+/// what the recovery cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EccStats {
+    /// Single-bit DRAM errors silently fixed by ECC.
+    pub corrected: u64,
+    /// Multi-bit errors ECC could only detect, forcing a line rebuild.
+    pub uncorrectable: u64,
+    /// Lines refetched from host memory after an uncorrectable error.
+    pub refetches: u64,
+    /// Dirty lines salvaged to host *before* the refetch (the cached copy
+    /// was the only copy, so it is written back first).
+    pub rescue_writebacks: u64,
+    /// Host-memory stall events on the PCIe path.
+    pub host_stalls: u64,
+    /// Whether the degradation breaker has retired the NIC DRAM cache.
+    pub bypassed: bool,
+}
+
+/// Uncorrectable errors tolerated before [`DispatchedMemory`] retires the
+/// NIC DRAM cache and serves everything over PCIe (graceful degradation).
+pub const DEFAULT_BYPASS_THRESHOLD: u64 = 16;
+
 /// The full memory stack: host memory behind PCIe DMA, NIC DRAM as a
 /// write-back cache for the hash-selected cacheable portion.
 ///
@@ -206,17 +234,34 @@ pub struct DispatchedMemory {
     cache: NicDram,
     dispatcher: LoadDispatcher,
     stats: AccessStats,
+    faults: FaultPlane,
+    ecc: EccStats,
+    bypass_threshold: u64,
 }
 
 impl DispatchedMemory {
     /// Creates the stack with the given host capacity, NIC DRAM and
     /// dispatch configuration.
     pub fn new(host_capacity: u64, dram: NicDramConfig, dispatch: DispatchConfig) -> Self {
+        DispatchedMemory::with_faults(host_capacity, dram, dispatch, FaultPlane::disabled())
+    }
+
+    /// Creates the stack with DRAM bit errors and host stalls drawn from
+    /// `faults`.
+    pub fn with_faults(
+        host_capacity: u64,
+        dram: NicDramConfig,
+        dispatch: DispatchConfig,
+        faults: FaultPlane,
+    ) -> Self {
         DispatchedMemory {
             cache: NicDram::new(dram, host_capacity),
             host: HostMemory::new(host_capacity),
             dispatcher: LoadDispatcher::new(dispatch),
             stats: AccessStats::default(),
+            faults,
+            ecc: EccStats::default(),
+            bypass_threshold: DEFAULT_BYPASS_THRESHOLD,
         }
     }
 
@@ -230,6 +275,70 @@ impl DispatchedMemory {
         self.cache.hit_rate()
     }
 
+    /// The engine's fault plane (injection counters live here).
+    pub fn faults(&self) -> &FaultPlane {
+        &self.faults
+    }
+
+    /// Mutable fault-plane access (rate changes, counter resets).
+    pub fn faults_mut(&mut self) -> &mut FaultPlane {
+        &mut self.faults
+    }
+
+    /// ECC recovery and degradation statistics.
+    pub fn ecc(&self) -> &EccStats {
+        &self.ecc
+    }
+
+    /// Overrides the uncorrectable-error count that trips the cache-bypass
+    /// breaker (default [`DEFAULT_BYPASS_THRESHOLD`]).
+    pub fn set_bypass_threshold(&mut self, threshold: u64) {
+        self.bypass_threshold = threshold.max(1);
+    }
+
+    /// Whether `line` is currently served by the NIC DRAM cache.
+    fn cacheable(&self, line: u64) -> bool {
+        !self.ecc.bypassed && self.dispatcher.is_cacheable(line)
+    }
+
+    /// Rebuilds a cache line hit by an uncorrectable DRAM error: a dirty
+    /// line is salvaged to host first (it is the only copy), then the line
+    /// is refetched so the damaged bits are overwritten. Data survives;
+    /// only extra traffic and counters show the event happened.
+    fn recover_uncorrectable(&mut self, line: u64) {
+        self.ecc.uncorrectable += 1;
+        if self.cache.is_dirty(line) {
+            let mut data = [0u8; LINE as usize];
+            self.cache.peek(line, &mut data);
+            self.host.write(line * LINE, &data);
+            self.stats.dma_writes += 1;
+            self.stats.dma_write_bytes += LINE;
+            self.ecc.rescue_writebacks += 1;
+        }
+        let mut data = [0u8; LINE as usize];
+        self.host.read(line * LINE, &mut data);
+        self.stats.dma_reads += 1;
+        self.stats.dma_read_bytes += LINE;
+        self.cache.restore(line, &data, false);
+        self.stats.dram_writes += 1;
+        self.ecc.refetches += 1;
+        if self.ecc.uncorrectable >= self.bypass_threshold {
+            self.trip_bypass();
+        }
+    }
+
+    /// Retires the NIC DRAM cache after persistent uncorrectable errors:
+    /// all dirty lines are flushed to host, then every access goes over
+    /// PCIe. The store keeps serving — degraded, not dead.
+    fn trip_bypass(&mut self) {
+        self.ecc.bypassed = true;
+        for (line, data) in self.cache.flush_dirty() {
+            self.host.write(line * LINE, &data);
+            self.stats.dma_writes += 1;
+            self.stats.dma_write_bytes += LINE;
+        }
+    }
+
     /// Ensures `line` is resident in the cache, fetching from host and
     /// writing back any dirty eviction. Counts the traffic.
     fn ensure_resident(&mut self, line: u64) {
@@ -237,6 +346,9 @@ impl DispatchedMemory {
             return;
         }
         // Miss: fetch the line from host memory over PCIe.
+        if self.faults.host_stall() {
+            self.ecc.host_stalls += 1;
+        }
         let mut data = [0u8; LINE as usize];
         self.host.read(line * LINE, &mut data);
         self.stats.dma_reads += 1;
@@ -253,11 +365,35 @@ impl DispatchedMemory {
     }
 
     fn access_line(&mut self, line: u64, kind: AccessKind, in_line: usize, buf: &mut [u8]) {
-        if self.dispatcher.is_cacheable(line) {
+        if self.cacheable(line) {
             let was_hit = self.cache.lookup(line);
             self.ensure_resident(line);
             if was_hit {
                 self.stats.cache_hits += 1;
+            }
+            // The DRAM access may trip an ECC event on the stored line.
+            match self.faults.dram_fault() {
+                DramFault::None => {}
+                DramFault::Corrected => self.ecc.corrected += 1,
+                DramFault::Uncorrectable => self.recover_uncorrectable(line),
+            }
+            if self.ecc.bypassed {
+                // The breaker tripped on this very access. Recovery left
+                // the line clean (host copy authoritative), so serve the
+                // access over PCIe like every access from now on.
+                match kind {
+                    AccessKind::Read => {
+                        self.stats.dma_reads += 1;
+                        self.stats.dma_read_bytes += buf.len() as u64;
+                        self.host.read(line * LINE + in_line as u64, buf);
+                    }
+                    AccessKind::Write => {
+                        self.stats.dma_writes += 1;
+                        self.stats.dma_write_bytes += buf.len() as u64;
+                        self.host.write(line * LINE + in_line as u64, buf);
+                    }
+                }
+                return;
             }
             let mut data = [0u8; LINE as usize];
             self.cache.read_hit(line, &mut data);
@@ -275,6 +411,9 @@ impl DispatchedMemory {
         } else {
             // Non-cacheable: straight to host over PCIe. Contiguous-run
             // coalescing happens one level up in `access`.
+            if self.faults.host_stall() {
+                self.ecc.host_stalls += 1;
+            }
             match kind {
                 AccessKind::Read => self.host.read(line * LINE + in_line as u64, buf),
                 AccessKind::Write => self.host.write(line * LINE + in_line as u64, buf),
@@ -297,7 +436,7 @@ impl DispatchedMemory {
             let line = a / LINE;
             let in_line = (a % LINE) as usize;
             let n = (LINE as usize - in_line).min(buf.len() - off);
-            if self.dispatcher.is_cacheable(line) {
+            if self.cacheable(line) {
                 self.flush_pcie_run(&mut pcie_run, kind);
                 self.access_line(line, kind, in_line, &mut buf[off..off + n]);
             } else {
@@ -497,6 +636,205 @@ mod tests {
         let mut buf = vec![0u8; 512];
         m.read(0, &mut buf);
         assert_eq!(m.stats().dma_reads, 3);
+    }
+
+    fn dispatched_faulty(ratio: f64, rates: kvd_sim::FaultRates, seed: u64) -> DispatchedMemory {
+        DispatchedMemory::with_faults(
+            1 << 20,
+            NicDramConfig {
+                capacity: 1 << 16,
+                bandwidth: Bandwidth::from_gbytes_per_sec(12.8),
+            },
+            DispatchConfig::new(ratio),
+            FaultPlane::new(rates, seed),
+        )
+    }
+
+    #[test]
+    fn disabled_fault_plane_is_bit_identical_to_plain_engine() {
+        let mut plain = dispatched(0.5);
+        let mut faulty = dispatched_faulty(0.5, kvd_sim::FaultRates::ZERO, 7);
+        let mut rng = kvd_sim::DetRng::seed(4);
+        for _ in 0..500 {
+            let addr = rng.u64_below((1 << 20) - 64);
+            if rng.chance(0.5) {
+                let mut data = [0u8; 48];
+                rng.fill_bytes(&mut data);
+                plain.write(addr, &data);
+                faulty.write(addr, &data);
+            } else {
+                let mut a = [0u8; 48];
+                let mut b = [0u8; 48];
+                plain.read(addr, &mut a);
+                faulty.read(addr, &mut b);
+                assert_eq!(a, b);
+            }
+        }
+        assert_eq!(plain.stats(), faulty.stats());
+        assert_eq!(*faulty.ecc(), EccStats::default());
+        assert_eq!(faulty.faults().counters().total_faults(), 0);
+    }
+
+    #[test]
+    fn corrected_ecc_errors_only_count() {
+        let rates = kvd_sim::FaultRates {
+            dram_bit_error: 1.0,
+            dram_uncorrectable: 0.0, // every bit error is correctable
+            ..kvd_sim::FaultRates::ZERO
+        };
+        let mut m = dispatched_faulty(1.0, rates, 7);
+        let mut clean = dispatched(1.0);
+        let mut buf = [0u8; 64];
+        for i in 0..50u64 {
+            m.write(i * 64, &[i as u8; 64]);
+            clean.write(i * 64, &[i as u8; 64]);
+        }
+        for i in 0..50u64 {
+            m.read(i * 64, &mut buf);
+            assert_eq!(buf, [i as u8; 64], "ECC-corrected data must be intact");
+        }
+        assert!(m.ecc().corrected > 0);
+        assert_eq!(m.ecc().uncorrectable, 0);
+        assert_eq!(m.ecc().refetches, 0);
+        // Corrected errors are free: no extra traffic vs the clean engine.
+        for i in 0..50u64 {
+            clean.read(i * 64, &mut buf);
+        }
+        assert_eq!(m.stats(), clean.stats());
+    }
+
+    #[test]
+    fn uncorrectable_error_on_clean_line_refetches() {
+        let rates = kvd_sim::FaultRates {
+            dram_bit_error: 1.0,
+            dram_uncorrectable: 1.0, // every bit error is fatal to the line
+            ..kvd_sim::FaultRates::ZERO
+        };
+        let mut m = dispatched_faulty(1.0, rates, 7);
+        m.set_bypass_threshold(1_000_000); // keep the breaker out of the way
+        let mut buf = [0u8; 64];
+        m.read(4096, &mut buf); // clean line: rebuild is refetch-only
+        assert_eq!(m.ecc().uncorrectable, 1);
+        assert_eq!(m.ecc().refetches, 1);
+        assert_eq!(m.ecc().rescue_writebacks, 0);
+        assert!(m.stats().dma_reads >= 1, "refetch goes over PCIe");
+    }
+
+    #[test]
+    fn uncorrectable_error_on_dirty_line_salvages_first() {
+        let rates = kvd_sim::FaultRates {
+            dram_bit_error: 1.0,
+            dram_uncorrectable: 1.0,
+            ..kvd_sim::FaultRates::ZERO
+        };
+        let mut m = dispatched_faulty(1.0, rates, 7);
+        m.set_bypass_threshold(1_000_000);
+        // The write itself draws a fault on a clean line (refetch only),
+        // then dirties it; the read's fault hits the now-dirty line.
+        m.write(4096, &[0xEE; 64]);
+        let rescued_before = m.ecc().rescue_writebacks;
+        let mut buf = [0u8; 64];
+        m.read(4096, &mut buf);
+        assert_eq!(buf, [0xEE; 64], "dirty data must survive the rebuild");
+        assert!(m.ecc().rescue_writebacks > rescued_before);
+        // After recovery the authoritative copy reached host memory, so a
+        // fresh engine sharing nothing would... (cannot share HostMemory;
+        // instead verify the line is clean now: another uncorrectable hit
+        // must not rescue again).
+        let rescued = m.ecc().rescue_writebacks;
+        m.read(4096, &mut buf);
+        assert_eq!(buf, [0xEE; 64]);
+        assert_eq!(m.ecc().rescue_writebacks, rescued, "line was left clean");
+    }
+
+    #[test]
+    fn persistent_uncorrectable_errors_trip_cache_bypass() {
+        let rates = kvd_sim::FaultRates {
+            dram_bit_error: 1.0,
+            dram_uncorrectable: 1.0,
+            ..kvd_sim::FaultRates::ZERO
+        };
+        let mut m = dispatched_faulty(1.0, rates, 7);
+        m.set_bypass_threshold(4);
+        // Dirty a few lines so the breaker has something to flush.
+        for i in 0..8u64 {
+            m.write(i * 64, &[i as u8 + 1; 64]);
+        }
+        assert!(m.ecc().bypassed, "breaker should have tripped");
+        let dram_ops_at_trip = m.stats().dram_reads + m.stats().dram_writes;
+        // Degraded mode: everything over PCIe, and all data still intact.
+        let mut buf = [0u8; 64];
+        for i in 0..8u64 {
+            m.read(i * 64, &mut buf);
+            assert_eq!(buf, [i as u8 + 1; 64], "flush must preserve dirty data");
+        }
+        let s = m.stats();
+        assert_eq!(s.dram_reads + s.dram_writes, dram_ops_at_trip);
+        assert!(m.ecc().uncorrectable >= 4);
+    }
+
+    #[test]
+    fn faulty_engine_still_matches_flat_reference() {
+        // The fault plane injects and recovers; bytes must stay exact.
+        let rates = kvd_sim::FaultRates {
+            dram_bit_error: 0.3,
+            dram_uncorrectable: 0.25,
+            host_stall: 0.1,
+            ..kvd_sim::FaultRates::ZERO
+        };
+        let mut d = dispatched_faulty(0.5, rates, 11);
+        d.set_bypass_threshold(50); // let the breaker trip mid-run
+        let mut f = FlatMemory::new(1 << 20);
+        let mut rng = kvd_sim::DetRng::seed(99);
+        for _ in 0..2000 {
+            let addr = rng.u64_below((1 << 20) - 300);
+            let len = 1 + rng.usize_below(300);
+            if rng.chance(0.5) {
+                let mut data = vec![0u8; len];
+                rng.fill_bytes(&mut data);
+                d.write(addr, &data);
+                f.write(addr, &data);
+            } else {
+                let mut a = vec![0u8; len];
+                let mut b = vec![0u8; len];
+                d.read(addr, &mut a);
+                f.read(addr, &mut b);
+                assert_eq!(a, b, "divergence at {addr:#x}+{len}");
+            }
+        }
+        assert!(d.ecc().bypassed, "this rate must have tripped the breaker");
+        assert!(d.ecc().corrected > 0);
+        assert!(d.ecc().rescue_writebacks > 0);
+        assert!(d.ecc().host_stalls > 0);
+    }
+
+    #[test]
+    fn fault_schedule_is_seed_deterministic() {
+        let rates = kvd_sim::FaultRates {
+            dram_bit_error: 0.2,
+            dram_uncorrectable: 0.25,
+            host_stall: 0.05,
+            ..kvd_sim::FaultRates::ZERO
+        };
+        let run = |seed: u64| {
+            let mut m = dispatched_faulty(0.5, rates, seed);
+            let mut rng = kvd_sim::DetRng::seed(1);
+            let mut buf = [0u8; 64];
+            for _ in 0..1000 {
+                let addr = rng.u64_below((1 << 20) - 64);
+                if rng.chance(0.5) {
+                    m.write(addr, &buf);
+                } else {
+                    m.read(addr, &mut buf);
+                }
+            }
+            (m.stats(), *m.ecc(), *m.faults().counters())
+        };
+        assert_eq!(run(7), run(7));
+        let (_, e7, _) = run(7);
+        let (_, e8, _) = run(8);
+        assert_ne!(e7, e8, "different seeds must differ somewhere");
+        assert!(e7.corrected + e7.uncorrectable > 0);
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub mod nicdram;
 pub mod replay;
 
 pub use dispatch::{DispatchConfig, LoadDispatcher};
-pub use engine::{AccessKind, AccessStats, DispatchedMemory, FlatMemory, MemoryEngine};
+pub use engine::{
+    AccessKind, AccessStats, DispatchedMemory, EccStats, FlatMemory, MemoryEngine,
+    DEFAULT_BYPASS_THRESHOLD,
+};
 pub use host::HostMemory;
 pub use nicdram::{NicDram, NicDramConfig};
 

@@ -195,6 +195,61 @@ impl NicDram {
         evicted
     }
 
+    /// Whether a resident line is dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not resident.
+    pub fn is_dirty(&self, host_line: u64) -> bool {
+        assert!(self.lookup(host_line), "is_dirty on non-resident line");
+        self.meta[self.slot_of(host_line) as usize].dirty
+    }
+
+    /// Reads a resident line without hit accounting (ECC recovery path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not resident.
+    pub fn peek(&self, host_line: u64, buf: &mut [u8]) {
+        assert!(self.lookup(host_line), "peek of non-resident line");
+        assert_eq!(buf.len() as u64, LINE);
+        let off = (self.slot_of(host_line) * LINE) as usize;
+        buf.copy_from_slice(&self.data[off..off + LINE as usize]);
+    }
+
+    /// Overwrites a resident line in place with a fresh copy and sets its
+    /// dirty state — the ECC recovery refill after an uncorrectable error.
+    /// No hit/miss accounting (this is not a demand access).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not resident.
+    pub fn restore(&mut self, host_line: u64, data: &[u8], dirty: bool) {
+        assert!(self.lookup(host_line), "restore of non-resident line");
+        assert_eq!(data.len() as u64, LINE);
+        let slot = self.slot_of(host_line);
+        let off = (slot * LINE) as usize;
+        self.data[off..off + LINE as usize].copy_from_slice(data);
+        self.meta[slot as usize].dirty = dirty;
+    }
+
+    /// Drains every dirty line, clearing the dirty flags, and returns the
+    /// (host line, contents) pairs for the caller to write back — used when
+    /// the degradation breaker retires the cache from service.
+    pub fn flush_dirty(&mut self) -> Vec<(u64, Box<[u8]>)> {
+        let mut out = Vec::new();
+        for slot in 0..self.slots {
+            let m = &mut self.meta[slot as usize];
+            if m.dirty {
+                m.dirty = false;
+                let line = m.tag as u64 * self.slots + slot;
+                let off = (slot * LINE) as usize;
+                out.push((line, self.data[off..off + LINE as usize].into()));
+            }
+        }
+        out
+    }
+
     /// Cache hits so far.
     pub fn hits(&self) -> u64 {
         self.hits

@@ -1,10 +1,15 @@
 //! The 40 GbE link as a timed resource.
 
-use kvd_sim::{BandwidthLink, SimTime};
+use kvd_sim::{BandwidthLink, FaultPlane, NetFault, SimTime};
 
 use crate::config::NetConfig;
 
 /// A directional network link: serialization + propagation latency.
+///
+/// With a fault plane attached, packets can be dropped (the sender
+/// retransmits after one round-trip timeout, so `send` still returns the
+/// arrival time of the copy that made it) or reordered (the packet takes a
+/// slower path and arrives late).
 ///
 /// # Examples
 ///
@@ -21,29 +26,62 @@ use crate::config::NetConfig;
 pub struct NetLink {
     cfg: NetConfig,
     line: BandwidthLink,
+    faults: FaultPlane,
     packets: u64,
     payload_bytes: u64,
+    retransmits: u64,
 }
 
 impl NetLink {
     /// Creates an idle link.
     pub fn new(cfg: NetConfig) -> Self {
+        NetLink::with_faults(cfg, FaultPlane::disabled())
+    }
+
+    /// Creates a link whose packets suffer drops/reorders drawn from
+    /// `faults`.
+    pub fn with_faults(cfg: NetConfig, faults: FaultPlane) -> Self {
         NetLink {
             line: BandwidthLink::new(cfg.bandwidth),
+            faults,
             packets: 0,
             payload_bytes: 0,
+            retransmits: 0,
             cfg,
         }
     }
 
     /// Sends a packet with `payload` bytes at `now`; returns its arrival
     /// time at the far end (one-way: half the round-trip latency).
+    ///
+    /// A dropped packet still burns serialization bandwidth; the sender
+    /// notices after one RTT (its retransmission timeout) and sends again,
+    /// so the returned arrival time is that of the first surviving copy.
+    /// A reordered packet arrives late by up to half the propagation
+    /// delay, modelling a slower switch path.
     pub fn send(&mut self, now: SimTime, payload: u64) -> SimTime {
         let wire = self.cfg.wire_bytes(payload);
-        let serialized = self.line.transfer(now, wire);
-        self.packets += 1;
-        self.payload_bytes += payload;
-        serialized + self.cfg.latency / 2
+        let mut at = now;
+        loop {
+            let serialized = self.line.transfer(at, wire);
+            match self.faults.net_fault() {
+                NetFault::Drop => {
+                    // Lost in the fabric: retransmit one RTT after the
+                    // send hit the wire.
+                    self.retransmits += 1;
+                    at = serialized + self.cfg.latency;
+                }
+                fault @ (NetFault::None | NetFault::Reorder) => {
+                    self.packets += 1;
+                    self.payload_bytes += payload;
+                    let mut arrival = serialized + self.cfg.latency / 2;
+                    if fault == NetFault::Reorder {
+                        arrival += self.cfg.latency / 4;
+                    }
+                    return arrival;
+                }
+            }
+        }
     }
 
     /// When the link is next free to serialize.
@@ -51,14 +89,30 @@ impl NetLink {
         self.line.free_at()
     }
 
-    /// Packets sent.
+    /// Packets delivered (retransmissions of dropped packets are not
+    /// counted until a copy survives).
     pub fn packets(&self) -> u64 {
         self.packets
     }
 
-    /// Payload bytes sent.
+    /// Payload bytes delivered.
     pub fn payload_bytes(&self) -> u64 {
         self.payload_bytes
+    }
+
+    /// Retransmissions forced by dropped packets.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// The link's fault plane (injection counters live here).
+    pub fn faults(&self) -> &FaultPlane {
+        &self.faults
+    }
+
+    /// Mutable fault-plane access (rate changes, counter resets).
+    pub fn faults_mut(&mut self) -> &mut FaultPlane {
+        &mut self.faults
     }
 
     /// The configuration.
@@ -70,6 +124,7 @@ impl NetLink {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kvd_sim::FaultRates;
 
     #[test]
     fn serialization_queues_packets() {
@@ -87,5 +142,101 @@ mod tests {
         let arrive = link.send(SimTime::ZERO, 64);
         let lat = arrive.as_us();
         assert!((1.0..1.1).contains(&lat), "got {lat}us");
+    }
+
+    #[test]
+    fn disabled_fault_plane_is_bit_identical_to_plain_link() {
+        let mut plain = NetLink::new(NetConfig::forty_gbe());
+        let mut faulty = NetLink::with_faults(NetConfig::forty_gbe(), FaultPlane::disabled());
+        for i in 0..200u64 {
+            let t = SimTime::from_ns(313 * i);
+            assert_eq!(plain.send(t, 64 + i), faulty.send(t, 64 + i));
+        }
+        assert_eq!(plain.packets(), faulty.packets());
+        assert_eq!(faulty.retransmits(), 0);
+        assert_eq!(faulty.faults().counters().total_faults(), 0);
+    }
+
+    #[test]
+    fn drops_force_retransmission_after_rto() {
+        let rates = FaultRates {
+            net_drop: 0.5,
+            ..FaultRates::ZERO
+        };
+        let mut link = NetLink::with_faults(NetConfig::forty_gbe(), FaultPlane::new(rates, 3));
+        let mut total_retx = 0u64;
+        for i in 0..200u64 {
+            let t = SimTime::from_us(10 * i);
+            let arrive = link.send(t, 64);
+            assert!(arrive > t, "arrival precedes send");
+            total_retx = link.retransmits();
+        }
+        assert!(total_retx > 50, "p=0.5 must retransmit often: {total_retx}");
+        assert_eq!(link.faults().counters().net_drops, total_retx);
+        assert_eq!(link.packets(), 200, "every packet eventually arrives");
+    }
+
+    #[test]
+    fn dropped_copy_delays_delivery_by_rtt() {
+        let rates = FaultRates {
+            net_drop: 0.5,
+            ..FaultRates::ZERO
+        };
+        // Find a seed position where the first draw drops: with p=0.5 and
+        // seed 1 the schedule is fixed; assert against a clean link.
+        let mut faulty = NetLink::with_faults(NetConfig::forty_gbe(), FaultPlane::new(rates, 1));
+        let mut clean = NetLink::new(NetConfig::forty_gbe());
+        let mut saw_delay = false;
+        for i in 0..50u64 {
+            let t = SimTime::from_us(100 * i);
+            let a = faulty.send(t, 64);
+            let b = clean.send(t, 64);
+            if a > b {
+                // The delay is at least one RTT per dropped copy.
+                assert!(a - b >= NetConfig::forty_gbe().latency);
+                saw_delay = true;
+            }
+        }
+        assert!(saw_delay, "seeded schedule should include drops");
+    }
+
+    #[test]
+    fn reordered_packets_arrive_late_but_all_arrive() {
+        let rates = FaultRates {
+            net_reorder: 1.0,
+            ..FaultRates::ZERO
+        };
+        let mut faulty = NetLink::with_faults(NetConfig::forty_gbe(), FaultPlane::new(rates, 3));
+        let mut clean = NetLink::new(NetConfig::forty_gbe());
+        let t = SimTime::ZERO;
+        let a = faulty.send(t, 64);
+        let b = clean.send(t, 64);
+        assert_eq!(a - b, NetConfig::forty_gbe().latency / 4);
+        assert_eq!(faulty.faults().counters().net_reorders, 1);
+        assert_eq!(faulty.retransmits(), 0, "reorder is not a loss");
+    }
+
+    #[test]
+    fn fault_schedule_is_seed_deterministic() {
+        let rates = FaultRates {
+            net_drop: 0.2,
+            net_reorder: 0.2,
+            ..FaultRates::ZERO
+        };
+        let run = |seed: u64| {
+            let mut link =
+                NetLink::with_faults(NetConfig::forty_gbe(), FaultPlane::new(rates, seed));
+            let mut arrivals = Vec::new();
+            for i in 0..300u64 {
+                arrivals.push(link.send(SimTime::from_us(5 * i), 128));
+            }
+            (arrivals, link.retransmits(), *link.faults().counters())
+        };
+        assert_eq!(run(9), run(9));
+        let (_, retx9, c9) = run(9);
+        let (_, _, c10) = run(10);
+        assert!(c9.net_drops + c9.net_reorders > 0);
+        assert_eq!(retx9, c9.net_drops);
+        assert_ne!(c9, c10, "different seeds, different schedules");
     }
 }

@@ -130,6 +130,9 @@ pub enum Status {
     OutOfMemory = 2,
     /// Malformed request or unregistered λ.
     Invalid = 3,
+    /// A device-level fault (DMA retry budget exhausted); the operation
+    /// was not applied and may be retried by the client.
+    DeviceError = 4,
 }
 
 impl Status {
@@ -139,6 +142,7 @@ impl Status {
             1 => Status::NotFound,
             2 => Status::OutOfMemory,
             3 => Status::Invalid,
+            4 => Status::DeviceError,
             _ => return None,
         })
     }

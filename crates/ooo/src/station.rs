@@ -154,6 +154,9 @@ pub struct StationStats {
     pub writebacks: u64,
     /// Admissions rejected for capacity.
     pub rejected: u64,
+    /// Busy slots reclaimed because the issued operation failed (e.g. a
+    /// DMA tag timed out and the retry budget ran out).
+    pub reclaimed: u64,
 }
 
 /// The reservation station (paper Figure 4, §3.3.3).
@@ -331,6 +334,43 @@ impl ReservationStation {
                 out.issue = Some(op);
                 return out;
             }
+        }
+        out
+    }
+
+    /// Reclaims a busy slot whose issued operation *failed* (the memory
+    /// access never produced a value — a DMA tag timed out, the retry
+    /// budget ran out). Unlike [`complete`], no forwarding cache is
+    /// installed: the failed operation observed nothing, so nothing may be
+    /// forwarded to dependents. The next pending operation in the slot is
+    /// re-issued to the pipeline so the dependency chain keeps draining
+    /// instead of wedging behind the dead tag.
+    ///
+    /// The failed operation must not have modified the hash table (the
+    /// processor fails transactions atomically), so any state the caller
+    /// has is still consistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not busy.
+    ///
+    /// [`complete`]: ReservationStation::complete
+    pub fn reclaim(&mut self, key: &[u8]) -> Completion {
+        let idx = self.slot_index(key);
+        let slot = &mut self.slots[idx];
+        assert!(slot.busy, "reclaim for a non-busy slot");
+        slot.busy = false;
+        self.total_tracked -= 1;
+        self.stats.reclaimed += 1;
+        let mut out = Completion::default();
+        if let Some(op) = slot.pending.pop_front() {
+            // No value to forward: the next dependent must reach memory
+            // itself, whatever its key.
+            out.writeback = Self::take_writeback(slot, &mut self.stats);
+            slot.busy = true;
+            // Tracked count unchanged: it moves from queued to busy.
+            self.stats.issued += 1;
+            out.issue = Some(op);
         }
         out
     }
@@ -587,6 +627,62 @@ mod tests {
             }
             a => panic!("{a:?}"),
         }
+    }
+
+    #[test]
+    fn reclaim_installs_no_forwarding_cache() {
+        let mut rs = ReservationStation::new(StationConfig::default());
+        assert!(matches!(rs.admit(get(0, b"k")), Admission::Issue { .. }));
+        let c = rs.reclaim(b"k");
+        assert!(c.results.is_empty() && c.issue.is_none());
+        assert!(rs.idle());
+        assert_eq!(rs.stats().reclaimed, 1);
+        // The failed op forwarded nothing: the next same-key op must go to
+        // memory itself, not ride a stale fast path.
+        assert!(matches!(rs.admit(get(1, b"k")), Admission::Issue { .. }));
+    }
+
+    #[test]
+    fn reclaim_reissues_next_pending_same_key() {
+        let mut rs = ReservationStation::new(StationConfig::default());
+        assert!(matches!(rs.admit(get(0, b"k")), Admission::Issue { .. }));
+        assert!(matches!(rs.admit(put(1, b"k", b"v")), Admission::Queued));
+        assert!(matches!(rs.admit(get(2, b"k")), Admission::Queued));
+        let c = rs.reclaim(b"k");
+        // The chain must not wedge: the first dependent is re-issued, and
+        // nothing is forwarded (there is no value to forward).
+        assert!(c.results.is_empty());
+        let issued = c.issue.expect("next pending op must re-issue");
+        assert_eq!(issued.id, 1);
+        assert_eq!(rs.tracked(), 2, "op 1 busy + op 2 still queued");
+        // Normal completion of the re-issued op drains the rest.
+        let c2 = rs.complete(b"k", Some(b"v".to_vec()));
+        assert_eq!(c2.results.len(), 1);
+        assert_eq!(c2.results[0].id, 2);
+        assert!(rs.idle());
+    }
+
+    #[test]
+    fn reclaim_reissues_pending_collider() {
+        let cfg = StationConfig {
+            hash_slots: 1,
+            capacity: 16,
+        };
+        let mut rs = ReservationStation::new(cfg);
+        assert!(matches!(rs.admit(get(0, b"a")), Admission::Issue { .. }));
+        assert!(matches!(rs.admit(get(1, b"b")), Admission::Queued));
+        let c = rs.reclaim(b"a");
+        let issued = c.issue.expect("collider must be issued");
+        assert_eq!(issued.key, b"b");
+        rs.complete(b"b", None);
+        assert!(rs.idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "reclaim for a non-busy slot")]
+    fn reclaim_requires_busy_slot() {
+        let mut rs = ReservationStation::new(StationConfig::default());
+        rs.reclaim(b"nope");
     }
 
     #[test]

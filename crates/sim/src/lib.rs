@@ -15,12 +15,15 @@
 //! * [`stats`] — log-bucketed latency histograms, counters and summaries.
 //! * [`rng`] — seeded deterministic RNG plus Zipf samplers (the paper's
 //!   "long-tail" workload is Zipf with skewness 0.99).
+//! * [`fault`] — deterministic, seed-driven fault injection
+//!   ([`FaultPlane`]) consulted by the PCIe, DRAM and network models.
 //! * [`report`] — plain-text table rendering used by the benchmark
 //!   harnesses that regenerate the paper's tables and figures.
 //!
 //! Everything here is deterministic given a seed, so simulation results are
 //! reproducible run-to-run.
 
+pub mod fault;
 pub mod queue;
 pub mod report;
 pub mod resource;
@@ -28,6 +31,9 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use fault::{
+    DramFault, FaultCounters, FaultPlane, FaultRates, NetFault, PcieFault, TxnOutcome,
+};
 pub use queue::EventQueue;
 pub use resource::{BandwidthLink, CreditPool, LatencyModel, TagPool};
 pub use rng::{DetRng, ZipfSampler};

@@ -1,0 +1,187 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`, `Bencher::iter` and `Bencher::iter_batched_ref`.
+//!
+//! Instead of criterion's full statistical pipeline this runs a short
+//! warmup, then times a fixed wall-clock budget per benchmark and
+//! reports mean ns/iter — enough for coarse regression spotting and for
+//! keeping the bench targets compiling and runnable without crates.io.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched*` amortizes setup; sizes are accepted and ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: self,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the fixed time budget ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark and prints its mean time per iteration.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        let ns = if bencher.iters == 0 {
+            0.0
+        } else {
+            bencher.total.as_nanos() as f64 / bencher.iters as f64
+        };
+        println!(
+            "{}/{}: {:.1} ns/iter ({} iters)",
+            self.name, id, ns, bencher.iters
+        );
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; accumulates timed iterations.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+/// Wall-clock budget spent measuring each benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(20);
+const WARMUP_ITERS: u64 = 3;
+
+impl Bencher {
+    /// Times `routine` back to back until the budget is spent.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            std_black_box(routine());
+        }
+        let start = Instant::now();
+        while start.elapsed() < MEASURE_BUDGET {
+            let t = Instant::now();
+            std_black_box(routine());
+            self.total += t.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Times `routine` over inputs built by `setup` outside the timing.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        {
+            let mut input = setup();
+            for _ in 0..WARMUP_ITERS {
+                std_black_box(routine(&mut input));
+            }
+        }
+        let start = Instant::now();
+        while start.elapsed() < MEASURE_BUDGET {
+            let mut input = setup();
+            let t = Instant::now();
+            std_black_box(routine(&mut input));
+            self.total += t.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_counts_iters() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(10);
+        let mut ran = 0u64;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_ref_separates_setup() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t2");
+        g.bench_function("batched", |b| {
+            b.iter_batched_ref(
+                || vec![0u8; 16],
+                |v| {
+                    v[0] = 1;
+                    v[0]
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,88 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses:
+//! `crossbeam::thread::scope` / `Scope::spawn`.
+//!
+//! Implemented as a thin shim over `std::thread::scope` (stable since
+//! Rust 1.63), preserving crossbeam's two API differences: `scope`
+//! returns `Result` (`Err` when a child thread panicked) and spawn
+//! closures receive a `&Scope` argument for nested spawning.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Scope handle passed to [`scope`] closures and spawned threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives a scope handle so
+        /// it can spawn further siblings, mirroring crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; joins them all before returning. Returns `Err` with the
+    /// panic payload if any thread (or `f` itself) panicked.
+    #[allow(clippy::type_complexity)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn spawned_threads_see_borrowed_data() {
+        let data = [1u64, 2, 3, 4];
+        let sum = AtomicUsize::new(0);
+        let sum_ref = &sum;
+        thread::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(move |_| {
+                    let local: u64 = chunk.iter().sum();
+                    sum_ref.fetch_add(local as usize, Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn child_panic_reported_as_err() {
+        let r = thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let count = AtomicUsize::new(0);
+        thread::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .expect("no panics");
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! Supports the `proptest!` test macro (with `#![proptest_config]`),
+//! `prop_assert!`/`prop_assert_eq!`, `prop_oneof!` (weighted and
+//! unweighted), `any::<T>()`, `Just`, ranges as strategies, tuples,
+//! `.prop_map`, `prop::collection::{vec, btree_set}` and
+//! `prop::option::of`.
+//!
+//! Differences from the real crate: no shrinking (failing inputs are
+//! printed verbatim instead of minimized) and generation is driven by a
+//! fixed default seed, overridable with the `PROPTEST_SEED` environment
+//! variable, so failures reproduce across runs by default.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude;
+
+pub use arbitrary::{any, Arbitrary};
+pub use strategy::{Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng, TestRunner};
+
+/// Asserts a condition inside a `proptest!` body; failures abort only
+/// the current case, reporting the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: `{:?}`\n right: `{:?}`",
+            format!($($fmt)+),
+            l,
+            r
+        );
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            l
+        );
+    }};
+}
+
+/// Builds a union strategy choosing among alternatives, optionally
+/// weighted (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::union_entry($weight, $strat)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::union_entry(1, $strat)),+
+        ])
+    };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...)` body
+/// runs `cases` times over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let runner = $crate::TestRunner::from_env();
+            for case in 0..config.cases {
+                let mut rng = runner.rng_for_case(case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let mut inputs = ::std::string::String::new();
+                $({
+                    use ::std::fmt::Write as _;
+                    let _ = ::std::writeln!(inputs, "    {} = {:?}", stringify!($arg), &$arg);
+                })+
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    },
+                ));
+                match outcome {
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                    ::std::result::Result::Ok(::std::result::Result::Err(e)) => {
+                        ::std::panic!(
+                            "[proptest] {} failed at case {} (seed {:#x}):\n{}\ninputs:\n{}",
+                            stringify!($name), case, runner.seed(), e, inputs
+                        );
+                    }
+                    ::std::result::Result::Err(payload) => {
+                        ::std::eprintln!(
+                            "[proptest] {} panicked at case {} (seed {:#x}); inputs:\n{}",
+                            stringify!($name), case, runner.seed(), inputs
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}

@@ -1,0 +1,40 @@
+//! `prop::option::of`: optional values.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `None` about a quarter of the time, otherwise `Some` of the
+/// inner strategy's value.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Output of [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = TestRng::seed(8);
+        let s = of(0u32..100);
+        let draws: Vec<Option<u32>> = (0..200).map(|_| s.generate(&mut rng)).collect();
+        assert!(draws.iter().any(|d| d.is_none()));
+        assert!(draws.iter().any(|d| d.is_some()));
+    }
+}

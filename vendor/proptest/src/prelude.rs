@@ -1,0 +1,12 @@
+//! Glob-import surface matching `proptest::prelude::*` usage.
+
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+/// Namespace mirror so `prop::collection::vec(...)` etc. resolve.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+}

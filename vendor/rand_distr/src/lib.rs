@@ -1,0 +1,181 @@
+//! Offline stand-in for the subset of `rand_distr` this workspace uses:
+//! the [`Distribution`] trait and a [`Zipf`] sampler.
+//!
+//! `Zipf` implements Hörmann & Derflinger rejection-inversion (the same
+//! algorithm the upstream crate and Apache Commons use): O(1) per sample
+//! for any `n`, exact for every exponent `s >= 0`, including the uniform
+//! degenerate case `s = 0` where the envelope is tight and every proposal
+//! is accepted. Samples are in `[1, n]` with `P(k) ∝ k^-s`.
+
+use rand::RngCore;
+
+/// A distribution that can be sampled with any [`RngCore`].
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Parameter error from [`Zipf::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZipfError(&'static str);
+
+impl std::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+/// Zipf distribution over `{1, ..., n}` with exponent `s`.
+#[derive(Debug, Clone, Copy)]
+pub struct Zipf<F> {
+    n: F,
+    s: F,
+    /// `H(1.5) - h(1)`: upper edge of the inversion interval.
+    h_x1: F,
+    /// `H(n + 0.5)`: lower edge of the inversion interval.
+    h_n: F,
+    /// Threshold for the quick-accept test.
+    quick: F,
+}
+
+/// `h(x) = x^-s`.
+fn h(x: f64, s: f64) -> f64 {
+    (-s * x.ln()).exp()
+}
+
+/// `H(x) = (x^(1-s) - 1) / (1 - s)` computed stably near `s = 1`.
+fn h_integral(x: f64, s: f64) -> f64 {
+    let log_x = x.ln();
+    helper2((1.0 - s) * log_x) * log_x
+}
+
+/// `H^-1(y) = (1 + y(1-s))^(1/(1-s))` computed stably near `s = 1`.
+fn h_integral_inverse(y: f64, s: f64) -> f64 {
+    let mut t = y * (1.0 - s);
+    if t < -1.0 {
+        // Numerical guard: t may round slightly below the domain edge.
+        t = -1.0;
+    }
+    (helper1(t) * y).exp()
+}
+
+/// `log(1+x)/x`, continuous at 0.
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+    }
+}
+
+/// `(exp(x)-1)/x`, continuous at 0.
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + 0.25 * x))
+    }
+}
+
+impl Zipf<f64> {
+    /// Creates the distribution; `n >= 1` and `s >= 0` are required.
+    pub fn new(n: f64, s: f64) -> Result<Self, ZipfError> {
+        if !n.is_finite() || n < 1.0 {
+            return Err(ZipfError("Zipf requires n >= 1"));
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(ZipfError("Zipf requires exponent s >= 0"));
+        }
+        Ok(Zipf {
+            n,
+            s,
+            h_x1: h_integral(1.5, s) - 1.0,
+            h_n: h_integral(n + 0.5, s),
+            quick: 2.0 - h_integral_inverse(h_integral(2.5, s) - h(2.0, s), s),
+        })
+    }
+}
+
+impl Distribution<f64> for Zipf<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        loop {
+            let r = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let u = self.h_n + r * (self.h_x1 - self.h_n);
+            let x = h_integral_inverse(u, self.s);
+            let k = (x + 0.5).floor().clamp(1.0, self.n);
+            if k - x <= self.quick || u >= h_integral(k + 0.5, self.s) - h(k, self.s) {
+                return k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Zipf::new(0.0, 1.0).is_err());
+        assert!(Zipf::new(10.0, -0.5).is_err());
+        assert!(Zipf::new(10.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(100.0, 0.99).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..50_000 {
+            let v = z.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&v), "out of range: {v}");
+            assert_eq!(v, v.floor());
+        }
+    }
+
+    #[test]
+    fn matches_exact_pmf() {
+        // Compare empirical top-rank frequencies with the exact PMF.
+        let n = 50usize;
+        let s = 0.99;
+        let z = Zipf::new(n as f64, s).unwrap();
+        let norm: f64 = (1..=n).map(|k| (k as f64).powf(-s)).sum();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let trials = 200_000;
+        let mut counts = vec![0u32; n];
+        for _ in 0..trials {
+            counts[z.sample(&mut rng) as usize - 1] += 1;
+        }
+        for k in 1..=8usize {
+            let expect = (k as f64).powf(-s) / norm;
+            let got = counts[k - 1] as f64 / trials as f64;
+            assert!((got - expect).abs() < 0.01, "rank {k}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn uniform_when_s_is_zero() {
+        let z = Zipf::new(10.0, 0.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let trials = 100_000;
+        let mut counts = [0u32; 10];
+        for _ in 0..trials {
+            counts[z.sample(&mut rng) as usize - 1] += 1;
+        }
+        for &c in &counts {
+            let f = c as f64 / trials as f64;
+            assert!((f - 0.1).abs() < 0.01, "not uniform: {f}");
+        }
+    }
+
+    #[test]
+    fn single_element_always_one() {
+        let z = Zipf::new(1.0, 0.99).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            assert_eq!(z.sample(&mut rng), 1.0);
+        }
+    }
+}
