@@ -6,12 +6,77 @@
 //! DRAM cache); the three §5.2 bounds (clock, network, PCIe/DRAM) are
 //! then composed exactly as the paper reasons.
 
-use kvd_bench::{banner, fmt_f, shape_check, Table, SCALED_MEMORY};
+use std::time::Instant;
+
+use kvd_bench::{banner, fmt_f, shape_check, Table, SCALED_MEMORY, SCALED_MEMORY_BIG};
+use kvd_core::parallel::{ParallelSimConfig, ParallelSystemSim};
 use kvd_core::timing::{measure_workload, KeyDist, SystemModel, WorkloadSpec};
 use kvd_core::KvDirectConfig;
-use kvd_workloads::paper_kv_sizes;
+use kvd_workloads::{paper_kv_sizes, PresetWorkload, YcsbPreset};
+
+/// `--shards N` runs the YCSB-B stream through the parallel sharded
+/// engine instead of the composition model: N timed pipelines,
+/// key-partitioned routing, and a wall-clock comparison of stepping the
+/// shards sequentially vs. on worker threads.
+fn sharded_run(shards: usize) {
+    banner(
+        "YCSB-B on the parallel sharded engine",
+        "simulated multi-NIC throughput and host wall-clock, sequential vs threaded stepping",
+    );
+    let population = 20_000u64 * shards as u64;
+    let mut w = PresetWorkload::new(YcsbPreset::B, population, 8, 0xF16B);
+    let reqs = w.batch(24_000 * shards);
+
+    let run = |workers: usize| {
+        let mut cfg =
+            ParallelSimConfig::paper(KvDirectConfig::with_memory(SCALED_MEMORY_BIG), 40, shards);
+        cfg.shard.windows = 24;
+        cfg.workers = workers;
+        let mut sim = ParallelSystemSim::new(cfg);
+        for id in 0..population {
+            sim.preload_put(&id.to_le_bytes(), &[id as u8; 8])
+                .expect("preload fits");
+        }
+        let started = Instant::now();
+        let report = sim.run(&reqs);
+        (report, started.elapsed())
+    };
+    let (seq, t_seq) = run(1);
+    let (par, t_par) = run(0);
+    assert_eq!(seq, par, "worker count must not change simulated results");
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "{} shards, {} ops: {} simulated Mops (p50 GET {:.2} us)",
+        shards,
+        seq.ops,
+        fmt_f(seq.mops, 0),
+        seq.get_latency.p50 as f64 / 1e6,
+    );
+    println!(
+        "wall-clock: sequential {:.0} ms, {} workers {:.0} ms ({:.2}x)",
+        t_seq.as_secs_f64() * 1e3,
+        cores.min(shards),
+        t_par.as_secs_f64() * 1e3,
+        t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-9),
+    );
+}
 
 fn main() {
+    // Cargo's bench runner prepends its own flags (e.g. `--bench`), so
+    // scan for ours anywhere in the argument list.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--shards") {
+        let shards: usize = args
+            .get(i + 1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(10)
+            .max(1);
+        sharded_run(shards);
+        return;
+    }
     banner(
         "Figure 16: YCSB throughput vs KV size (uniform / long-tail)",
         "tiny inline KVs approach the 180 Mops clock bound (long-tail, \

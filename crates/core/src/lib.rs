@@ -18,17 +18,22 @@
 //! * [`store`] — [`KvDirectStore`], the embedder-facing API, plus
 //!   [`MultiNicStore`] for the paper's multi-NIC scaling (10 NICs →
 //!   1.22 Gops).
+//! * [`parallel`] — the multi-NIC server *simulated*: one timed pipeline
+//!   per shard on OS worker threads, synchronized through a host-memory
+//!   arbiter so the Figure 18 saturation knee emerges from contention.
 //! * [`timing`] — the system-level throughput/latency composition used by
 //!   the benchmark harnesses (Figures 16/17/18, Tables 3/4).
 
 pub mod lambda;
+pub mod parallel;
 pub mod processor;
 pub mod store;
 pub mod system;
 pub mod timing;
 
 pub use lambda::{builtin, Lambda, LambdaRegistry};
+pub use parallel::{ParallelSimConfig, ParallelSimReport, ParallelSystemSim};
 pub use processor::{KvProcessor, ProcessorStats};
 pub use store::{KvDirectConfig, KvDirectStore, MultiNicStore, StoreError};
-pub use system::{SystemSim, SystemSimConfig, SystemSimReport};
+pub use system::{StepOutcome, SystemSim, SystemSimConfig, SystemSimReport};
 pub use timing::{SystemModel, ThroughputBreakdown, WorkloadSpec};

@@ -1,0 +1,351 @@
+//! Parallel sharded execution engine — the paper's multi-NIC server
+//! (§5.2, Figure 18), simulated rather than composed.
+//!
+//! Ten programmable NICs in one server give 10 × 180 Mops of NIC-side
+//! capacity, but every NIC's DMA engines draw from the same host DRAM
+//! controllers, so measured throughput saturates at 1.22 Gops. This
+//! module reproduces that experiment structurally: one full timed
+//! pipeline ([`SystemSim`]: client ↔ 40 GbE ↔ KV processor ↔ PCIe/DRAM)
+//! per shard, key-partitioned request routing via [`kvd_net::shard_of`],
+//! and a conservative time-quantum [`HostArbiter`] standing in for the
+//! shared host memory.
+//!
+//! # Synchronization scheme
+//!
+//! Shards advance in lockstep *lookahead windows* of one arbiter quantum.
+//! Window `k` spans `[h_k, h_k + q)`: every shard simulates all request
+//! batches that issue inside the window (issue times floored at `h_k`),
+//! counting the host cache lines its DMA engines touched. At the barrier
+//! the aggregate is charged to the arbiter; an oversubscribed window
+//! stretches the next window's start, `h_{k+1} = h_k + q + stall`, so
+//! every shard's subsequent requests are pushed out and aggregate
+//! throughput degrades exactly to the host's random-access capacity —
+//! the Figure 18 knee emerges from contention, not from a formula.
+//!
+//! # Determinism
+//!
+//! Within a window each shard's evolution depends only on its own state
+//! and the `(horizon, floor)` pair, which is itself a pure function of
+//! per-window aggregate traffic — a sum of `u64`s accumulated in shard
+//! order, independent of which OS thread stepped which shard. Worker
+//! threads only partition the shard vector; they exchange no other
+//! state. A run is therefore bit-identical for any worker count, which
+//! `tests/parallel_determinism.rs` enforces.
+
+use kvd_net::{shard_of, KvRequest};
+use kvd_sim::{ArbiterStats, Histogram, HostArbiter, HostArbiterConfig, SimTime, Summary};
+
+use crate::store::{KvDirectConfig, KvDirectStore, StoreError};
+use crate::system::{StepOutcome, SystemSim, SystemSimConfig, SystemSimReport};
+
+/// Configuration of the parallel multi-shard engine.
+#[derive(Debug, Clone)]
+pub struct ParallelSimConfig {
+    /// Per-shard pipeline configuration (one NIC's worth).
+    pub shard: SystemSimConfig,
+    /// Number of shards (NICs).
+    pub shards: usize,
+    /// OS worker threads stepping the shards; `0` uses the machine's
+    /// available parallelism. Results are bit-identical for any value.
+    pub workers: usize,
+    /// Shared host-memory arbiter.
+    pub arbiter: HostArbiterConfig,
+    /// Master seed; each shard's rng/jitter forks deterministically from
+    /// it, so shard `i` behaves identically regardless of shard count.
+    pub seed: u64,
+}
+
+impl ParallelSimConfig {
+    /// The paper's testbed: `shards` NICs, each running the Figure 17
+    /// pipeline, over the shared host-DRAM arbiter.
+    pub fn paper(store: KvDirectConfig, batch: usize, shards: usize) -> Self {
+        ParallelSimConfig {
+            shard: SystemSimConfig::paper(store, batch),
+            shards,
+            workers: 0,
+            arbiter: HostArbiterConfig::paper(),
+            seed: 0xF1_618,
+        }
+    }
+}
+
+/// Result of a parallel run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelSimReport {
+    /// Shards simulated.
+    pub shards: usize,
+    /// Operations completed across all shards.
+    pub ops: u64,
+    /// Simulated makespan (slowest shard).
+    pub elapsed: SimTime,
+    /// Aggregate sustained throughput (Mops).
+    pub mops: f64,
+    /// GET latency summary merged across shards (picoseconds).
+    pub get_latency: Summary,
+    /// PUT latency summary merged across shards (picoseconds).
+    pub put_latency: Summary,
+    /// Each shard's individual report, in shard order.
+    pub per_shard: Vec<SystemSimReport>,
+    /// Host-memory arbiter activity (windows, oversubscription, stall).
+    pub arbiter: ArbiterStats,
+}
+
+/// The parallel sharded simulator.
+///
+/// # Examples
+///
+/// ```
+/// use kvd_core::parallel::{ParallelSimConfig, ParallelSystemSim};
+/// use kvd_core::KvDirectConfig;
+/// use kvd_net::KvRequest;
+///
+/// let mut sim = ParallelSystemSim::new(ParallelSimConfig::paper(
+///     KvDirectConfig::with_memory(1 << 20),
+///     8,
+///     4,
+/// ));
+/// for id in 0..64u64 {
+///     sim.preload_put(&id.to_le_bytes(), b"v").unwrap();
+/// }
+/// let reqs: Vec<KvRequest> = (0..256u64)
+///     .map(|i| KvRequest::get(&(i % 64).to_le_bytes()))
+///     .collect();
+/// let r = sim.run(&reqs);
+/// assert_eq!(r.ops, 256);
+/// assert!(r.mops > 0.0);
+/// ```
+pub struct ParallelSystemSim {
+    cfg: ParallelSimConfig,
+    sims: Vec<SystemSim>,
+    arbiter: HostArbiter,
+}
+
+impl ParallelSystemSim {
+    /// Builds one pipeline per shard, each seeded from the master seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.shards == 0`.
+    pub fn new(cfg: ParallelSimConfig) -> Self {
+        assert!(cfg.shards > 0, "need at least one shard");
+        let sims = (0..cfg.shards)
+            .map(|i| {
+                let salt = cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                SystemSim::with_seed(cfg.shard.clone(), salt)
+            })
+            .collect();
+        ParallelSystemSim {
+            arbiter: HostArbiter::new(cfg.arbiter.clone()),
+            sims,
+            cfg,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.sims.len()
+    }
+
+    /// Preloads a key/value pair into its owning shard (functional path,
+    /// outside simulated time).
+    pub fn preload_put(&mut self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        let s = shard_of(key, self.sims.len());
+        self.sims[s].store_mut().put(key, value)
+    }
+
+    /// Direct access to one shard's store (λ registration, preloading).
+    pub fn shard_store_mut(&mut self, i: usize) -> &mut KvDirectStore {
+        self.sims[i].store_mut()
+    }
+
+    fn worker_count(&self) -> usize {
+        let w = if self.cfg.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.cfg.workers
+        };
+        w.clamp(1, self.sims.len())
+    }
+
+    /// Routes the stream to its owning shards, simulates to completion,
+    /// and merges the per-shard reports.
+    pub fn run(&mut self, reqs: &[KvRequest]) -> ParallelSimReport {
+        // Client-side routing: each key's shard is a pure hash, so the
+        // partition is independent of worker count and request order
+        // within a shard is preserved.
+        let n = self.sims.len();
+        let mut routed: Vec<Vec<KvRequest>> = vec![Vec::new(); n];
+        for r in reqs {
+            routed[shard_of(&r.key, n)].push(r.clone());
+        }
+        for (sim, shard_reqs) in self.sims.iter_mut().zip(&routed) {
+            sim.load(shard_reqs);
+        }
+
+        let quantum = self.arbiter.quantum();
+        let workers = self.worker_count();
+        let chunk = n.div_ceil(workers);
+        let mut outcomes = vec![
+            StepOutcome {
+                host_lines: 0,
+                done: true,
+            };
+            n
+        ];
+        let mut floor = SimTime::ZERO;
+        loop {
+            let horizon = floor + quantum;
+            if workers == 1 {
+                for (sim, out) in self.sims.iter_mut().zip(outcomes.iter_mut()) {
+                    *out = sim.step(horizon, floor);
+                }
+            } else {
+                crossbeam::thread::scope(|s| {
+                    for (sims, outs) in self.sims.chunks_mut(chunk).zip(outcomes.chunks_mut(chunk))
+                    {
+                        s.spawn(move |_| {
+                            for (sim, out) in sims.iter_mut().zip(outs.iter_mut()) {
+                                *out = sim.step(horizon, floor);
+                            }
+                        });
+                    }
+                })
+                .expect("shard worker panicked");
+            }
+            // Barrier: aggregate in shard order (a u64 sum — independent
+            // of which worker produced which outcome).
+            let lines: u64 = outcomes.iter().map(|o| o.host_lines).sum();
+            let stall = self.arbiter.charge(lines);
+            floor = horizon + stall;
+            if outcomes.iter().all(|o| o.done) {
+                break;
+            }
+        }
+
+        let per_shard: Vec<SystemSimReport> = self.sims.iter().map(|s| s.report()).collect();
+        let ops: u64 = per_shard.iter().map(|r| r.ops).sum();
+        let elapsed = per_shard
+            .iter()
+            .map(|r| r.elapsed)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let mut get_hist = Histogram::new();
+        let mut put_hist = Histogram::new();
+        for sim in &self.sims {
+            let (g, p) = sim.histograms();
+            get_hist.merge(g);
+            put_hist.merge(p);
+        }
+        let secs = elapsed.as_secs_f64();
+        ParallelSimReport {
+            shards: n,
+            ops,
+            elapsed,
+            mops: if secs > 0.0 {
+                ops as f64 / secs / 1e6
+            } else {
+                0.0
+            },
+            get_latency: get_hist.summary(),
+            put_latency: put_hist.summary(),
+            per_shard,
+            arbiter: self.arbiter.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvd_sim::DetRng;
+
+    fn workload(n: usize, keys: u64, seed: u64) -> Vec<KvRequest> {
+        let mut rng = DetRng::seed(seed);
+        (0..n)
+            .map(|_| {
+                let id = rng.u64_below(keys);
+                if rng.chance(0.1) {
+                    KvRequest::put(&id.to_le_bytes(), &[9u8; 8])
+                } else {
+                    KvRequest::get(&id.to_le_bytes())
+                }
+            })
+            .collect()
+    }
+
+    fn preloaded(cfg: ParallelSimConfig, keys: u64) -> ParallelSystemSim {
+        let mut sim = ParallelSystemSim::new(cfg);
+        for id in 0..keys {
+            sim.preload_put(&id.to_le_bytes(), &[id as u8; 8])
+                .expect("preload fits");
+        }
+        sim
+    }
+
+    #[test]
+    fn all_ops_complete_and_land_in_one_histogram() {
+        let cfg = ParallelSimConfig::paper(KvDirectConfig::with_memory(1 << 20), 8, 4);
+        let mut sim = preloaded(cfg, 2_000);
+        let r = sim.run(&workload(4_000, 2_000, 11));
+        assert_eq!(r.ops, 4_000);
+        assert_eq!(r.get_latency.count + r.put_latency.count, 4_000);
+        assert_eq!(r.per_shard.iter().map(|s| s.ops).sum::<u64>(), 4_000);
+        assert!(r.elapsed > SimTime::ZERO);
+        assert!(r.arbiter.windows > 0);
+    }
+
+    #[test]
+    fn more_shards_give_more_throughput_until_contention() {
+        let reqs = workload(20_000, 10_000, 12);
+        let mut one = preloaded(
+            ParallelSimConfig::paper(KvDirectConfig::with_memory(1 << 20), 40, 1),
+            10_000,
+        );
+        let r1 = one.run(&reqs);
+        let mut four = preloaded(
+            ParallelSimConfig::paper(KvDirectConfig::with_memory(1 << 20), 40, 4),
+            10_000,
+        );
+        let r4 = four.run(&reqs);
+        assert!(
+            r4.mops > r1.mops * 2.5,
+            "4 shards {} vs 1 shard {} Mops",
+            r4.mops,
+            r1.mops
+        );
+    }
+
+    #[test]
+    fn starved_arbiter_never_stalls() {
+        // A single lightly-loaded shard cannot oversubscribe host DRAM.
+        let cfg = ParallelSimConfig::paper(KvDirectConfig::with_memory(1 << 20), 1, 1);
+        let mut sim = preloaded(cfg, 100);
+        let r = sim.run(&workload(200, 100, 13));
+        assert_eq!(r.arbiter.oversubscribed, 0);
+        assert_eq!(r.arbiter.stall, SimTime::ZERO);
+    }
+
+    #[test]
+    fn sequential_and_threaded_agree() {
+        let reqs = workload(6_000, 3_000, 14);
+        let mut a = preloaded(
+            {
+                let mut c = ParallelSimConfig::paper(KvDirectConfig::with_memory(1 << 20), 16, 6);
+                c.workers = 1;
+                c
+            },
+            3_000,
+        );
+        let mut b = preloaded(
+            {
+                let mut c = ParallelSimConfig::paper(KvDirectConfig::with_memory(1 << 20), 16, 6);
+                c.workers = 3;
+                c
+            },
+            3_000,
+        );
+        assert_eq!(a.run(&reqs), b.run(&reqs));
+    }
+}

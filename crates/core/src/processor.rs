@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use kvd_hash::{HashError, HashTable, HashTableConfig};
 use kvd_mem::MemoryEngine;
-use kvd_net::{KvRequest, KvResponse, OpCode, Status};
+use kvd_net::{KvRequest, KvRequestRef, KvResponse, OpCode, Status};
 use kvd_ooo::{Admission, KvOpKind, ReservationStation, StationConfig, StationOp};
 use kvd_sim::FaultPlane;
 
@@ -50,7 +50,9 @@ pub struct ProcessorStats {
 }
 
 /// Per-request context needed to build its response from the station's
-/// result value.
+/// result value. `param` is only retained for ops whose response needs it
+/// after completion (REDUCE's initial accumulator) — cloning it for every
+/// request would put an allocation back on the hot path.
 #[derive(Debug, Clone)]
 struct RespCtx {
     op: OpCode,
@@ -174,33 +176,72 @@ impl<M: MemoryEngine> KvProcessor<M> {
     /// Executes a batch of requests, returning responses in order.
     ///
     /// All effects are applied to the table by return time (dirty
-    /// forwarding caches are flushed).
+    /// forwarding caches are flushed). Callers whose requests already
+    /// live in their own buffers should prefer
+    /// [`execute_batch_refs`](Self::execute_batch_refs), which skips the
+    /// owned-request construction entirely.
     pub fn execute_batch(&mut self, reqs: &[KvRequest]) -> Vec<KvResponse> {
-        let n = reqs.len();
+        self.begin_batch(reqs.len());
+        for (i, req) in reqs.iter().enumerate() {
+            self.admit_request(i, req.as_ref());
+        }
+        self.finish_batch()
+    }
+
+    /// Executes a batch of borrowed requests — the hot path.
+    ///
+    /// Identical semantics to [`execute_batch`](Self::execute_batch); the
+    /// only per-operation allocations left are the ones the reservation
+    /// station needs to own its key and (for PUT) its value.
+    pub fn execute_batch_refs(&mut self, reqs: &[KvRequestRef<'_>]) -> Vec<KvResponse> {
+        self.begin_batch(reqs.len());
+        for (i, req) in reqs.iter().enumerate() {
+            self.admit_request(i, *req);
+        }
+        self.finish_batch()
+    }
+
+    /// Executes one borrowed request (the embedder API's point ops).
+    pub fn execute_one(&mut self, req: KvRequestRef<'_>) -> KvResponse {
+        self.begin_batch(1);
+        self.admit_request(0, req);
+        self.finish_batch()
+            .pop()
+            .expect("one request yields one response")
+    }
+
+    fn begin_batch(&mut self, n: usize) {
         self.responses.clear();
         self.responses.resize(n, None);
         self.ctxs.clear();
         self.ctxs.reserve(n);
-        for r in reqs {
-            self.ctxs.push(RespCtx {
-                op: r.op,
-                lambda: r.lambda,
-                param: r.value.clone(),
-            });
-        }
-        for (i, req) in reqs.iter().enumerate() {
-            self.stats.requests += 1;
-            match self.build_station_op(i as u64, req) {
-                Ok(op) => self.submit(op),
-                Err(status) => {
-                    self.stats.invalid += 1;
-                    self.responses[i] = Some(KvResponse {
-                        status,
-                        value: Vec::new(),
-                    });
-                }
+    }
+
+    fn admit_request(&mut self, i: usize, req: KvRequestRef<'_>) {
+        self.ctxs.push(RespCtx {
+            op: req.op,
+            lambda: req.lambda,
+            // Only REDUCE reads the parameter after completion.
+            param: if req.op == OpCode::Reduce {
+                req.value.to_vec()
+            } else {
+                Vec::new()
+            },
+        });
+        self.stats.requests += 1;
+        match self.build_station_op(i as u64, req) {
+            Ok(op) => self.submit(op),
+            Err(status) => {
+                self.stats.invalid += 1;
+                self.responses[i] = Some(KvResponse {
+                    status,
+                    value: Vec::new(),
+                });
             }
         }
+    }
+
+    fn finish_batch(&mut self) -> Vec<KvResponse> {
         // Drain the pipeline and flush dirty caches.
         while !self.inflight.is_empty() {
             self.retire_one();
@@ -216,7 +257,7 @@ impl<M: MemoryEngine> KvProcessor<M> {
 
     /// Builds the station operation (with its forwarding-compatible
     /// update closure) for a request.
-    fn build_station_op(&mut self, id: u64, req: &KvRequest) -> Result<StationOp, Status> {
+    fn build_station_op(&mut self, id: u64, req: KvRequestRef<'_>) -> Result<StationOp, Status> {
         let kind = match req.op {
             OpCode::Get | OpCode::Reduce | OpCode::Filter => {
                 self.stats.reads += 1;
@@ -236,7 +277,7 @@ impl<M: MemoryEngine> KvProcessor<M> {
             }
             OpCode::Put => {
                 self.stats.puts += 1;
-                KvOpKind::Put(req.value.clone())
+                KvOpKind::Put(req.value.to_vec())
             }
             OpCode::Delete => {
                 self.stats.deletes += 1;
@@ -248,7 +289,7 @@ impl<M: MemoryEngine> KvProcessor<M> {
                     Some(Lambda::Scalar(f)) => Arc::clone(f),
                     _ => return Err(Status::Invalid),
                 };
-                let param = decode_scalar(Some(&req.value));
+                let param = decode_scalar(Some(req.value));
                 KvOpKind::Update(Arc::new(move |old| {
                     let new = f(decode_scalar(old), param);
                     Some(new.to_le_bytes().to_vec())
@@ -260,7 +301,7 @@ impl<M: MemoryEngine> KvProcessor<M> {
                     Some(Lambda::ScalarToVector(f)) => Arc::clone(f),
                     _ => return Err(Status::Invalid),
                 };
-                let param = decode_scalar(Some(&req.value));
+                let param = decode_scalar(Some(req.value));
                 KvOpKind::Update(Arc::new(move |old| {
                     old.map(|bytes| {
                         let elems: Vec<u64> = decode_vector(bytes)
@@ -277,7 +318,7 @@ impl<M: MemoryEngine> KvProcessor<M> {
                     Some(Lambda::VectorToVector(f)) => Arc::clone(f),
                     _ => return Err(Status::Invalid),
                 };
-                let params = decode_vector(&req.value);
+                let params = decode_vector(req.value);
                 KvOpKind::Update(Arc::new(move |old| {
                     old.map(|bytes| {
                         let mut elems = decode_vector(bytes);
@@ -291,7 +332,7 @@ impl<M: MemoryEngine> KvProcessor<M> {
         };
         Ok(StationOp {
             id,
-            key: req.key.clone(),
+            key: req.key.to_vec(),
             kind,
         })
     }

@@ -8,7 +8,7 @@
 
 use kvd_hash::{HashTable, HashTableConfig};
 use kvd_mem::{DispatchConfig, DispatchedMemory, NicDramConfig};
-use kvd_net::{KvRequest, KvResponse, OpCode, Status};
+use kvd_net::{shard_of, KvRequest, KvRequestRef, KvResponse, OpCode, Status};
 use kvd_ooo::StationConfig;
 use kvd_sim::{Bandwidth, FaultCounters, FaultPlane, FaultRates};
 
@@ -238,22 +238,35 @@ impl KvDirectStore {
         *self.proc.table().mem().ecc()
     }
 
-    fn one(&mut self, req: KvRequest) -> KvResponse {
-        self.proc
-            .execute_batch(std::slice::from_ref(&req))
-            .pop()
-            .expect("one request yields one response")
+    fn one(&mut self, req: KvRequestRef<'_>) -> KvResponse {
+        self.proc.execute_one(req)
     }
 
     /// `get(k) → v`.
     ///
     /// Conflates "not found" and device faults into `None`; use
     /// [`try_get`](Self::try_get) to distinguish them under fault
-    /// injection.
+    /// injection, or [`get_into`](Self::get_into) to reuse a caller-owned
+    /// scratch buffer on hot read paths.
     pub fn get(&mut self, key: &[u8]) -> Option<Vec<u8>> {
-        let r = self.one(KvRequest::get(key));
+        let r = self.one(KvRequestRef::get(key));
         match r.status {
             Status::Ok => Some(r.value),
+            _ => None,
+        }
+    }
+
+    /// `get(k)` into a caller-owned scratch buffer; returns the value
+    /// length on a hit. `out` is cleared and filled in place, so a read
+    /// loop reuses one allocation instead of producing one `Vec` per op.
+    pub fn get_into(&mut self, key: &[u8], out: &mut Vec<u8>) -> Option<usize> {
+        let r = self.one(KvRequestRef::get(key));
+        match r.status {
+            Status::Ok => {
+                out.clear();
+                out.extend_from_slice(&r.value);
+                Some(out.len())
+            }
             _ => None,
         }
     }
@@ -261,7 +274,7 @@ impl KvDirectStore {
     /// `get(k)` that separates absence (`Ok(None)`) from device faults
     /// (`Err(DeviceError)`).
     pub fn try_get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
-        let r = self.one(KvRequest::get(key));
+        let r = self.one(KvRequestRef::get(key));
         match r.status {
             Status::Ok => Ok(Some(r.value)),
             Status::NotFound => Ok(None),
@@ -271,7 +284,7 @@ impl KvDirectStore {
 
     /// `put(k, v) → bool` (inserts or replaces).
     pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
-        let r = self.one(KvRequest::put(key, value));
+        let r = self.one(KvRequestRef::put(key, value));
         match r.status {
             Status::Ok => Ok(()),
             s => Err(status_to_err(s)),
@@ -280,7 +293,7 @@ impl KvDirectStore {
 
     /// `delete(k) → bool`.
     pub fn delete(&mut self, key: &[u8]) -> bool {
-        self.one(KvRequest::delete(key)).status == Status::Ok
+        self.one(KvRequestRef::delete(key)).status == Status::Ok
     }
 
     /// Atomic fetch-and-add (builtin λ), returning the original value.
@@ -295,10 +308,11 @@ impl KvDirectStore {
         lambda: u16,
         param: u64,
     ) -> Result<u64, StoreError> {
-        let r = self.one(KvRequest {
+        let param = param.to_le_bytes();
+        let r = self.one(KvRequestRef {
             op: OpCode::UpdateScalar,
-            key: key.to_vec(),
-            value: param.to_le_bytes().to_vec(),
+            key,
+            value: &param,
             lambda,
         });
         match r.status {
@@ -315,10 +329,11 @@ impl KvDirectStore {
         lambda: u16,
         param: u64,
     ) -> Result<Vec<u64>, StoreError> {
-        let r = self.one(KvRequest {
+        let param = param.to_le_bytes();
+        let r = self.one(KvRequestRef {
             op: OpCode::UpdateScalarToVector,
-            key: key.to_vec(),
-            value: param.to_le_bytes().to_vec(),
+            key,
+            value: &param,
             lambda,
         });
         match r.status {
@@ -334,10 +349,11 @@ impl KvDirectStore {
         lambda: u16,
         params: &[u64],
     ) -> Result<Vec<u64>, StoreError> {
-        let r = self.one(KvRequest {
+        let value = encode_vector(params);
+        let r = self.one(KvRequestRef {
             op: OpCode::UpdateVector,
-            key: key.to_vec(),
-            value: encode_vector(params),
+            key,
+            value: &value,
             lambda,
         });
         match r.status {
@@ -348,10 +364,11 @@ impl KvDirectStore {
 
     /// `reduce(k, Σ, λ) → Σ`.
     pub fn vector_reduce(&mut self, key: &[u8], lambda: u16, init: u64) -> Result<u64, StoreError> {
-        let r = self.one(KvRequest {
+        let init = init.to_le_bytes();
+        let r = self.one(KvRequestRef {
             op: OpCode::Reduce,
-            key: key.to_vec(),
-            value: init.to_le_bytes().to_vec(),
+            key,
+            value: &init,
             lambda,
         });
         match r.status {
@@ -362,10 +379,10 @@ impl KvDirectStore {
 
     /// `filter(k, λ) → [v]`.
     pub fn vector_filter(&mut self, key: &[u8], lambda: u16) -> Result<Vec<u64>, StoreError> {
-        let r = self.one(KvRequest {
+        let r = self.one(KvRequestRef {
             op: OpCode::Filter,
-            key: key.to_vec(),
-            value: Vec::new(),
+            key,
+            value: &[],
             lambda,
         });
         match r.status {
@@ -382,6 +399,12 @@ impl KvDirectStore {
     /// Executes a client-batched request packet — the network fast path.
     pub fn execute_batch(&mut self, reqs: &[KvRequest]) -> Vec<KvResponse> {
         self.proc.execute_batch(reqs)
+    }
+
+    /// Executes one borrowed request without staging allocations — the
+    /// simulator's per-op hot path.
+    pub fn execute_one(&mut self, req: KvRequestRef<'_>) -> KvResponse {
+        self.proc.execute_one(req)
     }
 }
 
@@ -417,14 +440,9 @@ impl MultiNicStore {
     }
 
     fn shard(&self, key: &[u8]) -> usize {
-        // Client-side sharding: an independent hash stream.
-        let mut h = 0xA076_1D64_78BD_642Fu64;
-        for &b in key {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100_0000_01B3);
-        }
-        h = (h ^ (h >> 29)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        (h % self.nics.len() as u64) as usize
+        // Client-side sharding: shared with the parallel engine so both
+        // layers agree on key ownership.
+        shard_of(key, self.nics.len())
     }
 
     /// Routes a GET to the owning NIC.

@@ -10,11 +10,19 @@
 //! writes do not extend the critical path). Client-observed latencies
 //! land in a histogram, yielding the paper's 5th/95th-percentile error
 //! bars (Figure 17) from first principles.
+//!
+//! The simulator is *steppable*: [`SystemSim::load`] stages a request
+//! stream and [`SystemSim::step`] advances it only up to a time horizon,
+//! reporting how many host-memory cache lines the window consumed. The
+//! parallel multi-NIC engine ([`crate::parallel`]) drives one `SystemSim`
+//! per shard in lockstep windows and charges their aggregate host traffic
+//! to a shared DRAM arbiter; [`SystemSim::run`] is the single-shard
+//! convenience that steps to completion in one unbounded window.
 
 use kvd_mem::MemoryEngine;
 use kvd_net::{KvRequest, NetConfig, NetLink, OpCode};
-use kvd_pcie::{DmaPort, PcieConfig};
-use kvd_sim::{Bandwidth, BandwidthLink, DetRng, Freq, Histogram, SimTime, Summary};
+use kvd_pcie::PcieConfig;
+use kvd_sim::{Bandwidth, DetRng, Freq, Histogram, SimTime, Summary};
 
 use crate::store::{KvDirectConfig, KvDirectStore};
 
@@ -56,7 +64,7 @@ impl SystemSimConfig {
 }
 
 /// Result of a simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemSimReport {
     /// Operations completed.
     pub ops: u64,
@@ -125,25 +133,90 @@ pub struct SystemSim {
     store: KvDirectStore,
     req_link: NetLink,
     resp_link: NetLink,
-    ports: Vec<DmaPort>,
-    dram: BandwidthLink,
     rng: DetRng,
-    next_port: usize,
+    /// Service time per 64 B host line across all PCIe endpoints: the
+    /// tag-limited random-read rate (tags / mean RTT) or the wire
+    /// bandwidth, whichever is slower.
+    pcie_line_service: SimTime,
+    /// Service time per 64 B line of NIC DRAM channel bandwidth.
+    dram_line_service: SimTime,
+    /// Fluid backlog clocks: how far each resource's committed work
+    /// extends into the future.
+    pcie_free: SimTime,
+    dram_free: SimTime,
+    // ---- staged run state (load/step/report) ----
+    pending: Vec<KvRequest>,
+    loads: Vec<OpLoad>,
+    cursor: usize,
+    window_free: Vec<SimTime>,
+    server_free: SimTime,
+    get_hist: Histogram,
+    put_hist: Histogram,
+    ops_done: u64,
+    makespan: SimTime,
+}
+
+/// One operation's captured memory-access load, charged against the
+/// timed service models (scratch state between the functional and timed
+/// passes of a batch).
+#[derive(Debug, Clone, Copy)]
+struct OpLoad {
+    t: SimTime,
+    dma_reads: u64,
+    dram_reads: u64,
+    dma_writes: u64,
+    dram_writes: u64,
+}
+
+/// What one [`SystemSim::step`] window consumed and whether the stream is
+/// drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// Host-memory cache lines (PCIe DMA reads + writes) issued by
+    /// operations that *started* inside the window. The arbiter charges
+    /// these against shared host DRAM bandwidth.
+    pub host_lines: u64,
+    /// True once every staged request has completed.
+    pub done: bool,
 }
 
 impl SystemSim {
-    /// Builds the simulator.
+    /// Builds the simulator with the default seed.
     pub fn new(cfg: SystemSimConfig) -> Self {
+        Self::with_seed(cfg, 0xE2E0)
+    }
+
+    /// Builds the simulator with an explicit seed; every source of
+    /// simulated nondeterminism (read-latency jitter, tie-breaking
+    /// noise) derives from it, so two sims with equal config + seed
+    /// evolve bit-identically.
+    pub fn with_seed(cfg: SystemSimConfig, seed: u64) -> Self {
+        let windows = cfg.windows.max(1);
+        let ports = cfg.pcie_ports.max(1) as u64;
+        // Per-line service time of one endpoint: a 64 B random read is
+        // either tag-limited (paper: 64 tags over a ~1050 ns RTT, 61 Mops)
+        // or wire-limited (90 B at 7.87 GB/s, 87 Mops); the endpoints
+        // drain lines in parallel.
+        let tag_limited = cfg.pcie.mean_random_read_latency() / u64::from(cfg.pcie.read_tags);
+        let wire_limited = cfg.pcie.bandwidth.transfer_time(cfg.pcie.wire_bytes(64));
         SystemSim {
             store: KvDirectStore::new(cfg.store.clone()),
             req_link: NetLink::new(cfg.net.clone()),
             resp_link: NetLink::new(cfg.net.clone()),
-            ports: (0..cfg.pcie_ports)
-                .map(|i| DmaPort::new(cfg.pcie.clone(), 0xE2E + i as u64))
-                .collect(),
-            dram: BandwidthLink::new(Bandwidth::from_gbytes_per_sec(12.8)),
-            rng: DetRng::seed(0xE2E0),
-            next_port: 0,
+            rng: DetRng::seed(seed),
+            pcie_line_service: tag_limited.max(wire_limited) / ports,
+            dram_line_service: Bandwidth::from_gbytes_per_sec(12.8).transfer_time(64),
+            pcie_free: SimTime::ZERO,
+            dram_free: SimTime::ZERO,
+            pending: Vec::new(),
+            loads: Vec::new(),
+            cursor: 0,
+            window_free: vec![SimTime::ZERO; windows],
+            server_free: SimTime::ZERO,
+            get_hist: Histogram::new(),
+            put_hist: Histogram::new(),
+            ops_done: 0,
+            makespan: SimTime::ZERO,
             cfg,
         }
     }
@@ -153,110 +226,179 @@ impl SystemSim {
         &mut self.store
     }
 
-    /// Runs the request stream to completion, returning the report.
-    ///
-    /// The client keeps `windows` batches outstanding; each batch's
-    /// operations execute functionally (capturing their real memory
-    /// accesses) and are charged in simulated time.
-    pub fn run(&mut self, reqs: &[KvRequest]) -> SystemSimReport {
-        let batch = self.cfg.batch.max(1);
-        let mut get_hist = Histogram::new();
-        let mut put_hist = Histogram::new();
-        let mut ops_done = 0u64;
-        let mut makespan = SimTime::ZERO;
-        // Window completion times (closed loop).
-        let mut window_free: Vec<SimTime> = vec![SimTime::ZERO; self.cfg.windows.max(1)];
-        let cycle = self.cfg.clock.cycle();
+    /// Stages a request stream and resets per-run accounting (histograms,
+    /// op counts, client windows). Component clocks (links, service
+    /// backlogs) persist, as they would across runs on real hardware.
+    pub fn load(&mut self, reqs: &[KvRequest]) {
+        self.pending.clear();
+        self.pending.extend_from_slice(reqs);
+        self.cursor = 0;
+        self.window_free = vec![SimTime::ZERO; self.cfg.windows.max(1)];
+        self.server_free = SimTime::ZERO;
+        self.get_hist = Histogram::new();
+        self.put_hist = Histogram::new();
+        self.ops_done = 0;
+        self.makespan = SimTime::ZERO;
+    }
 
-        for chunk in reqs.chunks(batch) {
+    /// Advances the staged stream through one lookahead window.
+    ///
+    /// Processes every batch whose client issue time — the earliest free
+    /// window, floored at `floor` — falls strictly before `horizon`, and
+    /// returns the host cache-line traffic those batches generated.
+    /// `floor` is how the multi-NIC arbiter stretches an oversubscribed
+    /// window: requests in the next window cannot issue before the
+    /// stretched start, so aggregate throughput degrades without any
+    /// component clock rewinding. Traffic is charged to the window where
+    /// the batch *issues* (a conservative approximation: completion may
+    /// spill past the horizon by at most one batch's service time).
+    pub fn step(&mut self, horizon: SimTime, floor: SimTime) -> StepOutcome {
+        let batch = self.cfg.batch.max(1);
+        let cycle = self.cfg.clock.cycle();
+        let mut host_lines = 0u64;
+
+        while self.cursor < self.pending.len() {
             // The client issues when its earliest window frees up.
-            let w = window_free
+            let w = self
+                .window_free
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, &t)| t)
                 .map(|(i, _)| i)
                 .expect("at least one window");
-            let start = window_free[w];
+            let start = self.window_free[w].max(floor);
+            if start >= horizon {
+                break;
+            }
+            let end = (self.cursor + batch).min(self.pending.len());
+
             // Request packet: header-amortized batch on the wire.
-            let req_bytes: u64 = chunk
+            let req_bytes: u64 = self.pending[self.cursor..end]
                 .iter()
                 .map(|r| 4 + r.key.len() as u64 + r.value.len() as u64)
                 .sum();
             let arrive = self.req_link.send(start, req_bytes);
 
-            // Server: decode one op per cycle; execute with real access
-            // accounting; ops overlap through the DMA ports' internal
-            // concurrency.
-            let mut batch_done = arrive;
+            // Server: the decoder is a single 180 MHz pipeline shared by
+            // all in-flight windows — a batch cannot start decoding
+            // before the previous batch has drained it.
+            let decode_start = arrive.max(self.server_free);
+            self.server_free = decode_start + cycle * ((end - self.cursor) as u64);
             let mut resp_bytes = 0u64;
-            for (i, req) in chunk.iter().enumerate() {
-                let decode_done = arrive + cycle * (i as u64 + 1);
+            // Pass 1: execute functionally, capturing each op's real
+            // access counts.
+            self.loads.clear();
+            for i in self.cursor..end {
+                let decode_done = decode_start + cycle * ((i - self.cursor) as u64 + 1);
                 let before = self.store.processor().table().mem().stats();
-                let resp = self
-                    .store
-                    .execute_batch(std::slice::from_ref(req))
-                    .pop()
-                    .expect("one response");
+                let req = &self.pending[i];
+                let resp = self.store.execute_one(req.as_ref());
                 resp_bytes += 3 + resp.value.len() as u64;
                 let d = self.store.processor().table().mem().stats().since(&before);
-                // Critical path: dependent reads serialize (bucket →
-                // data); posted writes are issued but do not extend it.
-                let n_ports = self.ports.len();
-                let mut t = decode_done;
-                for _ in 0..d.dma_reads {
-                    let idx = self.next_port;
-                    self.next_port = (self.next_port + 1) % n_ports;
-                    t = self.ports[idx].read(t, 64, false);
+                host_lines += d.dma_reads + d.dma_writes;
+                self.loads.push(OpLoad {
+                    t: decode_done,
+                    dma_reads: d.dma_reads,
+                    dram_reads: d.dram_reads,
+                    dma_writes: d.dma_writes,
+                    dram_writes: d.dram_writes,
+                });
+            }
+            // Pass 2: charge the accesses against fluid service models of
+            // the PCIe DMA engines and the NIC DRAM channel. Independent
+            // operations overlap freely up to each resource's service
+            // rate (tag-limited random reads for PCIe, line bandwidth for
+            // DRAM); a saturated resource shows up as a backlog clock
+            // running ahead of arrivals, which delays every operation
+            // that touches it. Within an op, dependent reads still chain
+            // (bucket → data); posted writes consume service capacity but
+            // do not extend the critical path.
+            let pcie_backlog = self.pcie_free.saturating_sub(arrive);
+            let dram_backlog = self.dram_free.saturating_sub(arrive);
+            let mut batch_done = arrive;
+            let (mut pcie_lines, mut dram_lines) = (0u64, 0u64);
+            for op in self.loads.iter() {
+                let queued = match (op.dma_reads > 0, op.dram_reads > 0) {
+                    (true, true) => pcie_backlog.max(dram_backlog),
+                    (true, false) => pcie_backlog,
+                    (false, true) => dram_backlog,
+                    (false, false) => SimTime::ZERO,
+                };
+                let mut t = op.t + queued;
+                for _ in 0..op.dma_reads {
+                    let mut rtt = self.cfg.pcie.cached_read_latency.sample(&mut self.rng);
+                    rtt += SimTime::from_ps(
+                        self.rng
+                            .u64_below(self.cfg.pcie.noncached_extra.as_ps() + 1),
+                    );
+                    t += rtt;
                 }
-                for _ in 0..d.dram_reads {
-                    let served = self.dram.transfer(t, 64);
-                    t = served.max(t + self.cfg.dram_access);
+                for _ in 0..op.dram_reads {
+                    t += self.cfg.dram_access;
                 }
-                for _ in 0..d.dma_writes {
-                    let idx = self.next_port;
-                    self.next_port = (self.next_port + 1) % n_ports;
-                    self.ports[idx].write(t, 64);
-                }
-                for _ in 0..d.dram_writes {
-                    self.dram.transfer(t, 64);
-                }
-                // A forwarded (station fast-path) op costs one cycle;
-                // per-op latency is recorded below once the batch's
-                // response lands.
-                t = t.max(decode_done);
+                pcie_lines += op.dma_reads + op.dma_writes;
+                dram_lines += op.dram_reads + op.dram_writes;
                 batch_done = batch_done.max(t);
             }
+            self.pcie_free = self.pcie_free.max(arrive) + self.pcie_line_service * pcie_lines;
+            self.dram_free = self.dram_free.max(arrive) + self.dram_line_service * dram_lines;
 
             // Response packet for the batch.
             let resp_arrive = self.resp_link.send(batch_done, resp_bytes);
-            window_free[w] = resp_arrive;
-            makespan = makespan.max(resp_arrive);
-            for req in chunk {
-                ops_done += 1;
+            self.window_free[w] = resp_arrive;
+            self.makespan = self.makespan.max(resp_arrive);
+            for i in self.cursor..end {
+                self.ops_done += 1;
                 let lat = resp_arrive - start;
                 // Tiny deterministic jitter spreads ties for percentile
                 // resolution (scheduling noise stand-in).
                 let jitter = SimTime::from_ps(self.rng.u64_below(50_000));
-                if req.op == OpCode::Put {
-                    put_hist.record_time(lat + jitter);
+                if self.pending[i].op == OpCode::Put {
+                    self.put_hist.record_time(lat + jitter);
                 } else {
-                    get_hist.record_time(lat + jitter);
+                    self.get_hist.record_time(lat + jitter);
                 }
             }
+            self.cursor = end;
         }
 
-        let secs = makespan.as_secs_f64();
+        StepOutcome {
+            host_lines,
+            done: self.cursor >= self.pending.len(),
+        }
+    }
+
+    /// Report over everything completed since the last [`Self::load`].
+    pub fn report(&self) -> SystemSimReport {
+        let secs = self.makespan.as_secs_f64();
         SystemSimReport {
-            ops: ops_done,
-            elapsed: makespan,
+            ops: self.ops_done,
+            elapsed: self.makespan,
             mops: if secs > 0.0 {
-                ops_done as f64 / secs / 1e6
+                self.ops_done as f64 / secs / 1e6
             } else {
                 0.0
             },
-            get_latency: get_hist.summary(),
-            put_latency: put_hist.summary(),
+            get_latency: self.get_hist.summary(),
+            put_latency: self.put_hist.summary(),
         }
+    }
+
+    /// Raw latency histograms (GET, PUT) for cross-shard merging.
+    pub fn histograms(&self) -> (&Histogram, &Histogram) {
+        (&self.get_hist, &self.put_hist)
+    }
+
+    /// Runs the request stream to completion, returning the report.
+    ///
+    /// The client keeps `windows` batches outstanding; each batch's
+    /// operations execute functionally (capturing their real memory
+    /// accesses) and are charged in simulated time. Equivalent to one
+    /// unbounded [`Self::step`] window.
+    pub fn run(&mut self, reqs: &[KvRequest]) -> SystemSimReport {
+        self.load(reqs);
+        while !self.step(SimTime::MAX, SimTime::ZERO).done {}
+        self.report()
     }
 }
 

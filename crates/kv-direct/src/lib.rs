@@ -44,7 +44,8 @@
 
 pub use kvd_core::{
     builtin, KvDirectConfig, KvDirectStore, KvProcessor, Lambda, LambdaRegistry, MultiNicStore,
-    StoreError, SystemModel, ThroughputBreakdown, WorkloadSpec,
+    ParallelSimConfig, ParallelSimReport, ParallelSystemSim, StoreError, SystemModel,
+    ThroughputBreakdown, WorkloadSpec,
 };
 pub use kvd_net::{decode_packet, encode_packet, KvRequest, KvResponse, NetConfig, OpCode, Status};
 pub use kvd_sim::{FaultCounters, FaultPlane, FaultRates};
@@ -102,4 +103,14 @@ pub mod workloads {
 /// Timing composition for the system benchmarks.
 pub mod timing {
     pub use kvd_core::timing::*;
+}
+
+/// The end-to-end timed pipeline (client ↔ NIC ↔ host memory).
+pub mod system {
+    pub use kvd_core::system::*;
+}
+
+/// The parallel sharded multi-NIC engine (paper §5.2, Figure 18).
+pub mod parallel {
+    pub use kvd_core::parallel::*;
 }

@@ -24,6 +24,7 @@ pub mod batch;
 pub mod client;
 pub mod config;
 pub mod link;
+pub mod route;
 pub mod vector;
 pub mod wire;
 
@@ -31,8 +32,9 @@ pub use batch::{batched_throughput, batching_latency, BatchPoint};
 pub use client::{ClientSession, OpHandle, OutboundPacket, SessionError};
 pub use config::NetConfig;
 pub use link::NetLink;
+pub use route::shard_of;
 pub use vector::{vector_strategies, VectorStrategy, VectorThroughput};
 pub use wire::{
-    decode_packet, decode_responses, encode_packet, encode_responses, KvRequest, KvResponse,
-    OpCode, Status, WireError,
+    decode_packet, decode_responses, encode_packet, encode_responses, KvRequest, KvRequestRef,
+    KvResponse, OpCode, Status, WireError,
 };

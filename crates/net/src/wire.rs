@@ -118,6 +118,92 @@ impl KvRequest {
     }
 }
 
+/// A borrowed view of one KV request — the hot-path currency.
+///
+/// The embedder API and the simulation's processor loop execute millions
+/// of operations whose keys and parameters already live in caller-owned
+/// buffers; routing them through [`KvRequest`] would clone both on every
+/// operation. `KvRequestRef` carries the same fields by reference, so the
+/// only allocation left on the execute path is the one the reservation
+/// station needs to own the key.
+///
+/// # Examples
+///
+/// ```
+/// use kvd_net::{KvRequest, KvRequestRef, OpCode};
+///
+/// let owned = KvRequest::put(b"k", b"v");
+/// let borrowed = owned.as_ref();
+/// assert_eq!(borrowed.op, OpCode::Put);
+/// assert_eq!(borrowed.key, b"k");
+/// assert_eq!(borrowed.to_owned(), owned);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvRequestRef<'a> {
+    /// The operation.
+    pub op: OpCode,
+    /// The key.
+    pub key: &'a [u8],
+    /// Value (PUT) or parameter (vector ops); empty when absent.
+    pub value: &'a [u8],
+    /// Pre-registered λ id for func ops.
+    pub lambda: u16,
+}
+
+impl<'a> KvRequestRef<'a> {
+    /// A borrowed GET request.
+    pub fn get(key: &'a [u8]) -> Self {
+        KvRequestRef {
+            op: OpCode::Get,
+            key,
+            value: &[],
+            lambda: 0,
+        }
+    }
+
+    /// A borrowed PUT request.
+    pub fn put(key: &'a [u8], value: &'a [u8]) -> Self {
+        KvRequestRef {
+            op: OpCode::Put,
+            key,
+            value,
+            lambda: 0,
+        }
+    }
+
+    /// A borrowed DELETE request.
+    pub fn delete(key: &'a [u8]) -> Self {
+        KvRequestRef {
+            op: OpCode::Delete,
+            key,
+            value: &[],
+            lambda: 0,
+        }
+    }
+
+    /// Clones into an owned [`KvRequest`].
+    pub fn to_owned(self) -> KvRequest {
+        KvRequest {
+            op: self.op,
+            key: self.key.to_vec(),
+            value: self.value.to_vec(),
+            lambda: self.lambda,
+        }
+    }
+}
+
+impl KvRequest {
+    /// Borrows this request as a [`KvRequestRef`].
+    pub fn as_ref(&self) -> KvRequestRef<'_> {
+        KvRequestRef {
+            op: self.op,
+            key: &self.key,
+            value: &self.value,
+            lambda: self.lambda,
+        }
+    }
+}
+
 /// Response status codes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]

@@ -15,6 +15,9 @@
 //! * [`stats`] — log-bucketed latency histograms, counters and summaries.
 //! * [`rng`] — seeded deterministic RNG plus Zipf samplers (the paper's
 //!   "long-tail" workload is Zipf with skewness 0.99).
+//! * [`arbiter`] — the conservative time-quantum host-memory arbiter
+//!   ([`HostArbiter`]) that lets parallel per-shard simulations share the
+//!   server's aggregate DRAM bandwidth deterministically.
 //! * [`fault`] — deterministic, seed-driven fault injection
 //!   ([`FaultPlane`]) consulted by the PCIe, DRAM and network models.
 //! * [`report`] — plain-text table rendering used by the benchmark
@@ -23,6 +26,7 @@
 //! Everything here is deterministic given a seed, so simulation results are
 //! reproducible run-to-run.
 
+pub mod arbiter;
 pub mod fault;
 pub mod queue;
 pub mod report;
@@ -31,6 +35,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use arbiter::{ArbiterStats, HostArbiter, HostArbiterConfig};
 pub use fault::{
     DramFault, FaultCounters, FaultPlane, FaultRates, NetFault, PcieFault, TxnOutcome,
 };

@@ -332,6 +332,73 @@ mod tests {
     }
 
     #[test]
+    fn merge_of_split_streams_equals_unsplit_histogram() {
+        // The parallel engine records latencies into per-shard histograms
+        // and merges them at the end; the merge must be indistinguishable
+        // from recording the whole stream into one histogram, including
+        // every summary percentile.
+        let values: Vec<u64> = (0..50_000u64)
+            .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 20) + 1)
+            .collect();
+        let mut whole = Histogram::new();
+        for &v in &values {
+            whole.record(v);
+        }
+        for parts in [2usize, 3, 8] {
+            let mut shards: Vec<Histogram> = (0..parts).map(|_| Histogram::new()).collect();
+            for (i, &v) in values.iter().enumerate() {
+                shards[i % parts].record(v);
+            }
+            let mut merged = Histogram::new();
+            for s in &shards {
+                merged.merge(s);
+            }
+            assert_eq!(merged.summary(), whole.summary(), "{parts}-way split");
+            assert_eq!(merged.count(), whole.count());
+            assert_eq!(merged.mean(), whole.mean());
+            let a: Vec<(u64, u64)> = merged.iter_nonzero().collect();
+            let b: Vec<(u64, u64)> = whole.iter_nonzero().collect();
+            assert_eq!(a, b, "bucket-exact equality for {parts}-way split");
+        }
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut streams: Vec<Histogram> = (0..4)
+            .map(|k| {
+                let mut h = Histogram::new();
+                for i in 0..1000u64 {
+                    h.record(i * (k + 1) + 7);
+                }
+                h
+            })
+            .collect();
+        let mut forward = Histogram::new();
+        for s in &streams {
+            forward.merge(s);
+        }
+        streams.reverse();
+        let mut backward = Histogram::new();
+        for s in &streams {
+            backward.merge(s);
+        }
+        assert_eq!(forward.summary(), backward.summary());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = Histogram::new();
+        h.record(42);
+        h.record(7_000_000);
+        let before = h.summary();
+        h.merge(&Histogram::new());
+        assert_eq!(h.summary(), before);
+        let mut empty = Histogram::new();
+        empty.merge(&h);
+        assert_eq!(empty.summary(), before);
+    }
+
+    #[test]
     fn histogram_empty_queries() {
         let h = Histogram::new();
         assert_eq!(h.count(), 0);

@@ -33,6 +33,9 @@ impl SimTime {
     /// The zero instant (simulation epoch).
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The far-future instant; an unbounded step horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
     /// Creates a time from whole picoseconds.
     pub const fn from_ps(ps: u64) -> Self {
         SimTime(ps)
