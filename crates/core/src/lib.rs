@@ -18,6 +18,9 @@
 //! * [`store`] — [`KvDirectStore`], the embedder-facing API, plus
 //!   [`MultiNicStore`] for the paper's multi-NIC scaling (10 NICs →
 //!   1.22 Gops).
+//! * [`overload`] — the overload-control plane: watermark admission with
+//!   hysteresis, deadline expiry, read-only degradation, and the
+//!   [`OverloadCounters`] rollup.
 //! * [`parallel`] — the multi-NIC server *simulated*: one timed pipeline
 //!   per shard on OS worker threads, synchronized through a host-memory
 //!   arbiter so the Figure 18 saturation knee emerges from contention.
@@ -25,6 +28,7 @@
 //!   the benchmark harnesses (Figures 16/17/18, Tables 3/4).
 
 pub mod lambda;
+pub mod overload;
 pub mod parallel;
 pub mod processor;
 pub mod store;
@@ -32,6 +36,7 @@ pub mod system;
 pub mod timing;
 
 pub use lambda::{builtin, Lambda, LambdaRegistry};
+pub use overload::{AdmissionController, OverloadConfig, OverloadCounters, Watermarks};
 pub use parallel::{ParallelSimConfig, ParallelSimReport, ParallelSystemSim};
 pub use processor::{KvProcessor, ProcessorStats};
 pub use store::{KvDirectConfig, KvDirectStore, MultiNicStore, StoreError};

@@ -1,0 +1,235 @@
+//! Admission control and overload accounting.
+//!
+//! KV-Direct's pipeline keeps its 180 Mops only while the reservation
+//! station, the DMA tag pools and the host arbiter stay inside their
+//! capacity envelopes; past them, every queued operation adds latency
+//! without adding throughput, and a system without shedding slides into
+//! congestion collapse (all capacity spent serving requests whose clients
+//! have already timed out). The [`AdmissionController`] is the standard
+//! antidote: a watermark pair with hysteresis. Shedding starts when the
+//! dominant pressure signal crosses the *high* watermark and stops only
+//! after it falls back below the *low* one, so a pressure trace that
+//! oscillates between the watermarks cannot flap the admission decision
+//! on every request.
+//!
+//! [`OverloadCounters`] is the rollup the store and the simulations
+//! expose, mirroring `FaultCounters` for the fault plane: every shed
+//! (and the reason), every degraded-mode transition.
+
+/// Hysteresis watermark pair for the admission controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Watermarks {
+    /// Shedding stops when pressure falls to or below this.
+    pub low: f64,
+    /// Shedding starts when pressure reaches or exceeds this.
+    pub high: f64,
+}
+
+impl Watermarks {
+    /// Defaults tuned for the station envelope: shed at 85% occupancy,
+    /// re-admit below 50%.
+    pub fn paper() -> Self {
+        Watermarks {
+            low: 0.5,
+            high: 0.85,
+        }
+    }
+}
+
+/// Configuration of the overload plane, carried in `KvDirectConfig`.
+///
+/// Everything defaults to *off* so existing closed-loop workloads (which
+/// legitimately keep the pipeline saturated) are untouched; open-loop
+/// drivers and overload-aware embedders opt in.
+#[derive(Debug, Clone, Default)]
+pub struct OverloadConfig {
+    /// Watermark-based admission control; `None` disables shedding.
+    pub admission: Option<Watermarks>,
+    /// Enter read-only mode when a write fails for memory exhaustion
+    /// (writes shed with `Overloaded`, reads still served) instead of
+    /// failing every subsequent write with `OutOfMemory`.
+    pub read_only_on_oom: bool,
+    /// Leave read-only mode once memory utilization falls below this
+    /// fraction (deletes drain the store); hysteresis against re-entering
+    /// on the next insert.
+    pub read_only_exit_utilization: f64,
+}
+
+impl OverloadConfig {
+    /// The enabled profile: paper watermarks, read-only degradation with
+    /// exit at 70% memory utilization.
+    pub fn enabled() -> Self {
+        OverloadConfig {
+            admission: Some(Watermarks::paper()),
+            read_only_on_oom: true,
+            read_only_exit_utilization: 0.7,
+        }
+    }
+}
+
+/// The watermark admission controller.
+///
+/// # Examples
+///
+/// ```
+/// use kvd_core::{AdmissionController, Watermarks};
+///
+/// let mut ac = AdmissionController::new(Watermarks { low: 0.5, high: 0.85 });
+/// assert!(!ac.observe(0.84)); // below high: admit
+/// assert!(ac.observe(0.85)); // crossed high: shed
+/// assert!(ac.observe(0.6)); // still above low: keep shedding (hysteresis)
+/// assert!(!ac.observe(0.5)); // back at low: admit again
+/// assert_eq!(ac.transitions(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    marks: Watermarks,
+    shedding: bool,
+    transitions: u64,
+}
+
+impl AdmissionController {
+    /// Creates a controller in the admitting state.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= low <= high`.
+    pub fn new(marks: Watermarks) -> Self {
+        assert!(
+            marks.low >= 0.0 && marks.low <= marks.high,
+            "watermarks must satisfy 0 <= low <= high"
+        );
+        AdmissionController {
+            marks,
+            shedding: false,
+            transitions: 0,
+        }
+    }
+
+    /// Feeds one pressure sample; returns whether to shed the request
+    /// that produced it.
+    pub fn observe(&mut self, pressure: f64) -> bool {
+        if self.shedding {
+            if pressure <= self.marks.low {
+                self.shedding = false;
+                self.transitions += 1;
+            }
+        } else if pressure >= self.marks.high {
+            self.shedding = true;
+            self.transitions += 1;
+        }
+        self.shedding
+    }
+
+    /// Whether the controller is currently shedding.
+    pub fn is_shedding(&self) -> bool {
+        self.shedding
+    }
+
+    /// State flips (admit→shed and shed→admit) so far.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// The configured watermarks.
+    pub fn watermarks(&self) -> Watermarks {
+        self.marks
+    }
+}
+
+/// Rollup of shedding and degraded-mode activity, mirroring
+/// `FaultCounters`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverloadCounters {
+    /// Requests that passed every overload gate.
+    pub admitted: u64,
+    /// Requests shed with `Status::Overloaded` by the admission
+    /// controller.
+    pub shed_overload: u64,
+    /// Requests dropped with `Status::Expired` — their deadline had
+    /// passed before execution.
+    pub shed_expired: u64,
+    /// Writes shed with `Status::Overloaded` while in read-only mode.
+    pub shed_read_only: u64,
+    /// Entries into read-only mode (slab exhaustion).
+    pub read_only_entries: u64,
+    /// Exits from read-only mode (memory drained below the exit
+    /// watermark).
+    pub read_only_exits: u64,
+    /// Admission-controller state flips (both directions).
+    pub shed_transitions: u64,
+}
+
+impl OverloadCounters {
+    /// Accumulates another rollup into this one (multi-shard merges).
+    pub fn merge(&mut self, other: &OverloadCounters) {
+        self.admitted += other.admitted;
+        self.shed_overload += other.shed_overload;
+        self.shed_expired += other.shed_expired;
+        self.shed_read_only += other.shed_read_only;
+        self.read_only_entries += other.read_only_entries;
+        self.read_only_exits += other.read_only_exits;
+        self.shed_transitions += other.shed_transitions;
+    }
+
+    /// Requests shed for any reason.
+    pub fn total_shed(&self) -> u64 {
+        self.shed_overload + self.shed_expired + self.shed_read_only
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_sheds_below_low_watermark() {
+        let mut ac = AdmissionController::new(Watermarks::paper());
+        for p in [0.0, 0.1, 0.3, 0.49, 0.2, 0.0] {
+            assert!(!ac.observe(p), "shed at pressure {p}");
+        }
+        assert_eq!(ac.transitions(), 0);
+    }
+
+    #[test]
+    fn always_sheds_at_or_above_high_watermark() {
+        let mut ac = AdmissionController::new(Watermarks::paper());
+        for p in [0.85, 0.9, 1.0, 2.5] {
+            assert!(ac.observe(p), "admitted at pressure {p}");
+        }
+    }
+
+    #[test]
+    fn hysteresis_holds_between_watermarks() {
+        let mut ac = AdmissionController::new(Watermarks::paper());
+        // Rising through the band: still admitting.
+        assert!(!ac.observe(0.7));
+        // Cross high: shed.
+        assert!(ac.observe(0.9));
+        // Fall back into the band: STILL shedding — no flap.
+        assert!(ac.observe(0.7));
+        assert!(ac.observe(0.6));
+        // Only crossing low clears it.
+        assert!(!ac.observe(0.4));
+        assert!(!ac.observe(0.7));
+        assert_eq!(ac.transitions(), 2);
+    }
+
+    #[test]
+    fn counters_merge_componentwise() {
+        let a = OverloadCounters {
+            admitted: 10,
+            shed_overload: 2,
+            shed_expired: 1,
+            shed_read_only: 3,
+            read_only_entries: 1,
+            read_only_exits: 1,
+            shed_transitions: 4,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.admitted, 20);
+        assert_eq!(b.total_shed(), 12);
+        assert_eq!(b.shed_transitions, 8);
+    }
+}

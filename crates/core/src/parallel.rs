@@ -32,11 +32,20 @@
 //! state. A run is therefore bit-identical for any worker count, which
 //! `tests/parallel_determinism.rs` enforces.
 
-use kvd_net::{shard_of, KvRequest};
-use kvd_sim::{ArbiterStats, Histogram, HostArbiter, HostArbiterConfig, SimTime, Summary};
+use kvd_net::{shard_of, KvRequest, Status};
+use kvd_sim::{
+    ArbiterStats, FaultCounters, Histogram, HostArbiter, HostArbiterConfig, SimTime, Summary,
+};
 
+use crate::overload::OverloadCounters;
 use crate::store::{KvDirectConfig, KvDirectStore, StoreError};
 use crate::system::{StepOutcome, SystemSim, SystemSimConfig, SystemSimReport};
+
+/// Decorrelates shard fault schedules: shard `i`'s store fault seed is
+/// xored with `i * SHARD_FAULT_SALT` so ten NICs never fault in lockstep.
+/// Zero-rate planes never consume randomness, so fault-free runs are
+/// unaffected by the salt.
+const SHARD_FAULT_SALT: u64 = 0xD1B5_4A32_D192_ED03;
 
 /// Configuration of the parallel multi-shard engine.
 #[derive(Debug, Clone)]
@@ -84,6 +93,20 @@ pub struct ParallelSimReport {
     pub get_latency: Summary,
     /// PUT latency summary merged across shards (picoseconds).
     pub put_latency: Summary,
+    /// Operations that produced a useful, on-time response, summed
+    /// across shards.
+    pub goodput_ops: u64,
+    /// Aggregate sustained goodput (Mops).
+    pub goodput_mops: f64,
+    /// Operations shed with `Status::Overloaded`, summed across shards.
+    pub shed_ops: u64,
+    /// Operations dropped as expired (client- or server-side), summed
+    /// across shards.
+    pub expired_ops: u64,
+    /// Overload rollup merged across shards.
+    pub overload: OverloadCounters,
+    /// Fault rollup merged across shards (stores + network links).
+    pub faults: FaultCounters,
     /// Each shard's individual report, in shard order.
     pub per_shard: Vec<SystemSimReport>,
     /// Host-memory arbiter activity (windows, oversubscription, stall).
@@ -131,7 +154,9 @@ impl ParallelSystemSim {
         let sims = (0..cfg.shards)
             .map(|i| {
                 let salt = cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                SystemSim::with_seed(cfg.shard.clone(), salt)
+                let mut shard_cfg = cfg.shard.clone();
+                shard_cfg.store.fault_seed ^= (i as u64).wrapping_mul(SHARD_FAULT_SALT);
+                SystemSim::with_seed(shard_cfg, salt)
             })
             .collect();
         ParallelSystemSim {
@@ -169,6 +194,21 @@ impl ParallelSystemSim {
         w.clamp(1, self.sims.len())
     }
 
+    /// Records every shard's per-request outcomes for consistency
+    /// checking (see [`SystemSim::set_record_outcomes`]).
+    pub fn set_record_outcomes(&mut self, on: bool) {
+        for sim in &mut self.sims {
+            sim.set_record_outcomes(on);
+        }
+    }
+
+    /// Outcomes shard `i` captured during the last run, aligned with the
+    /// requests routed to it (route with [`kvd_net::shard_of`] to
+    /// reconstruct the mapping client-side).
+    pub fn shard_outcomes(&self, i: usize) -> &[(Status, Vec<u8>)] {
+        self.sims[i].outcomes()
+    }
+
     /// Routes the stream to its owning shards, simulates to completion,
     /// and merges the per-shard reports.
     pub fn run(&mut self, reqs: &[KvRequest]) -> ParallelSimReport {
@@ -183,7 +223,33 @@ impl ParallelSystemSim {
         for (sim, shard_reqs) in self.sims.iter_mut().zip(&routed) {
             sim.load(shard_reqs);
         }
+        self.drive();
+        self.merged_report()
+    }
 
+    /// Open-loop variant of [`Self::run`]: each request carries its
+    /// client issue time (non-decreasing). Routing preserves per-shard
+    /// arrival order, so every shard sees a sorted sub-schedule.
+    pub fn run_open(&mut self, reqs: &[(SimTime, KvRequest)]) -> ParallelSimReport {
+        let n = self.sims.len();
+        let mut routed: Vec<Vec<(SimTime, KvRequest)>> = vec![Vec::new(); n];
+        for (t, r) in reqs {
+            routed[shard_of(&r.key, n)].push((*t, r.clone()));
+        }
+        for (sim, shard_reqs) in self.sims.iter_mut().zip(&routed) {
+            sim.load_open(shard_reqs);
+        }
+        self.drive();
+        self.merged_report()
+    }
+
+    /// Steps every shard through lockstep arbiter windows until all
+    /// staged streams drain; at each barrier the aggregate host traffic
+    /// is charged to the arbiter and the resulting stall is both applied
+    /// as the next window's issue floor and fed back to every shard as
+    /// backpressure (`stall / quantum` host stretch).
+    fn drive(&mut self) {
+        let n = self.sims.len();
         let quantum = self.arbiter.quantum();
         let workers = self.worker_count();
         let chunk = n.div_ceil(workers);
@@ -218,12 +284,18 @@ impl ParallelSystemSim {
             // of which worker produced which outcome).
             let lines: u64 = outcomes.iter().map(|o| o.host_lines).sum();
             let stall = self.arbiter.charge(lines);
+            for sim in self.sims.iter_mut() {
+                sim.absorb_host_stall(stall, quantum);
+            }
             floor = horizon + stall;
             if outcomes.iter().all(|o| o.done) {
                 break;
             }
         }
+    }
 
+    fn merged_report(&self) -> ParallelSimReport {
+        let n = self.sims.len();
         let per_shard: Vec<SystemSimReport> = self.sims.iter().map(|s| s.report()).collect();
         let ops: u64 = per_shard.iter().map(|r| r.ops).sum();
         let elapsed = per_shard
@@ -238,16 +310,34 @@ impl ParallelSystemSim {
             get_hist.merge(g);
             put_hist.merge(p);
         }
+        let goodput_ops: u64 = per_shard.iter().map(|r| r.goodput_ops).sum();
+        let shed_ops: u64 = per_shard.iter().map(|r| r.shed_ops).sum();
+        let expired_ops: u64 = per_shard.iter().map(|r| r.expired_ops).sum();
+        let mut overload = OverloadCounters::default();
+        let mut faults = FaultCounters::default();
+        for r in &per_shard {
+            overload.merge(&r.overload);
+            faults.merge(&r.faults);
+        }
         let secs = elapsed.as_secs_f64();
+        let rate = |ops: u64| {
+            if secs > 0.0 {
+                ops as f64 / secs / 1e6
+            } else {
+                0.0
+            }
+        };
         ParallelSimReport {
             shards: n,
             ops,
             elapsed,
-            mops: if secs > 0.0 {
-                ops as f64 / secs / 1e6
-            } else {
-                0.0
-            },
+            mops: rate(ops),
+            goodput_ops,
+            goodput_mops: rate(goodput_ops),
+            shed_ops,
+            expired_ops,
+            overload,
+            faults,
             get_latency: get_hist.summary(),
             put_latency: put_hist.summary(),
             per_shard,
@@ -325,6 +415,78 @@ mod tests {
         let r = sim.run(&workload(200, 100, 13));
         assert_eq!(r.arbiter.oversubscribed, 0);
         assert_eq!(r.arbiter.stall, SimTime::ZERO);
+    }
+
+    #[test]
+    fn shard_fault_schedules_are_decorrelated() {
+        // With faults on, each shard must fault on its own schedule: a
+        // lockstep schedule would make every NIC retry the same ops at
+        // the same time, which no real deployment does.
+        let mut cfg = ParallelSimConfig::paper(KvDirectConfig::with_memory(1 << 20), 8, 4);
+        cfg.shard.store.fault_rates = kvd_sim::FaultRates::uniform(0.02);
+        cfg.shard.store.fault_seed = 9;
+        let mut sim = preloaded(cfg, 2_000);
+        let r = sim.run(&workload(8_000, 2_000, 15));
+        assert!(r.faults.total_faults() > 0, "2% rates over 8k ops fire");
+        let per: Vec<u64> = r
+            .per_shard
+            .iter()
+            .map(|s| s.faults.total_faults())
+            .collect();
+        assert!(
+            per.windows(2).any(|w| w[0] != w[1]),
+            "identical per-shard fault counts {per:?} suggest lockstep schedules"
+        );
+        // The merged rollup is exactly the per-shard sum.
+        assert_eq!(per.iter().sum::<u64>(), r.faults.total_faults());
+    }
+
+    #[test]
+    fn open_loop_run_merges_goodput_and_outcomes() {
+        let cfg = ParallelSimConfig::paper(KvDirectConfig::with_memory(1 << 20), 8, 4);
+        let mut sim = preloaded(cfg, 1_000);
+        sim.set_record_outcomes(true);
+        // 4 Mops offered across 4 shards: comfortably under capacity.
+        let reqs: Vec<(SimTime, KvRequest)> = workload(2_000, 1_000, 16)
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (SimTime::from_ns(250 * i as u64), r))
+            .collect();
+        let r = sim.run_open(&reqs);
+        assert_eq!(r.ops, 2_000);
+        assert_eq!(r.goodput_ops, 2_000, "uncongested open loop is all goodput");
+        assert_eq!(r.shed_ops + r.expired_ops, 0);
+        let recorded: usize = (0..sim.shards()).map(|i| sim.shard_outcomes(i).len()).sum();
+        assert_eq!(recorded, 2_000, "every op's outcome captured exactly once");
+    }
+
+    #[test]
+    fn open_loop_agrees_across_worker_counts() {
+        let reqs: Vec<(SimTime, KvRequest)> = workload(4_000, 2_000, 17)
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (SimTime::from_ns(50 * i as u64), r))
+            .collect();
+        let mut cfg = ParallelSimConfig::paper(KvDirectConfig::with_memory(1 << 20), 16, 6);
+        cfg.shard.store.fault_rates = kvd_sim::FaultRates::uniform(0.01);
+        cfg.shard.store.overload = crate::overload::OverloadConfig::enabled();
+        let mut a = preloaded(
+            {
+                let mut c = cfg.clone();
+                c.workers = 1;
+                c
+            },
+            2_000,
+        );
+        let mut b = preloaded(
+            {
+                let mut c = cfg;
+                c.workers = 3;
+                c
+            },
+            2_000,
+        );
+        assert_eq!(a.run_open(&reqs), b.run_open(&reqs));
     }
 
     #[test]

@@ -14,9 +14,10 @@ use kvd_hash::{HashError, HashTable, HashTableConfig};
 use kvd_mem::MemoryEngine;
 use kvd_net::{KvRequest, KvRequestRef, KvResponse, OpCode, Status};
 use kvd_ooo::{Admission, KvOpKind, ReservationStation, StationConfig, StationOp};
-use kvd_sim::FaultPlane;
+use kvd_sim::{FaultPlane, SimTime};
 
 use crate::lambda::{decode_scalar, decode_vector, encode_vector, Lambda, LambdaRegistry};
+use crate::overload::{AdmissionController, OverloadConfig, OverloadCounters};
 
 /// Retries the processor grants a memory transaction before surfacing
 /// [`Status::DeviceError`] (matches the DMA engine's read retry budget).
@@ -89,6 +90,16 @@ pub struct KvProcessor<M: MemoryEngine> {
     ctxs: Vec<RespCtx>,
     faults: FaultPlane,
     fault_retry_limit: u32,
+    overload_cfg: OverloadConfig,
+    admission: Option<AdmissionController>,
+    /// Pressure reported by layers the functional processor cannot see
+    /// (decode backlog, PCIe tag pools, host-arbiter stretch); maxed with
+    /// the live station occupancy at each admission decision.
+    external_pressure: f64,
+    /// The simulation clock the deadline gate compares against.
+    now: SimTime,
+    read_only: bool,
+    overload: OverloadCounters,
 }
 
 impl KvProcessor<kvd_mem::FlatMemory> {
@@ -122,7 +133,59 @@ impl<M: MemoryEngine> KvProcessor<M> {
             ctxs: Vec::new(),
             faults: FaultPlane::disabled(),
             fault_retry_limit: DEFAULT_FAULT_RETRY_LIMIT,
+            overload_cfg: OverloadConfig::default(),
+            admission: None,
+            external_pressure: 0.0,
+            now: SimTime::ZERO,
+            read_only: false,
+            overload: OverloadCounters::default(),
         }
+    }
+
+    /// Configures the overload plane (admission watermarks, read-only
+    /// degradation). The default [`OverloadConfig`] disables everything.
+    pub fn set_overload_config(&mut self, cfg: OverloadConfig) {
+        self.admission = cfg.admission.map(AdmissionController::new);
+        self.overload_cfg = cfg;
+    }
+
+    /// Advances the clock the deadline gate compares request deadlines
+    /// against (µs since the client epoch).
+    pub fn set_now(&mut self, now: SimTime) {
+        self.now = now;
+    }
+
+    /// Reports pressure from layers outside the functional processor
+    /// (decode backlog in station-capacities, tag-pool fill, host-arbiter
+    /// stretch); the admission decision takes the worst of this and the
+    /// live station occupancy.
+    pub fn set_external_pressure(&mut self, pressure: f64) {
+        self.external_pressure = pressure;
+    }
+
+    /// Overload/shed rollup (admissions, sheds by reason, degraded-mode
+    /// transitions).
+    pub fn overload_counters(&self) -> OverloadCounters {
+        let mut c = self.overload;
+        if let Some(ac) = &self.admission {
+            c.shed_transitions = ac.transitions();
+        }
+        c
+    }
+
+    /// Whether the processor is in read-only degraded mode.
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Whether the admission controller is currently shedding.
+    pub fn is_shedding(&self) -> bool {
+        self.admission.as_ref().is_some_and(|a| a.is_shedding())
+    }
+
+    /// Live reservation-station occupancy (0..=1 of the 256-op envelope).
+    pub fn station_occupancy(&self) -> f64 {
+        self.station.occupancy()
     }
 
     /// Attaches a fault plane: every issued memory transaction draws from
@@ -229,6 +292,13 @@ impl<M: MemoryEngine> KvProcessor<M> {
             },
         });
         self.stats.requests += 1;
+        if let Some(status) = self.overload_gate(req) {
+            self.responses[i] = Some(KvResponse {
+                status,
+                value: Vec::new(),
+            });
+            return;
+        }
         match self.build_station_op(i as u64, req) {
             Ok(op) => self.submit(op),
             Err(status) => {
@@ -239,6 +309,47 @@ impl<M: MemoryEngine> KvProcessor<M> {
                 });
             }
         }
+    }
+
+    /// The overload plane's per-request gate, run before any station or
+    /// DMA resources are spent. Order matters: an expired request is
+    /// dropped no matter what (spending capacity on it helps nobody),
+    /// degraded read-only mode sheds allocating writes next, and the
+    /// watermark admission controller sees only requests that could
+    /// actually execute.
+    fn overload_gate(&mut self, req: KvRequestRef<'_>) -> Option<Status> {
+        if req.deadline_us != 0 && self.now > SimTime::from_us(req.deadline_us as u64) {
+            self.overload.shed_expired += 1;
+            return Some(Status::Expired);
+        }
+        // PUT and the atomic updates allocate; GET reads and DELETE frees,
+        // so both stay admissible — deletes are what drain the store back
+        // under the exit watermark.
+        let allocates = matches!(
+            req.op,
+            OpCode::Put
+                | OpCode::UpdateScalar
+                | OpCode::UpdateScalarToVector
+                | OpCode::UpdateVector
+        );
+        if self.read_only && allocates {
+            if self.table.memory_utilization() < self.overload_cfg.read_only_exit_utilization {
+                self.read_only = false;
+                self.overload.read_only_exits += 1;
+            } else {
+                self.overload.shed_read_only += 1;
+                return Some(Status::Overloaded);
+            }
+        }
+        if let Some(ac) = &mut self.admission {
+            let pressure = self.station.occupancy().max(self.external_pressure);
+            if ac.observe(pressure) {
+                self.overload.shed_overload += 1;
+                return Some(Status::Overloaded);
+            }
+        }
+        self.overload.admitted += 1;
+        None
     }
 
     fn finish_batch(&mut self) -> Vec<KvResponse> {
@@ -459,6 +570,10 @@ impl<M: MemoryEngine> KvProcessor<M> {
         match e {
             HashError::OutOfMemory => {
                 self.stats.oom += 1;
+                if self.overload_cfg.read_only_on_oom && !self.read_only {
+                    self.read_only = true;
+                    self.overload.read_only_entries += 1;
+                }
                 Status::OutOfMemory
             }
             HashError::KeyTooLarge | HashError::ValueTooLarge => {
@@ -635,6 +750,7 @@ mod tests {
                 key: b"ctr".to_vec(),
                 value: 1u64.to_le_bytes().to_vec(),
                 lambda: crate::lambda::builtin::ADD,
+                deadline_us: 0,
             })
             .collect();
         let rs = p.execute_batch(&reqs);
@@ -684,6 +800,7 @@ mod tests {
                             key: key.clone(),
                             value: 7u64.to_le_bytes().to_vec(),
                             lambda: crate::lambda::builtin::ADD,
+                            deadline_us: 0,
                         });
                         expected.push(Some(old.to_le_bytes().to_vec()));
                     }
@@ -761,18 +878,21 @@ mod tests {
                 key: b"v".to_vec(),
                 value: 0u64.to_le_bytes().to_vec(),
                 lambda: crate::lambda::builtin::SUM,
+                deadline_us: 0,
             },
             KvRequest {
                 op: OpCode::UpdateScalarToVector,
                 key: b"v".to_vec(),
                 value: 10u64.to_le_bytes().to_vec(),
                 lambda: crate::lambda::builtin::VADD,
+                deadline_us: 0,
             },
             KvRequest {
                 op: OpCode::Filter,
                 key: b"v".to_vec(),
                 value: Vec::new(),
                 lambda: crate::lambda::builtin::NONZERO,
+                deadline_us: 0,
             },
         ]);
         assert_eq!(decode_scalar(Some(&rs[1].value)), 6);

@@ -13,6 +13,7 @@ use kvd_ooo::StationConfig;
 use kvd_sim::{Bandwidth, FaultCounters, FaultPlane, FaultRates};
 
 use crate::lambda::{decode_scalar, decode_vector, encode_vector, Lambda, LambdaRegistry};
+use crate::overload::{OverloadConfig, OverloadCounters};
 use crate::processor::{KvProcessor, ProcessorStats};
 
 /// Errors surfaced by the store API.
@@ -27,6 +28,12 @@ pub enum StoreError {
     /// A device-level fault exhausted its retry budget; the operation was
     /// not applied and may be retried.
     DeviceError,
+    /// Shed by admission control (or a degraded mode such as read-only);
+    /// the operation was not applied. Back off and retry.
+    Overloaded,
+    /// The request's deadline had already passed; it was dropped without
+    /// executing.
+    Expired,
 }
 
 impl std::fmt::Display for StoreError {
@@ -36,6 +43,8 @@ impl std::fmt::Display for StoreError {
             StoreError::NotFound => write!(f, "key not found"),
             StoreError::Invalid => write!(f, "invalid request"),
             StoreError::DeviceError => write!(f, "device error (retriable)"),
+            StoreError::Overloaded => write!(f, "shed by admission control"),
+            StoreError::Expired => write!(f, "deadline expired"),
         }
     }
 }
@@ -49,6 +58,8 @@ fn status_to_err(s: Status) -> StoreError {
         Status::OutOfMemory => StoreError::OutOfMemory,
         Status::Invalid => StoreError::Invalid,
         Status::DeviceError => StoreError::DeviceError,
+        Status::Overloaded => StoreError::Overloaded,
+        Status::Expired => StoreError::Expired,
     }
 }
 
@@ -81,6 +92,10 @@ pub struct KvDirectConfig {
     /// Seed of the deterministic fault schedule; only meaningful when
     /// `fault_rates` is non-zero.
     pub fault_seed: u64,
+    /// Overload plane (admission watermarks, deadline expiry, read-only
+    /// degradation). Defaults to fully disabled so closed-loop workloads
+    /// that legitimately saturate the pipeline are untouched.
+    pub overload: OverloadConfig,
 }
 
 impl KvDirectConfig {
@@ -96,6 +111,7 @@ impl KvDirectConfig {
             extended_slabs: false,
             fault_rates: FaultRates::ZERO,
             fault_seed: 0,
+            overload: OverloadConfig::default(),
         }
     }
 }
@@ -206,6 +222,7 @@ impl KvDirectStore {
         );
         let mut proc = KvProcessor::new(table, cfg.station, LambdaRegistry::with_builtins());
         proc.set_fault_plane(root.fork(2));
+        proc.set_overload_config(cfg.overload.clone());
         KvDirectStore { proc }
     }
 
@@ -236,6 +253,19 @@ impl KvDirectStore {
     /// counts and whether the DRAM-cache bypass breaker has tripped).
     pub fn ecc_stats(&self) -> kvd_mem::EccStats {
         *self.proc.table().mem().ecc()
+    }
+
+    /// Store-wide overload rollup (admissions, sheds by reason,
+    /// degraded-mode transitions), mirroring
+    /// [`fault_counters`](Self::fault_counters).
+    pub fn overload_counters(&self) -> OverloadCounters {
+        self.proc.overload_counters()
+    }
+
+    /// Whether the store is in read-only degraded mode (writes shed with
+    /// [`StoreError::Overloaded`] after slab exhaustion).
+    pub fn is_read_only(&self) -> bool {
+        self.proc.is_read_only()
     }
 
     fn one(&mut self, req: KvRequestRef<'_>) -> KvResponse {
@@ -314,6 +344,7 @@ impl KvDirectStore {
             key,
             value: &param,
             lambda,
+            deadline_us: 0,
         });
         match r.status {
             Status::Ok => Ok(decode_scalar(Some(&r.value))),
@@ -335,6 +366,7 @@ impl KvDirectStore {
             key,
             value: &param,
             lambda,
+            deadline_us: 0,
         });
         match r.status {
             Status::Ok => Ok(decode_vector(&r.value)),
@@ -355,6 +387,7 @@ impl KvDirectStore {
             key,
             value: &value,
             lambda,
+            deadline_us: 0,
         });
         match r.status {
             Status::Ok => Ok(decode_vector(&r.value)),
@@ -370,6 +403,7 @@ impl KvDirectStore {
             key,
             value: &init,
             lambda,
+            deadline_us: 0,
         });
         match r.status {
             Status::Ok => Ok(decode_scalar(Some(&r.value))),
@@ -384,6 +418,7 @@ impl KvDirectStore {
             key,
             value: &[],
             lambda,
+            deadline_us: 0,
         });
         match r.status {
             Status::Ok => Ok(decode_vector(&r.value)),
@@ -786,6 +821,117 @@ mod tests {
         let (_, c12, _) = run(12);
         assert!(c11.total_faults() > 0);
         assert_ne!(c11, c12, "different seeds, different schedules");
+    }
+
+    #[test]
+    fn external_pressure_sheds_and_recovers_with_hysteresis() {
+        let mut s = KvDirectStore::new(KvDirectConfig {
+            overload: crate::overload::OverloadConfig::enabled(),
+            ..KvDirectConfig::with_memory(1 << 20)
+        });
+        s.put(b"k", b"v").expect("idle store admits");
+        // Pressure above the high watermark: everything sheds.
+        s.processor_mut().set_external_pressure(0.9);
+        assert_eq!(s.put(b"k", b"v2"), Err(StoreError::Overloaded));
+        assert_eq!(s.try_get(b"k"), Err(StoreError::Overloaded));
+        // Between the watermarks: hysteresis keeps shedding.
+        s.processor_mut().set_external_pressure(0.7);
+        assert_eq!(s.put(b"k", b"v2"), Err(StoreError::Overloaded));
+        // Below the low watermark: admitted again, value unchanged by the
+        // shed attempts.
+        s.processor_mut().set_external_pressure(0.3);
+        assert_eq!(s.get(b"k").unwrap(), b"v");
+        let c = s.overload_counters();
+        assert_eq!(c.shed_overload, 3);
+        assert_eq!(c.shed_transitions, 2, "one flip in, one out");
+        assert!(c.admitted >= 2);
+    }
+
+    #[test]
+    fn expired_requests_dropped_without_effect() {
+        // Deadline expiry is always on — it needs no admission config.
+        let mut s = store();
+        s.processor_mut().set_now(kvd_sim::SimTime::from_us(100));
+        let rs = s.execute_batch(&[
+            KvRequest::put(b"stale", b"v").with_deadline(50),
+            KvRequest::put(b"fresh", b"v").with_deadline(200),
+            KvRequest::put(b"untimed", b"v"),
+        ]);
+        assert_eq!(rs[0].status, Status::Expired);
+        assert_eq!(rs[1].status, Status::Ok);
+        assert_eq!(rs[2].status, Status::Ok);
+        assert_eq!(s.get(b"stale"), None, "expired PUT left no trace");
+        assert_eq!(s.overload_counters().shed_expired, 1);
+    }
+
+    #[test]
+    fn read_only_mode_enters_on_oom_and_exits_after_drain() {
+        let mut s = KvDirectStore::new(KvDirectConfig {
+            overload: crate::overload::OverloadConfig {
+                admission: None,
+                read_only_on_oom: true,
+                read_only_exit_utilization: 0.15,
+            },
+            ..KvDirectConfig::with_memory(1 << 20)
+        });
+        // Fill until the slabs run dry. The filling write itself reports
+        // OutOfMemory; the mode flips for everything after it.
+        let mut inserted: Vec<u64> = Vec::new();
+        let mut i = 0u64;
+        loop {
+            match s.put(&i.to_le_bytes(), &[0xAB; 200]) {
+                Ok(()) => inserted.push(i),
+                Err(StoreError::OutOfMemory) => break,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+            i += 1;
+        }
+        assert!(s.is_read_only());
+        // Writes shed, reads flow: degraded, not dead.
+        assert_eq!(
+            s.put(b"more", &[0xCD; 200]),
+            Err(StoreError::Overloaded),
+            "read-only mode sheds allocating writes"
+        );
+        assert_eq!(s.get(&inserted[0].to_le_bytes()).unwrap(), [0xAB; 200]);
+        // Deletes are admitted — they are the way out. Drain below the
+        // exit watermark and the next write is admitted again.
+        for k in &inserted {
+            if s.processor().table().memory_utilization() < 0.12 {
+                break;
+            }
+            assert!(s.delete(&k.to_le_bytes()));
+        }
+        s.put(b"after", b"v")
+            .expect("recovered store admits writes");
+        assert!(!s.is_read_only());
+        let c = s.overload_counters();
+        assert_eq!(c.read_only_entries, 1);
+        assert_eq!(c.read_only_exits, 1);
+        assert!(c.shed_read_only >= 1);
+    }
+
+    #[test]
+    fn disabled_overload_plane_is_inert() {
+        // An enabled-but-idle plane (zero pressure, no deadlines, no OOM)
+        // must not disturb any response; the default plane keeps OOM
+        // semantics exactly as the seed: every failing write reports
+        // OutOfMemory, never Overloaded.
+        let mut plain = store();
+        let mut enabled = KvDirectStore::new(KvDirectConfig {
+            overload: crate::overload::OverloadConfig::enabled(),
+            ..KvDirectConfig::with_memory(1 << 20)
+        });
+        for i in 0..300u64 {
+            let k = i.to_le_bytes();
+            assert_eq!(plain.put(&k, &k), enabled.put(&k, &k));
+            assert_eq!(plain.get(&k), enabled.get(&k));
+        }
+        assert_eq!(plain.stats(), enabled.stats());
+        let c = enabled.overload_counters();
+        assert_eq!(c.total_shed(), 0);
+        assert_eq!(c.admitted, 600);
+        assert_eq!(plain.overload_counters().total_shed(), 0);
     }
 
     #[test]

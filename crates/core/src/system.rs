@@ -18,13 +18,35 @@
 //! per shard in lockstep windows and charges their aggregate host traffic
 //! to a shared DRAM arbiter; [`SystemSim::run`] is the single-shard
 //! convenience that steps to completion in one unbounded window.
+//!
+//! # Open-loop mode and the overload plane
+//!
+//! [`SystemSim::load_open`] stages an *arrival schedule* instead of a
+//! closed loop: each request carries the instant its client issues it,
+//! independent of responses. Offered load can then exceed capacity,
+//! which is where the overload plane earns its keep: a per-batch
+//! [`PressureGauge`] folds the simulated-time backlogs (decode queue,
+//! PCIe tag pressure, host-arbiter stretch) into the store's admission
+//! controller, the decode clock drives server-side deadline expiry, and
+//! requests already past their deadline at batch-cut are dropped at the
+//! client before burning wire bandwidth. [`SystemSimReport`] separates
+//! *goodput* (useful, on-time responses) from raw completions, and the
+//! request/response links inherit the store's fault plane so packet
+//! drops and reorders ride the same deterministic schedule.
 
 use kvd_mem::MemoryEngine;
-use kvd_net::{KvRequest, NetConfig, NetLink, OpCode};
+use kvd_net::{KvRequest, NetConfig, NetLink, OpCode, Status};
 use kvd_pcie::PcieConfig;
-use kvd_sim::{Bandwidth, DetRng, Freq, Histogram, SimTime, Summary};
+use kvd_sim::{
+    Bandwidth, DetRng, FaultCounters, FaultPlane, Freq, Histogram, PressureGauge, SimTime, Summary,
+};
 
+use crate::overload::OverloadCounters;
 use crate::store::{KvDirectConfig, KvDirectStore};
+
+/// Salt separating the network links' fault stream from the store's
+/// (memory + processor) streams derived from the same `fault_seed`.
+const NET_FAULT_SALT: u64 = 0x6E65_745F_6C6E_6B73; // "net_lnks"
 
 /// Configuration of the end-to-end simulation.
 #[derive(Debug, Clone)]
@@ -66,12 +88,29 @@ impl SystemSimConfig {
 /// Result of a simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemSimReport {
-    /// Operations completed.
+    /// Operations resolved (answered, shed, or expired).
     pub ops: u64,
     /// Simulated makespan.
     pub elapsed: SimTime,
-    /// Sustained throughput (Mops).
+    /// Sustained throughput over all resolved operations (Mops).
     pub mops: f64,
+    /// Operations that produced a *useful* response: `Ok`/`NotFound`,
+    /// delivered before the request's deadline (if it carried one).
+    pub goodput_ops: u64,
+    /// Sustained goodput (Mops). Under overload this knees while `mops`
+    /// keeps counting sheds.
+    pub goodput_mops: f64,
+    /// Operations shed with `Status::Overloaded` (admission control or
+    /// read-only degradation).
+    pub shed_ops: u64,
+    /// Operations dropped as expired — at the client before transmission
+    /// or at the server before execution.
+    pub expired_ops: u64,
+    /// Store-side overload rollup (admissions, sheds by reason,
+    /// degraded-mode transitions).
+    pub overload: OverloadCounters,
+    /// Fault rollup across the store *and* both network links.
+    pub faults: FaultCounters,
     /// GET latency summary (picoseconds).
     pub get_latency: Summary,
     /// PUT latency summary (picoseconds).
@@ -147,6 +186,7 @@ pub struct SystemSim {
     // ---- staged run state (load/step/report) ----
     pending: Vec<KvRequest>,
     loads: Vec<OpLoad>,
+    statuses: Vec<Status>,
     cursor: usize,
     window_free: Vec<SimTime>,
     server_free: SimTime,
@@ -154,6 +194,19 @@ pub struct SystemSim {
     put_hist: Histogram,
     ops_done: u64,
     makespan: SimTime,
+    // ---- open-loop + overload state ----
+    /// Per-request client issue times; empty in closed-loop mode.
+    arrivals: Vec<SimTime>,
+    open_loop: bool,
+    record_outcomes: bool,
+    outcomes: Vec<(Status, Vec<u8>)>,
+    goodput_ops: u64,
+    shed_ops: u64,
+    expired_ops: u64,
+    /// Host-arbiter stretch of the previous window (stall / quantum),
+    /// pushed in by the parallel engine at its barrier.
+    host_stretch: f64,
+    pressure: PressureGauge,
 }
 
 /// One operation's captured memory-access load, charged against the
@@ -199,10 +252,16 @@ impl SystemSim {
         // drain lines in parallel.
         let tag_limited = cfg.pcie.mean_random_read_latency() / u64::from(cfg.pcie.read_tags);
         let wire_limited = cfg.pcie.bandwidth.transfer_time(cfg.pcie.wire_bytes(64));
+        // The links share the store's fault schedule: one root plane per
+        // sim, forked into independent request/response streams. Zero
+        // rates (the default) never consume randomness, so a fault-free
+        // sim is bit-identical to one built before links had faults.
+        let mut net_faults =
+            FaultPlane::new(cfg.store.fault_rates, cfg.store.fault_seed ^ NET_FAULT_SALT);
         SystemSim {
             store: KvDirectStore::new(cfg.store.clone()),
-            req_link: NetLink::new(cfg.net.clone()),
-            resp_link: NetLink::new(cfg.net.clone()),
+            req_link: NetLink::with_faults(cfg.net.clone(), net_faults.fork(1)),
+            resp_link: NetLink::with_faults(cfg.net.clone(), net_faults.fork(2)),
             rng: DetRng::seed(seed),
             pcie_line_service: tag_limited.max(wire_limited) / ports,
             dram_line_service: Bandwidth::from_gbytes_per_sec(12.8).transfer_time(64),
@@ -210,6 +269,7 @@ impl SystemSim {
             dram_free: SimTime::ZERO,
             pending: Vec::new(),
             loads: Vec::new(),
+            statuses: Vec::new(),
             cursor: 0,
             window_free: vec![SimTime::ZERO; windows],
             server_free: SimTime::ZERO,
@@ -217,6 +277,15 @@ impl SystemSim {
             put_hist: Histogram::new(),
             ops_done: 0,
             makespan: SimTime::ZERO,
+            arrivals: Vec::new(),
+            open_loop: false,
+            record_outcomes: false,
+            outcomes: Vec::new(),
+            goodput_ops: 0,
+            shed_ops: 0,
+            expired_ops: 0,
+            host_stretch: 0.0,
+            pressure: PressureGauge::IDLE,
             cfg,
         }
     }
@@ -232,6 +301,8 @@ impl SystemSim {
     pub fn load(&mut self, reqs: &[KvRequest]) {
         self.pending.clear();
         self.pending.extend_from_slice(reqs);
+        self.arrivals.clear();
+        self.open_loop = false;
         self.cursor = 0;
         self.window_free = vec![SimTime::ZERO; self.cfg.windows.max(1)];
         self.server_free = SimTime::ZERO;
@@ -239,6 +310,74 @@ impl SystemSim {
         self.put_hist = Histogram::new();
         self.ops_done = 0;
         self.makespan = SimTime::ZERO;
+        self.outcomes.clear();
+        self.goodput_ops = 0;
+        self.shed_ops = 0;
+        self.expired_ops = 0;
+        self.host_stretch = 0.0;
+        self.pressure = PressureGauge::IDLE;
+    }
+
+    /// Stages an *open-loop* request stream: each request is issued at
+    /// its scheduled arrival time regardless of outstanding responses,
+    /// so offered load is a free variable (and may exceed capacity —
+    /// that is the point). Batches cut every `cfg.batch` consecutive
+    /// arrivals; a request whose deadline has already passed when its
+    /// batch reaches the wire is dropped at the client, costing no
+    /// bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arrival times are not non-decreasing.
+    pub fn load_open(&mut self, reqs: &[(SimTime, KvRequest)]) {
+        assert!(
+            reqs.windows(2).all(|w| w[0].0 <= w[1].0),
+            "open-loop arrivals must be sorted by time"
+        );
+        self.load(&[]);
+        self.pending.extend(reqs.iter().map(|(_, r)| r.clone()));
+        self.arrivals.extend(reqs.iter().map(|(t, _)| *t));
+        self.open_loop = true;
+    }
+
+    /// Records every staged request's `(status, value)` outcome, aligned
+    /// with the request stream, for consistency checking. Off by default
+    /// (response values are large).
+    pub fn set_record_outcomes(&mut self, on: bool) {
+        self.record_outcomes = on;
+    }
+
+    /// Outcomes captured since the last load (empty unless
+    /// [`Self::set_record_outcomes`] is on).
+    pub fn outcomes(&self) -> &[(Status, Vec<u8>)] {
+        &self.outcomes
+    }
+
+    /// The backpressure gauge computed for the most recent batch.
+    pub fn pressure(&self) -> PressureGauge {
+        self.pressure
+    }
+
+    /// Folds the shared host arbiter's verdict for the previous lockstep
+    /// window into this shard's pressure signal: `stall / quantum` is how
+    /// far host DRAM oversubscription stretched simulated time. Called by
+    /// the parallel engine at its barrier; purely a pressure input, it
+    /// does not move any component clock (the engine's issue-floor
+    /// already models the stall).
+    pub fn absorb_host_stall(&mut self, stall: SimTime, quantum: SimTime) {
+        self.host_stretch = if quantum > SimTime::ZERO {
+            stall.as_secs_f64() / quantum.as_secs_f64()
+        } else {
+            0.0
+        };
+    }
+
+    /// Fault rollup across the store and both network links.
+    pub fn fault_counters(&self) -> FaultCounters {
+        let mut total = self.store.fault_counters();
+        total.merge(self.req_link.faults().counters());
+        total.merge(self.resp_link.faults().counters());
+        total
     }
 
     /// Advances the staged stream through one lookahead window.
@@ -258,105 +397,207 @@ impl SystemSim {
         let mut host_lines = 0u64;
 
         while self.cursor < self.pending.len() {
-            // The client issues when its earliest window frees up.
-            let w = self
-                .window_free
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, &t)| t)
-                .map(|(i, _)| i)
-                .expect("at least one window");
-            let start = self.window_free[w].max(floor);
+            let end = (self.cursor + batch).min(self.pending.len());
+            let (start, w) = if self.open_loop {
+                // Open loop: the batch cuts when its last request
+                // arrives, regardless of outstanding responses.
+                (self.arrivals[end - 1].max(floor), usize::MAX)
+            } else {
+                // Closed loop: the client issues when its earliest
+                // window frees up.
+                let w = self
+                    .window_free
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &t)| t)
+                    .map(|(i, _)| i)
+                    .expect("at least one window");
+                (self.window_free[w].max(floor), w)
+            };
             if start >= horizon {
                 break;
             }
-            let end = (self.cursor + batch).min(self.pending.len());
 
-            // Request packet: header-amortized batch on the wire.
+            // Client-side expiry at batch-cut: a request whose deadline
+            // has already passed when the packet would reach the wire is
+            // dropped before transmission. Under sustained overload this
+            // is what bounds the wire backlog — without it the link
+            // queue grows without limit and *every* response is late
+            // (congestion collapse).
+            let wire_start = start.max(self.req_link.free_at());
+            let dead_at_client = |r: &KvRequest| {
+                r.deadline_us != 0 && wire_start > SimTime::from_us(u64::from(r.deadline_us))
+            };
+
+            // Request packet: header-amortized batch on the wire, live
+            // (unexpired) requests only.
             let req_bytes: u64 = self.pending[self.cursor..end]
                 .iter()
+                .filter(|r| !dead_at_client(r))
                 .map(|r| 4 + r.key.len() as u64 + r.value.len() as u64)
                 .sum();
-            let arrive = self.req_link.send(start, req_bytes);
-
-            // Server: the decoder is a single 180 MHz pipeline shared by
-            // all in-flight windows — a batch cannot start decoding
-            // before the previous batch has drained it.
-            let decode_start = arrive.max(self.server_free);
-            self.server_free = decode_start + cycle * ((end - self.cursor) as u64);
-            let mut resp_bytes = 0u64;
-            // Pass 1: execute functionally, capturing each op's real
-            // access counts.
+            self.statuses.clear();
             self.loads.clear();
-            for i in self.cursor..end {
-                let decode_done = decode_start + cycle * ((i - self.cursor) as u64 + 1);
-                let before = self.store.processor().table().mem().stats();
-                let req = &self.pending[i];
-                let resp = self.store.execute_one(req.as_ref());
-                resp_bytes += 3 + resp.value.len() as u64;
-                let d = self.store.processor().table().mem().stats().since(&before);
-                host_lines += d.dma_reads + d.dma_writes;
-                self.loads.push(OpLoad {
-                    t: decode_done,
-                    dma_reads: d.dma_reads,
-                    dram_reads: d.dram_reads,
-                    dma_writes: d.dma_writes,
-                    dram_writes: d.dram_writes,
-                });
-            }
-            // Pass 2: charge the accesses against fluid service models of
-            // the PCIe DMA engines and the NIC DRAM channel. Independent
-            // operations overlap freely up to each resource's service
-            // rate (tag-limited random reads for PCIe, line bandwidth for
-            // DRAM); a saturated resource shows up as a backlog clock
-            // running ahead of arrivals, which delays every operation
-            // that touches it. Within an op, dependent reads still chain
-            // (bucket → data); posted writes consume service capacity but
-            // do not extend the critical path.
-            let pcie_backlog = self.pcie_free.saturating_sub(arrive);
-            let dram_backlog = self.dram_free.saturating_sub(arrive);
-            let mut batch_done = arrive;
-            let (mut pcie_lines, mut dram_lines) = (0u64, 0u64);
-            for op in self.loads.iter() {
-                let queued = match (op.dma_reads > 0, op.dram_reads > 0) {
-                    (true, true) => pcie_backlog.max(dram_backlog),
-                    (true, false) => pcie_backlog,
-                    (false, true) => dram_backlog,
-                    (false, false) => SimTime::ZERO,
-                };
-                let mut t = op.t + queued;
-                for _ in 0..op.dma_reads {
-                    let mut rtt = self.cfg.pcie.cached_read_latency.sample(&mut self.rng);
-                    rtt += SimTime::from_ps(
-                        self.rng
-                            .u64_below(self.cfg.pcie.noncached_extra.as_ps() + 1),
-                    );
-                    t += rtt;
-                }
-                for _ in 0..op.dram_reads {
-                    t += self.cfg.dram_access;
-                }
-                pcie_lines += op.dma_reads + op.dma_writes;
-                dram_lines += op.dram_reads + op.dram_writes;
-                batch_done = batch_done.max(t);
-            }
-            self.pcie_free = self.pcie_free.max(arrive) + self.pcie_line_service * pcie_lines;
-            self.dram_free = self.dram_free.max(arrive) + self.dram_line_service * dram_lines;
+            let mut resp_bytes = 0u64;
 
-            // Response packet for the batch.
-            let resp_arrive = self.resp_link.send(batch_done, resp_bytes);
-            self.window_free[w] = resp_arrive;
-            self.makespan = self.makespan.max(resp_arrive);
-            for i in self.cursor..end {
+            let resp_arrive = if req_bytes == 0 {
+                // Every request in the batch died at the client: nothing
+                // reaches the wire, the server, or the response path.
+                for _ in self.cursor..end {
+                    self.statuses.push(Status::Expired);
+                    if self.record_outcomes {
+                        self.outcomes.push((Status::Expired, Vec::new()));
+                    }
+                }
+                self.makespan = self.makespan.max(start);
+                start
+            } else {
+                let arrive = self.req_link.send(start, req_bytes);
+
+                // Server: the decoder is a single 180 MHz pipeline shared
+                // by all in-flight windows — a batch cannot start
+                // decoding before the previous batch has drained it.
+                let decode_start = arrive.max(self.server_free);
+
+                // Backpressure gauge for this batch: simulated-time
+                // backlogs the functional processor cannot see, each
+                // normalized to its resource's capacity envelope. Fed to
+                // the store's admission controller (inert unless the
+                // overload plane is enabled).
+                let station_cap = cycle * self.cfg.store.station.capacity as u64;
+                let tag_cap = self.pcie_line_service
+                    * (u64::from(self.cfg.pcie.read_tags) * self.cfg.pcie_ports.max(1) as u64);
+                let gauge = PressureGauge {
+                    station: self.server_free.saturating_sub(arrive).as_secs_f64()
+                        / station_cap.as_secs_f64().max(f64::MIN_POSITIVE),
+                    tags: self.pcie_free.saturating_sub(arrive).as_secs_f64()
+                        / tag_cap.as_secs_f64().max(f64::MIN_POSITIVE),
+                    stretch: self.host_stretch,
+                };
+                self.pressure = gauge;
+                self.store
+                    .processor_mut()
+                    .set_external_pressure(gauge.overall());
+
+                // Pass 1: execute functionally, capturing each op's real
+                // access counts. Client-expired requests never reach the
+                // server; the decode clock advances only for live ops,
+                // and feeds the processor so server-side deadline expiry
+                // sees simulated time.
+                let mut decoded = 0u64;
+                for i in self.cursor..end {
+                    let req = &self.pending[i];
+                    if dead_at_client(req) {
+                        self.statuses.push(Status::Expired);
+                        if self.record_outcomes {
+                            self.outcomes.push((Status::Expired, Vec::new()));
+                        }
+                        continue;
+                    }
+                    decoded += 1;
+                    let decode_done = decode_start + cycle * decoded;
+                    self.store.processor_mut().set_now(decode_done);
+                    let before = self.store.processor().table().mem().stats();
+                    let resp = self.store.execute_one(req.as_ref());
+                    resp_bytes += 3 + resp.value.len() as u64;
+                    let d = self.store.processor().table().mem().stats().since(&before);
+                    host_lines += d.dma_reads + d.dma_writes;
+                    self.statuses.push(resp.status);
+                    if self.record_outcomes {
+                        self.outcomes.push((resp.status, resp.value));
+                    }
+                    self.loads.push(OpLoad {
+                        t: decode_done,
+                        dma_reads: d.dma_reads,
+                        dram_reads: d.dram_reads,
+                        dma_writes: d.dma_writes,
+                        dram_writes: d.dram_writes,
+                    });
+                }
+                self.server_free = decode_start + cycle * decoded;
+                // Pass 2: charge the accesses against fluid service
+                // models of the PCIe DMA engines and the NIC DRAM
+                // channel. Independent operations overlap freely up to
+                // each resource's service rate (tag-limited random reads
+                // for PCIe, line bandwidth for DRAM); a saturated
+                // resource shows up as a backlog clock running ahead of
+                // arrivals, which delays every operation that touches it.
+                // Within an op, dependent reads still chain (bucket →
+                // data); posted writes consume service capacity but do
+                // not extend the critical path.
+                let pcie_backlog = self.pcie_free.saturating_sub(arrive);
+                let dram_backlog = self.dram_free.saturating_sub(arrive);
+                let mut batch_done = arrive;
+                let (mut pcie_lines, mut dram_lines) = (0u64, 0u64);
+                for op in self.loads.iter() {
+                    let queued = match (op.dma_reads > 0, op.dram_reads > 0) {
+                        (true, true) => pcie_backlog.max(dram_backlog),
+                        (true, false) => pcie_backlog,
+                        (false, true) => dram_backlog,
+                        (false, false) => SimTime::ZERO,
+                    };
+                    let mut t = op.t + queued;
+                    for _ in 0..op.dma_reads {
+                        let mut rtt = self.cfg.pcie.cached_read_latency.sample(&mut self.rng);
+                        rtt += SimTime::from_ps(
+                            self.rng
+                                .u64_below(self.cfg.pcie.noncached_extra.as_ps() + 1),
+                        );
+                        t += rtt;
+                    }
+                    for _ in 0..op.dram_reads {
+                        t += self.cfg.dram_access;
+                    }
+                    pcie_lines += op.dma_reads + op.dma_writes;
+                    dram_lines += op.dram_reads + op.dram_writes;
+                    batch_done = batch_done.max(t);
+                }
+                self.pcie_free = self.pcie_free.max(arrive) + self.pcie_line_service * pcie_lines;
+                self.dram_free = self.dram_free.max(arrive) + self.dram_line_service * dram_lines;
+
+                // Response packet for the batch.
+                let resp_arrive = self.resp_link.send(batch_done, resp_bytes);
+                if !self.open_loop {
+                    self.window_free[w] = resp_arrive;
+                }
+                self.makespan = self.makespan.max(resp_arrive);
+                resp_arrive
+            };
+
+            // Pass 3: resolve every op in the batch. Shed and expired
+            // ops count toward `ops` but not goodput and land in no
+            // latency histogram (they carry no service latency); a
+            // useful response must also beat its deadline to count as
+            // goodput.
+            for (off, i) in (self.cursor..end).enumerate() {
                 self.ops_done += 1;
-                let lat = resp_arrive - start;
-                // Tiny deterministic jitter spreads ties for percentile
-                // resolution (scheduling noise stand-in).
-                let jitter = SimTime::from_ps(self.rng.u64_below(50_000));
-                if self.pending[i].op == OpCode::Put {
-                    self.put_hist.record_time(lat + jitter);
-                } else {
-                    self.get_hist.record_time(lat + jitter);
+                let status = self.statuses[off];
+                match status {
+                    Status::Overloaded => self.shed_ops += 1,
+                    Status::Expired => self.expired_ops += 1,
+                    _ => {
+                        let issued = if self.open_loop {
+                            self.arrivals[i]
+                        } else {
+                            start
+                        };
+                        let lat = resp_arrive.saturating_sub(issued);
+                        // Tiny deterministic jitter spreads ties for
+                        // percentile resolution (scheduling noise
+                        // stand-in).
+                        let jitter = SimTime::from_ps(self.rng.u64_below(50_000));
+                        if self.pending[i].op == OpCode::Put {
+                            self.put_hist.record_time(lat + jitter);
+                        } else {
+                            self.get_hist.record_time(lat + jitter);
+                        }
+                        let deadline = self.pending[i].deadline_us;
+                        let on_time =
+                            deadline == 0 || resp_arrive <= SimTime::from_us(u64::from(deadline));
+                        if on_time && matches!(status, Status::Ok | Status::NotFound) {
+                            self.goodput_ops += 1;
+                        }
+                    }
                 }
             }
             self.cursor = end;
@@ -371,14 +612,23 @@ impl SystemSim {
     /// Report over everything completed since the last [`Self::load`].
     pub fn report(&self) -> SystemSimReport {
         let secs = self.makespan.as_secs_f64();
+        let rate = |ops: u64| {
+            if secs > 0.0 {
+                ops as f64 / secs / 1e6
+            } else {
+                0.0
+            }
+        };
         SystemSimReport {
             ops: self.ops_done,
             elapsed: self.makespan,
-            mops: if secs > 0.0 {
-                self.ops_done as f64 / secs / 1e6
-            } else {
-                0.0
-            },
+            mops: rate(self.ops_done),
+            goodput_ops: self.goodput_ops,
+            goodput_mops: rate(self.goodput_ops),
+            shed_ops: self.shed_ops,
+            expired_ops: self.expired_ops,
+            overload: self.store.overload_counters(),
+            faults: self.fault_counters(),
             get_latency: self.get_hist.summary(),
             put_latency: self.put_hist.summary(),
         }
@@ -397,6 +647,17 @@ impl SystemSim {
     /// unbounded [`Self::step`] window.
     pub fn run(&mut self, reqs: &[KvRequest]) -> SystemSimReport {
         self.load(reqs);
+        while !self.step(SimTime::MAX, SimTime::ZERO).done {}
+        self.report()
+    }
+
+    /// Runs an open-loop arrival schedule to completion (see
+    /// [`Self::load_open`]), returning the report. With the overload
+    /// plane enabled, offered load beyond the saturation point sheds
+    /// instead of collapsing: `goodput_mops` holds near the knee while
+    /// `shed_ops`/`expired_ops` absorb the excess.
+    pub fn run_open(&mut self, reqs: &[(SimTime, KvRequest)]) -> SystemSimReport {
+        self.load_open(reqs);
         while !self.step(SimTime::MAX, SimTime::ZERO).done {}
         self.report()
     }
@@ -496,6 +757,160 @@ mod tests {
         // And costs only a bounded latency increase.
         let added = rb.get_us(Percentile::P50) - rn.get_us(Percentile::P50);
         assert!(added < 2.0, "batching added {added}us");
+    }
+
+    /// Uniform open-loop arrival schedule at `rate_mops`.
+    fn open_schedule(
+        n: usize,
+        n_keys: u64,
+        put_ratio: f64,
+        rate_mops: f64,
+        deadline_us: u32,
+        seed: u64,
+    ) -> Vec<(SimTime, KvRequest)> {
+        let gap_ps = (1e6 / rate_mops) as u64;
+        mixed_reqs(n, n_keys, put_ratio, false, seed)
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut r)| {
+                let t = SimTime::from_ps(gap_ps * i as u64);
+                if deadline_us != 0 {
+                    r = r.with_deadline(t.as_us() as u32 + deadline_us);
+                }
+                (t, r)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn open_loop_below_saturation_is_all_goodput() {
+        let mut sim = preloaded(5_000, 8, 8);
+        // 1 Mops offered against a pipeline good for tens of Mops.
+        let r = sim.run_open(&open_schedule(2_000, 5_000, 0.1, 1.0, 100, 41));
+        assert_eq!(r.ops, 2_000);
+        assert_eq!(r.goodput_ops, 2_000, "uncongested: every op useful");
+        assert_eq!(r.shed_ops + r.expired_ops, 0);
+        // Makespan tracks the arrival schedule (2000 ops at 1 Mops = 2ms),
+        // not the pipeline's idle capacity.
+        let ms = r.elapsed.as_secs_f64() * 1e3;
+        assert!((1.9..2.5).contains(&ms), "makespan {ms}ms off schedule");
+        assert_eq!(r.overload.total_shed(), 0);
+        assert_eq!(r.faults.total_faults(), 0);
+    }
+
+    #[test]
+    fn overloaded_open_loop_sheds_instead_of_collapsing() {
+        let mut cfg = SystemSimConfig::paper(KvDirectConfig::with_memory(4 << 20), 8);
+        cfg.store.overload = crate::overload::OverloadConfig::enabled();
+        let mut sim = SystemSim::new(cfg);
+        for id in 0..3_000u64 {
+            sim.store_mut()
+                .put(&id.to_le_bytes(), &[id as u8; 8])
+                .expect("preload fits");
+        }
+        // 400 Mops offered against the 180 MHz decode ceiling: the decode
+        // backlog grows without bound, the station pressure term crosses
+        // the high watermark, and the controller flips to shedding.
+        // Generous deadlines keep expiry out of the picture.
+        let r = sim.run_open(&open_schedule(12_000, 3_000, 0.1, 400.0, 10_000, 42));
+        assert_eq!(r.ops, 12_000, "every op resolves, one way or another");
+        let dropped = r.shed_ops + r.expired_ops;
+        assert!(dropped > 0, "2x+ offered load must shed or expire");
+        assert!(
+            r.goodput_ops > 0 && r.goodput_ops + dropped <= r.ops,
+            "goodput {} + dropped {} vs ops {}",
+            r.goodput_ops,
+            dropped,
+            r.ops
+        );
+        // The latency histograms hold exactly the answered ops.
+        assert_eq!(r.get_latency.count + r.put_latency.count, r.ops - dropped);
+        // Shed/expired ops surface in the store rollup or the client-side
+        // expiry count; the controller actually flipped.
+        assert_eq!(r.overload.shed_overload, r.shed_ops);
+        assert!(r.expired_ops >= r.overload.shed_expired);
+        assert!(r.goodput_mops <= r.mops);
+    }
+
+    #[test]
+    fn sub_floor_deadlines_expire_instead_of_wasting_work() {
+        let mut sim = preloaded(1_000, 8, 8);
+        // 1us deadlines against a ~2.5us physical floor: requests expire
+        // (at the client before transmission once the wire backs up, or
+        // at the server's decode clock) rather than occupying the
+        // pipeline for answers nobody can use.
+        let r = sim.run_open(&open_schedule(4_000, 1_000, 0.0, 40.0, 1, 43));
+        assert!(r.expired_ops > 0, "tight deadlines must expire");
+        assert_eq!(r.ops, 4_000);
+        // Answered ops (in a histogram) plus dropped ops partition the
+        // stream exactly.
+        assert_eq!(
+            r.get_latency.count + r.put_latency.count + r.expired_ops + r.shed_ops,
+            r.ops
+        );
+        // A 1us deadline is below the ~2.5us physical floor: nothing
+        // answered can be on time.
+        assert_eq!(r.goodput_ops, 0);
+    }
+
+    #[test]
+    fn recorded_outcomes_align_with_request_stream() {
+        let mut sim = preloaded(500, 8, 8);
+        sim.set_record_outcomes(true);
+        let sched = open_schedule(600, 500, 0.3, 2.0, 0, 44);
+        let r = sim.run_open(&sched);
+        let outcomes = sim.outcomes();
+        assert_eq!(outcomes.len(), 600);
+        assert_eq!(
+            outcomes
+                .iter()
+                .filter(|(s, _)| matches!(s, Status::Ok | Status::NotFound))
+                .count() as u64,
+            r.goodput_ops
+        );
+        // Replay against a model: GET outcomes must match exactly.
+        let mut model = std::collections::HashMap::new();
+        for id in 0..500u64 {
+            model.insert(id.to_le_bytes().to_vec(), vec![id as u8; 8]);
+        }
+        for ((_, req), (status, value)) in sched.iter().zip(outcomes) {
+            match req.op {
+                OpCode::Put => {
+                    assert_eq!(*status, Status::Ok);
+                    model.insert(req.key.clone(), req.value.clone());
+                }
+                OpCode::Get => {
+                    assert_eq!(*status, Status::Ok);
+                    assert_eq!(value, model.get(&req.key).expect("preloaded"));
+                }
+                _ => unreachable!("schedule holds only GET/PUT"),
+            }
+        }
+    }
+
+    #[test]
+    fn link_faults_ride_the_store_fault_schedule() {
+        let mut cfg = SystemSimConfig::paper(KvDirectConfig::with_memory(1 << 20), 8);
+        cfg.store.fault_rates = kvd_sim::FaultRates {
+            net_drop: 0.05,
+            net_reorder: 0.05,
+            ..kvd_sim::FaultRates::ZERO
+        };
+        cfg.store.fault_seed = 77;
+        let run = |cfg: SystemSimConfig| {
+            let mut sim = SystemSim::new(cfg);
+            for id in 0..200u64 {
+                sim.store_mut().put(&id.to_le_bytes(), b"v").unwrap();
+            }
+            sim.run(&mixed_reqs(1_000, 200, 0.2, false, 6))
+        };
+        let r1 = run(cfg.clone());
+        let r2 = run(cfg);
+        assert!(
+            r1.faults.net_drops + r1.faults.net_reorders > 0,
+            "5% packet faults over 1000 ops must fire"
+        );
+        assert_eq!(r1, r2, "fault schedule is seed-deterministic");
     }
 
     #[test]

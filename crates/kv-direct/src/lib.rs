@@ -43,12 +43,15 @@
 //! ```
 
 pub use kvd_core::{
-    builtin, KvDirectConfig, KvDirectStore, KvProcessor, Lambda, LambdaRegistry, MultiNicStore,
-    ParallelSimConfig, ParallelSimReport, ParallelSystemSim, StoreError, SystemModel,
-    ThroughputBreakdown, WorkloadSpec,
+    builtin, AdmissionController, KvDirectConfig, KvDirectStore, KvProcessor, Lambda,
+    LambdaRegistry, MultiNicStore, OverloadConfig, OverloadCounters, ParallelSimConfig,
+    ParallelSimReport, ParallelSystemSim, StoreError, SystemModel, ThroughputBreakdown, Watermarks,
+    WorkloadSpec,
 };
 pub use kvd_net::{decode_packet, encode_packet, KvRequest, KvResponse, NetConfig, OpCode, Status};
-pub use kvd_sim::{FaultCounters, FaultPlane, FaultRates};
+pub use kvd_sim::{
+    ChaosConfig, ChaosSchedule, FaultCounters, FaultPlane, FaultRates, PressureGauge,
+};
 
 /// The paper's λ machinery (element codecs, registry).
 pub mod lambda {

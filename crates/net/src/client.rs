@@ -6,12 +6,24 @@
 //! at the configured size, and correlate responses back to operation
 //! handles in submission order (the KV processor preserves order within
 //! a packet, and packets are sequenced per session).
+//!
+//! With a [`RetryPolicy`] attached the session also runs a retransmission
+//! timer: an unanswered packet is retransmitted up to a bounded hedge
+//! budget — **unless it carries a non-idempotent atomic** (`update_*`),
+//! in which case the outcome is ambiguous (the update may have been
+//! applied and only the response lost) and retransmitting would
+//! double-apply it. Those packets are surfaced once as
+//! [`RetryDecision::Ambiguous`] and kept in flight so a late response
+//! still correlates: at-most-once semantics, enforced by the per-session
+//! sequence numbers that also absorb duplicate responses to hedged
+//! retransmits.
 
 use std::collections::VecDeque;
 
 use crate::config::NetConfig;
 use crate::wire::{decode_responses, encode_packet, KvRequest, KvResponse, WireError};
 use bytes::Bytes;
+use kvd_sim::SimTime;
 
 /// Handle for a submitted operation, redeemable for its response.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -19,7 +31,7 @@ pub struct OpHandle(u64);
 
 /// An encoded request packet ready for the wire, tagged with a sequence
 /// number.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OutboundPacket {
     /// Per-session packet sequence number.
     pub seq: u64,
@@ -59,6 +71,75 @@ impl std::fmt::Display for SessionError {
 
 impl std::error::Error for SessionError {}
 
+/// Client-side retransmission policy.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retransmission timeout: how long a packet may stay unanswered
+    /// before the timer acts on it.
+    pub rto: SimTime,
+    /// Bounded hedge budget: maximum retransmissions per packet. Once
+    /// spent, the packet is abandoned ([`RetryDecision::Exhausted`]).
+    pub hedge_budget: u32,
+}
+
+impl Default for RetryPolicy {
+    /// 100 µs RTO (tens of network RTTs) with two hedged retransmits.
+    fn default() -> Self {
+        RetryPolicy {
+            rto: SimTime::from_us(100),
+            hedge_budget: 2,
+        }
+    }
+}
+
+/// What the retransmission timer decided for the oldest unanswered packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetryDecision {
+    /// Nothing timed out (or no policy is attached).
+    Idle,
+    /// Resend this packet: its contents are idempotent and budget remains.
+    Retransmit(OutboundPacket),
+    /// The packet carries a non-idempotent atomic and its outcome is
+    /// ambiguous; it was NOT retransmitted (at-most-once). Reported once;
+    /// the packet stays in flight so a late response still correlates.
+    Ambiguous {
+        /// Sequence number of the ambiguous packet.
+        seq: u64,
+        /// Handles of the operations whose outcome is unknown.
+        handles: Vec<OpHandle>,
+    },
+    /// The hedge budget is spent; the packet is abandoned (reported
+    /// once, but left in flight for sequence integrity).
+    Exhausted {
+        /// Sequence number of the abandoned packet.
+        seq: u64,
+        /// Handles of the operations given up on.
+        handles: Vec<OpHandle>,
+    },
+}
+
+/// Rollup of the session's retransmission activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryCounters {
+    /// Packets retransmitted after an RTO.
+    pub retransmits: u64,
+    /// RTO firings suppressed because the packet held a non-idempotent
+    /// atomic (the at-most-once guard).
+    pub suppressed_retransmits: u64,
+    /// Duplicate responses absorbed (a hedged copy answered twice).
+    pub duplicate_responses: u64,
+    /// Packets abandoned after exhausting the hedge budget.
+    pub abandoned: u64,
+}
+
+#[derive(Debug, Clone)]
+struct InflightState {
+    sent_at: SimTime,
+    retries: u32,
+    idempotent: bool,
+    gave_up: bool,
+}
+
 /// A client-side KV-Direct session.
 ///
 /// # Examples
@@ -92,10 +173,12 @@ pub struct ClientSession {
     cfg: NetConfig,
     batch: usize,
     pending: Vec<(OpHandle, KvRequest)>,
-    inflight: VecDeque<OutboundPacket>,
+    inflight: VecDeque<(OutboundPacket, InflightState)>,
     next_handle: u64,
     next_seq: u64,
     next_resp_seq: u64,
+    retry: Option<RetryPolicy>,
+    retry_counters: RetryCounters,
 }
 
 impl ClientSession {
@@ -110,7 +193,24 @@ impl ClientSession {
             next_handle: 0,
             next_seq: 0,
             next_resp_seq: 0,
+            retry: None,
+            retry_counters: RetryCounters::default(),
         }
+    }
+
+    /// Attaches a retransmission policy. Callers must then stamp each
+    /// packet's transmit time with [`note_sent`] and drive the timer via
+    /// [`poll_retry`].
+    ///
+    /// [`note_sent`]: ClientSession::note_sent
+    /// [`poll_retry`]: ClientSession::poll_retry
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = Some(policy);
+    }
+
+    /// Retransmission activity counters.
+    pub fn retry_counters(&self) -> RetryCounters {
+        self.retry_counters
     }
 
     /// Queues one operation; returns its handle. When the pending batch
@@ -146,6 +246,7 @@ impl ClientSession {
         let n = self.pending.len().min(self.batch);
         let batch: Vec<(OpHandle, KvRequest)> = self.pending.drain(..n).collect();
         let (handles, reqs): (Vec<OpHandle>, Vec<KvRequest>) = batch.into_iter().unzip();
+        let idempotent = reqs.iter().all(|r| r.op.is_idempotent());
         let payload = encode_packet(&reqs);
         let pkt = OutboundPacket {
             seq: self.next_seq,
@@ -153,8 +254,65 @@ impl ClientSession {
             handles,
         };
         self.next_seq += 1;
-        self.inflight.push_back(pkt.clone());
+        self.inflight.push_back((
+            pkt.clone(),
+            InflightState {
+                sent_at: SimTime::ZERO,
+                retries: 0,
+                idempotent,
+                gave_up: false,
+            },
+        ));
         pkt
+    }
+
+    /// Stamps the transmit time of an in-flight packet (first send or a
+    /// hedged retransmit), restarting its RTO timer.
+    pub fn note_sent(&mut self, seq: u64, now: SimTime) {
+        if let Some((_, st)) = self.inflight.iter_mut().find(|(p, _)| p.seq == seq) {
+            st.sent_at = now;
+        }
+    }
+
+    /// Runs the retransmission timer at `now` against the oldest
+    /// unanswered packet (the flow is strictly ordered, so nothing behind
+    /// it can be acted on first). Idle unless a policy is attached.
+    ///
+    /// A [`RetryDecision::Retransmit`] restarts the packet's timer;
+    /// the caller puts the returned copy back on the wire. `Ambiguous`
+    /// and `Exhausted` are each reported at most once per packet.
+    pub fn poll_retry(&mut self, now: SimTime) -> RetryDecision {
+        let Some(policy) = self.retry else {
+            return RetryDecision::Idle;
+        };
+        let Some((pkt, st)) = self.inflight.front_mut() else {
+            return RetryDecision::Idle;
+        };
+        if st.gave_up || now < st.sent_at + policy.rto {
+            return RetryDecision::Idle;
+        }
+        if !st.idempotent {
+            // At-most-once: the atomic may already have been applied with
+            // only its response lost; a second copy would double-apply.
+            st.gave_up = true;
+            self.retry_counters.suppressed_retransmits += 1;
+            return RetryDecision::Ambiguous {
+                seq: pkt.seq,
+                handles: pkt.handles.clone(),
+            };
+        }
+        if st.retries < policy.hedge_budget {
+            st.retries += 1;
+            st.sent_at = now;
+            self.retry_counters.retransmits += 1;
+            return RetryDecision::Retransmit(pkt.clone());
+        }
+        st.gave_up = true;
+        self.retry_counters.abandoned += 1;
+        RetryDecision::Exhausted {
+            seq: pkt.seq,
+            handles: pkt.handles.clone(),
+        }
     }
 
     /// Processes a response packet, returning `(handle, response)` pairs
@@ -168,12 +326,18 @@ impl ClientSession {
         payload: &[u8],
     ) -> Result<Vec<(OpHandle, KvResponse)>, SessionError> {
         if seq != self.next_resp_seq {
+            // A hedged retransmit can be answered twice; the stale copy
+            // is absorbed, not an error.
+            if seq < self.next_resp_seq {
+                self.retry_counters.duplicate_responses += 1;
+                return Ok(Vec::new());
+            }
             return Err(SessionError::OutOfOrder {
                 expected: self.next_resp_seq,
                 got: seq,
             });
         }
-        let pkt = self
+        let (pkt, _) = self
             .inflight
             .pop_front()
             .ok_or(SessionError::CountMismatch)?;

@@ -29,7 +29,10 @@ pub mod vector;
 pub mod wire;
 
 pub use batch::{batched_throughput, batching_latency, BatchPoint};
-pub use client::{ClientSession, OpHandle, OutboundPacket, SessionError};
+pub use client::{
+    ClientSession, OpHandle, OutboundPacket, RetryCounters, RetryDecision, RetryPolicy,
+    SessionError,
+};
 pub use config::NetConfig;
 pub use link::NetLink;
 pub use route::shard_of;

@@ -6,12 +6,18 @@
 //! and value size, or the value of the previous KV in the packet"):
 //!
 //! ```text
-//! header: [ opcode:4 | same_sizes:1 | same_value:1 | reserved:2 ]
+//! header: [ opcode:4 | same_sizes:1 | same_value:1 | deadline:1 | reserved:1 ]
 //! if !same_sizes:  klen u8, vlen u16
 //! if func op:      lambda id u16
+//! if deadline:     deadline u32 (µs since client epoch)
 //! key bytes
 //! if carries value && !same_value: value bytes
 //! ```
+//!
+//! The deadline field is the overload plane's wire currency: a client that
+//! stamps a deadline lets the NIC shed the request the moment it is already
+//! late, instead of spending reservation-station slots and DMA tags on a
+//! response nobody is waiting for.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -57,6 +63,17 @@ impl OpCode {
         !matches!(self, OpCode::Get | OpCode::Delete | OpCode::Filter)
     }
 
+    /// Whether replaying the request yields the same end state and
+    /// response. GET/PUT/DELETE and the read-only λ ops (REDUCE, FILTER)
+    /// are idempotent; the atomic updates are not — applying `Δ` twice
+    /// double-counts — so an ambiguous timeout must never retransmit them.
+    pub fn is_idempotent(self) -> bool {
+        !matches!(
+            self,
+            OpCode::UpdateScalar | OpCode::UpdateScalarToVector | OpCode::UpdateVector
+        )
+    }
+
     /// Whether the request names a pre-registered λ function.
     pub fn is_func(self) -> bool {
         matches!(
@@ -72,6 +89,7 @@ impl OpCode {
 
 const FLAG_SAME_SIZES: u8 = 1 << 4;
 const FLAG_SAME_VALUE: u8 = 1 << 5;
+const FLAG_DEADLINE: u8 = 1 << 6;
 
 /// One KV request as decoded by the KV processor.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,6 +102,10 @@ pub struct KvRequest {
     pub value: Vec<u8>,
     /// Pre-registered λ id for func ops.
     pub lambda: u16,
+    /// Completion deadline in µs since the client's epoch; 0 means no
+    /// deadline. Requests past their deadline are shed (`Status::Expired`)
+    /// instead of executed.
+    pub deadline_us: u32,
 }
 
 impl KvRequest {
@@ -94,6 +116,7 @@ impl KvRequest {
             key: key.to_vec(),
             value: Vec::new(),
             lambda: 0,
+            deadline_us: 0,
         }
     }
 
@@ -104,6 +127,7 @@ impl KvRequest {
             key: key.to_vec(),
             value: value.to_vec(),
             lambda: 0,
+            deadline_us: 0,
         }
     }
 
@@ -114,7 +138,16 @@ impl KvRequest {
             key: key.to_vec(),
             value: Vec::new(),
             lambda: 0,
+            deadline_us: 0,
         }
+    }
+
+    /// Stamps a completion deadline (µs since the client epoch; must be
+    /// non-zero — zero is the "no deadline" sentinel).
+    pub fn with_deadline(mut self, deadline_us: u32) -> Self {
+        debug_assert!(deadline_us != 0, "0 is the no-deadline sentinel");
+        self.deadline_us = deadline_us;
+        self
     }
 }
 
@@ -148,6 +181,8 @@ pub struct KvRequestRef<'a> {
     pub value: &'a [u8],
     /// Pre-registered λ id for func ops.
     pub lambda: u16,
+    /// Completion deadline in µs since the client's epoch; 0 = none.
+    pub deadline_us: u32,
 }
 
 impl<'a> KvRequestRef<'a> {
@@ -158,6 +193,7 @@ impl<'a> KvRequestRef<'a> {
             key,
             value: &[],
             lambda: 0,
+            deadline_us: 0,
         }
     }
 
@@ -168,6 +204,7 @@ impl<'a> KvRequestRef<'a> {
             key,
             value,
             lambda: 0,
+            deadline_us: 0,
         }
     }
 
@@ -178,6 +215,7 @@ impl<'a> KvRequestRef<'a> {
             key,
             value: &[],
             lambda: 0,
+            deadline_us: 0,
         }
     }
 
@@ -188,6 +226,7 @@ impl<'a> KvRequestRef<'a> {
             key: self.key.to_vec(),
             value: self.value.to_vec(),
             lambda: self.lambda,
+            deadline_us: self.deadline_us,
         }
     }
 }
@@ -200,6 +239,7 @@ impl KvRequest {
             key: &self.key,
             value: &self.value,
             lambda: self.lambda,
+            deadline_us: self.deadline_us,
         }
     }
 }
@@ -219,6 +259,12 @@ pub enum Status {
     /// A device-level fault (DMA retry budget exhausted); the operation
     /// was not applied and may be retried by the client.
     DeviceError = 4,
+    /// Shed by admission control before execution; the operation was not
+    /// applied. Clients should back off and may retry.
+    Overloaded = 5,
+    /// The request's deadline had already passed when it reached the
+    /// processor; it was dropped without executing.
+    Expired = 6,
 }
 
 impl Status {
@@ -229,6 +275,8 @@ impl Status {
             2 => Status::OutOfMemory,
             3 => Status::Invalid,
             4 => Status::DeviceError,
+            5 => Status::Overloaded,
+            6 => Status::Expired,
             _ => return None,
         })
     }
@@ -306,6 +354,9 @@ pub fn encode_packet(ops: &[KvRequest]) -> Bytes {
         if same_value {
             header |= FLAG_SAME_VALUE;
         }
+        if op.deadline_us != 0 {
+            header |= FLAG_DEADLINE;
+        }
         buf.put_u8(header);
         if !same_sizes {
             buf.put_u8(op.key.len() as u8);
@@ -313,6 +364,9 @@ pub fn encode_packet(ops: &[KvRequest]) -> Bytes {
         }
         if op.op.is_func() {
             buf.put_u16_le(op.lambda);
+        }
+        if op.deadline_us != 0 {
+            buf.put_u32_le(op.deadline_us);
         }
         buf.put_slice(&op.key);
         if op.op.carries_value() && !same_value {
@@ -357,6 +411,14 @@ pub fn decode_packet(mut bytes: &[u8]) -> Result<Vec<KvRequest>, WireError> {
         } else {
             0
         };
+        let deadline_us = if header & FLAG_DEADLINE != 0 {
+            if bytes.remaining() < 4 {
+                return Err(WireError::Truncated);
+            }
+            bytes.get_u32_le()
+        } else {
+            0
+        };
         if bytes.remaining() < klen {
             return Err(WireError::Truncated);
         }
@@ -381,6 +443,7 @@ pub fn decode_packet(mut bytes: &[u8]) -> Result<Vec<KvRequest>, WireError> {
             key,
             value,
             lambda,
+            deadline_us,
         });
     }
     Ok(out)
@@ -436,18 +499,21 @@ mod tests {
                 key: b"counter".to_vec(),
                 value: 5u64.to_le_bytes().to_vec(),
                 lambda: 42,
+                deadline_us: 0,
             },
             KvRequest {
                 op: OpCode::Reduce,
                 key: b"vec".to_vec(),
                 value: 0u64.to_le_bytes().to_vec(),
                 lambda: 7,
+                deadline_us: 0,
             },
             KvRequest {
                 op: OpCode::Filter,
                 key: b"vec2".to_vec(),
                 value: Vec::new(),
                 lambda: 9,
+                deadline_us: 0,
             },
         ];
         let bytes = encode_packet(&ops);
@@ -521,6 +587,44 @@ mod tests {
             },
             KvResponse {
                 status: Status::OutOfMemory,
+                value: Vec::new(),
+            },
+        ];
+        let bytes = encode_responses(&rs);
+        assert_eq!(decode_responses(&bytes).unwrap(), rs);
+    }
+
+    #[test]
+    fn deadlines_roundtrip_and_cost_nothing_when_absent() {
+        let with = vec![
+            KvRequest::get(b"k1").with_deadline(1_000),
+            KvRequest::put(b"k2", b"vvv").with_deadline(u32::MAX),
+            KvRequest::get(b"k3"), // mixed: no deadline on this one
+        ];
+        let bytes = encode_packet(&with);
+        assert_eq!(decode_packet(&bytes).unwrap(), with);
+
+        let without: Vec<KvRequest> = with
+            .iter()
+            .cloned()
+            .map(|mut r| {
+                r.deadline_us = 0;
+                r
+            })
+            .collect();
+        let plain = encode_packet(&without);
+        assert_eq!(bytes.len(), plain.len() + 2 * 4, "4 bytes per deadline");
+    }
+
+    #[test]
+    fn overload_statuses_roundtrip() {
+        let rs = vec![
+            KvResponse {
+                status: Status::Overloaded,
+                value: Vec::new(),
+            },
+            KvResponse {
+                status: Status::Expired,
                 value: Vec::new(),
             },
         ];

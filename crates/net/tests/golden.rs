@@ -47,6 +47,7 @@ fn golden_update_scalar() {
         key: b"k".to_vec(),
         value: 7u64.to_le_bytes().to_vec(),
         lambda: 0x0102,
+        deadline_us: 0,
     }]);
     assert_eq!(
         bytes.as_ref(),
@@ -58,6 +59,22 @@ fn golden_update_scalar() {
             0x02, 0x01, // lambda 0x0102 LE
             b'k', // key
             0x07, 0, 0, 0, 0, 0, 0, 0, // value (7 LE)
+        ]
+    );
+}
+
+#[test]
+fn golden_get_with_deadline() {
+    let bytes = encode_packet(&[KvRequest::get(b"key").with_deadline(0x1234)]);
+    assert_eq!(
+        bytes.as_ref(),
+        [
+            0x01, 0x00, // count = 1
+            0x40, // header: GET | DEADLINE(0x40)
+            0x03, // klen = 3
+            0x00, 0x00, // vlen = 0
+            0x34, 0x12, 0x00, 0x00, // deadline 0x1234 LE
+            b'k', b'e', b'y',
         ]
     );
 }

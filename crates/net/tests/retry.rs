@@ -1,0 +1,169 @@
+//! Regression tests for the client retransmission timer, centered on the
+//! at-most-once guard: a packet carrying a non-idempotent atomic
+//! (`update_*`) must NEVER be retransmitted after an ambiguous timeout —
+//! the update may have been applied with only its response lost, and a
+//! second copy would double-apply it. Idempotent packets get a bounded
+//! hedge budget, and the sequence numbers absorb the duplicate responses
+//! hedging can produce.
+
+use kvd_net::client::ClientSession;
+use kvd_net::{
+    decode_packet, encode_responses, KvRequest, KvResponse, NetConfig, OpCode, RetryDecision,
+    RetryPolicy, Status,
+};
+use kvd_sim::SimTime;
+
+fn session(batch: usize) -> ClientSession {
+    let mut s = ClientSession::new(NetConfig::forty_gbe(), batch);
+    s.set_retry_policy(RetryPolicy {
+        rto: SimTime::from_us(100),
+        hedge_budget: 2,
+    });
+    s
+}
+
+fn atomic_add(key: &[u8]) -> KvRequest {
+    KvRequest {
+        op: OpCode::UpdateScalar,
+        key: key.to_vec(),
+        value: 1u64.to_le_bytes().to_vec(),
+        lambda: 0,
+        deadline_us: 0,
+    }
+}
+
+fn respond_all(payload: &[u8]) -> Vec<u8> {
+    let reqs = decode_packet(payload).expect("decodes");
+    let resps: Vec<KvResponse> = reqs
+        .iter()
+        .map(|r| KvResponse {
+            status: Status::Ok,
+            value: r.key.clone(),
+        })
+        .collect();
+    encode_responses(&resps).to_vec()
+}
+
+#[test]
+fn idempotent_packet_retransmits_within_budget() {
+    let mut s = session(1);
+    s.submit(KvRequest::get(b"k"));
+    let pkt = s.take_packet().expect("cut");
+    s.note_sent(pkt.seq, SimTime::ZERO);
+
+    // Before the RTO: idle.
+    assert_eq!(s.poll_retry(SimTime::from_us(99)), RetryDecision::Idle);
+    // After the RTO: hedge once, then once more, then exhausted.
+    match s.poll_retry(SimTime::from_us(100)) {
+        RetryDecision::Retransmit(p) => assert_eq!(p.seq, pkt.seq),
+        d => panic!("expected retransmit, got {d:?}"),
+    }
+    // The retransmit restarted the timer.
+    assert_eq!(s.poll_retry(SimTime::from_us(150)), RetryDecision::Idle);
+    match s.poll_retry(SimTime::from_us(200)) {
+        RetryDecision::Retransmit(p) => assert_eq!(p.seq, pkt.seq),
+        d => panic!("expected second retransmit, got {d:?}"),
+    }
+    match s.poll_retry(SimTime::from_us(300)) {
+        RetryDecision::Exhausted { seq, handles } => {
+            assert_eq!(seq, pkt.seq);
+            assert_eq!(handles, pkt.handles);
+        }
+        d => panic!("expected exhausted, got {d:?}"),
+    }
+    // Reported once, then quiet.
+    assert_eq!(s.poll_retry(SimTime::from_us(400)), RetryDecision::Idle);
+
+    let c = s.retry_counters();
+    assert_eq!(c.retransmits, 2);
+    assert_eq!(c.abandoned, 1);
+    assert_eq!(c.suppressed_retransmits, 0);
+}
+
+#[test]
+fn non_idempotent_atomic_is_never_retransmitted() {
+    let mut s = session(1);
+    s.submit(atomic_add(b"ctr"));
+    let pkt = s.take_packet().expect("cut");
+    s.note_sent(pkt.seq, SimTime::ZERO);
+
+    // The RTO fires, but the packet holds an atomic: ambiguous, not
+    // retransmitted.
+    match s.poll_retry(SimTime::from_us(100)) {
+        RetryDecision::Ambiguous { seq, handles } => {
+            assert_eq!(seq, pkt.seq);
+            assert_eq!(handles, pkt.handles);
+        }
+        d => panic!("expected ambiguous, got {d:?}"),
+    }
+    // No matter how long we keep polling, the session never emits a copy.
+    for us in (200..2000).step_by(100) {
+        assert_eq!(
+            s.poll_retry(SimTime::from_us(us)),
+            RetryDecision::Idle,
+            "atomic retransmitted at t={us}us"
+        );
+    }
+    let c = s.retry_counters();
+    assert_eq!(c.suppressed_retransmits, 1);
+    assert_eq!(c.retransmits, 0);
+
+    // A late response still correlates: at-most-once, not at-most-zero.
+    let done = s
+        .on_response(pkt.seq, &respond_all(&pkt.payload))
+        .expect("late response accepted");
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].0, pkt.handles[0]);
+}
+
+#[test]
+fn one_atomic_poisons_the_whole_packet() {
+    // Mixed batch: three GETs and one atomic. The packet as a unit must
+    // not be retransmitted — replay would re-apply the atomic.
+    let mut s = session(4);
+    s.submit(KvRequest::get(b"a"));
+    s.submit(atomic_add(b"ctr"));
+    s.submit(KvRequest::get(b"b"));
+    s.submit(KvRequest::get(b"c"));
+    let pkt = s.take_packet().expect("cut");
+    s.note_sent(pkt.seq, SimTime::ZERO);
+
+    assert!(matches!(
+        s.poll_retry(SimTime::from_us(100)),
+        RetryDecision::Ambiguous { .. }
+    ));
+    assert_eq!(s.retry_counters().retransmits, 0);
+}
+
+#[test]
+fn duplicate_response_to_hedged_retransmit_is_absorbed() {
+    let mut s = session(1);
+    s.submit(KvRequest::get(b"k"));
+    let pkt = s.take_packet().expect("cut");
+    s.note_sent(pkt.seq, SimTime::ZERO);
+
+    // RTO fires, a hedged copy goes out...
+    assert!(matches!(
+        s.poll_retry(SimTime::from_us(100)),
+        RetryDecision::Retransmit(_)
+    ));
+    // ...then BOTH copies get answered.
+    let resp = respond_all(&pkt.payload);
+    let first = s.on_response(pkt.seq, &resp).expect("first copy");
+    assert_eq!(first.len(), 1);
+    let second = s.on_response(pkt.seq, &resp).expect("duplicate absorbed");
+    assert!(second.is_empty(), "duplicate must not re-complete handles");
+    assert_eq!(s.retry_counters().duplicate_responses, 1);
+}
+
+#[test]
+fn answered_packets_never_time_out() {
+    let mut s = session(1);
+    s.submit(KvRequest::get(b"k"));
+    let pkt = s.take_packet().expect("cut");
+    s.note_sent(pkt.seq, SimTime::ZERO);
+    s.on_response(pkt.seq, &respond_all(&pkt.payload))
+        .expect("answered");
+    assert_eq!(s.poll_retry(SimTime::from_secs(1)), RetryDecision::Idle);
+    assert_eq!(s.retry_counters(), Default::default());
+}

@@ -15,8 +15,9 @@ fn request() -> impl Strategy<Value = KvRequest> {
         prop::collection::vec(any::<u8>(), 1..32),
         prop::collection::vec(any::<u8>(), 0..64),
         any::<u16>(),
+        any::<u32>(),
     )
-        .prop_map(|(code, key, value, lambda)| {
+        .prop_map(|(code, key, value, lambda, deadline_us)| {
             let op = match code {
                 0 => OpCode::Get,
                 1 => OpCode::Put,
@@ -36,6 +37,7 @@ fn request() -> impl Strategy<Value = KvRequest> {
                     Vec::new()
                 },
                 lambda: if op.is_func() { lambda } else { 0 },
+                deadline_us,
             }
         })
 }

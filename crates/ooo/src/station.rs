@@ -157,6 +157,9 @@ pub struct StationStats {
     /// Busy slots reclaimed because the issued operation failed (e.g. a
     /// DMA tag timed out and the retry budget ran out).
     pub reclaimed: u64,
+    /// Peak operations tracked at once — how close the run came to the
+    /// station's capacity envelope.
+    pub high_water: u64,
 }
 
 /// The reservation station (paper Figure 4, §3.3.3).
@@ -213,6 +216,18 @@ impl ReservationStation {
         self.total_tracked
     }
 
+    /// Occupancy relative to the station's operation capacity: 0 when
+    /// idle, 1 when every slot of the paper's 256-op envelope is spoken
+    /// for. This is the backpressure signal the admission layer watches.
+    pub fn occupancy(&self) -> f64 {
+        self.total_tracked as f64 / self.cfg.capacity as f64
+    }
+
+    fn note_tracked(&mut self) {
+        self.total_tracked += 1;
+        self.stats.high_water = self.stats.high_water.max(self.total_tracked as u64);
+    }
+
     fn slot_index(&self, key: &[u8]) -> usize {
         (kvd_station_hash(key) % self.cfg.hash_slots as u64) as usize
     }
@@ -259,7 +274,7 @@ impl ReservationStation {
                 return Admission::Full(op);
             }
             self.stats.queued += 1;
-            self.total_tracked += 1;
+            self.note_tracked();
             self.slots[idx].pending.push_back(op);
             return Admission::Queued;
         }
@@ -279,7 +294,7 @@ impl ReservationStation {
         let writeback = Self::take_writeback(slot, &mut self.stats);
         slot.busy = true;
         slot.cache = None;
-        self.total_tracked += 1;
+        self.note_tracked();
         self.stats.issued += 1;
         Admission::Issue { op, writeback }
     }
@@ -447,6 +462,27 @@ mod tests {
                 Some((v + 1).to_le_bytes().to_vec())
             })),
         }
+    }
+
+    #[test]
+    fn occupancy_and_high_water_track_capacity() {
+        let mut rs = ReservationStation::new(StationConfig {
+            hash_slots: 64,
+            capacity: 4,
+        });
+        assert_eq!(rs.occupancy(), 0.0);
+        // Same key: one issue + three queued = 4 tracked, full station.
+        assert!(matches!(rs.admit(get(1, b"k")), Admission::Issue { .. }));
+        for id in 2..5 {
+            assert!(matches!(rs.admit(get(id, b"k")), Admission::Queued));
+        }
+        assert_eq!(rs.occupancy(), 1.0);
+        assert!(matches!(rs.admit(get(5, b"k")), Admission::Full(_)));
+        // Draining the chain empties the station but the peak sticks.
+        let c = rs.complete(b"k", Some(b"v".to_vec()));
+        assert_eq!(c.results.len(), 3);
+        assert_eq!(rs.occupancy(), 0.0);
+        assert_eq!(rs.stats().high_water, 4);
     }
 
     #[test]

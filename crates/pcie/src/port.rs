@@ -346,6 +346,14 @@ impl DmaPort {
         (self.cfg.read_tags as usize) - self.tags.available()
     }
 
+    /// Read-tag pressure: in-flight reads relative to the tag window
+    /// (paper: 64 outstanding TLP tags). 1.0 means a new read must wait
+    /// for a completion — the PCIe-side backpressure signal the admission
+    /// layer watches.
+    pub fn tag_pressure(&self) -> f64 {
+        self.inflight_reads() as f64 / self.cfg.read_tags as f64
+    }
+
     /// The time at which all submitted traffic has drained from both link
     /// directions (used by closed-loop throughput drivers).
     pub fn horizon(&self) -> SimTime {
@@ -399,8 +407,11 @@ mod tests {
             p.read(SimTime::ZERO, 64, false);
         }
         assert!(p.stats().tag_stalls > 0);
-        // In-flight reads never exceeded the tag count.
+        // In-flight reads never exceeded the tag count, and tag pressure
+        // reports the same envelope as a fraction.
         assert!(p.inflight_reads() <= 64);
+        assert!(p.tag_pressure() <= 1.0);
+        assert_eq!(p.tag_pressure(), p.inflight_reads() as f64 / 64.0);
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Deterministic bursty open-loop arrival schedules for chaos soaking.
+//!
+//! Overload bugs hide in *transitions*: a steady open loop at 2× capacity
+//! finds the shed plateau but not the oscillation that metastable systems
+//! exhibit when load swings across the admission watermarks. A
+//! [`ChaosSchedule`] produces arrival timestamps in phases — each phase
+//! holds a rate multiplier drawn from a bursty palette for a few hundred
+//! operations — so the offered load repeatedly dives below the low
+//! watermark and spikes past the high one. The schedule is a pure
+//! function of `(config, seed)`: arrivals are *data*, which is what lets
+//! the parallel engine replay the identical experiment across any worker
+//! count and lets a soak test bisect a failure by seed.
+
+use crate::rng::DetRng;
+use crate::time::SimTime;
+
+/// Shape of the bursty load generator.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Mean offered rate at multiplier 1.0, in operations per second.
+    pub base_rate: f64,
+    /// Minimum operations per phase.
+    pub min_phase: usize,
+    /// Maximum operations per phase (inclusive).
+    pub max_phase: usize,
+    /// Rate multipliers a phase can draw (uniformly). Values above 1
+    /// are bursts, below 1 are lulls.
+    pub multipliers: Vec<f64>,
+}
+
+impl ChaosConfig {
+    /// A bursty palette swinging between one-quarter and triple the base
+    /// rate, with phases of 100–400 operations.
+    pub fn bursty(base_rate: f64) -> Self {
+        assert!(base_rate > 0.0, "base rate must be positive");
+        ChaosConfig {
+            base_rate,
+            min_phase: 100,
+            max_phase: 400,
+            multipliers: vec![0.25, 0.5, 1.0, 1.5, 2.0, 3.0],
+        }
+    }
+}
+
+/// One burst/lull phase of the schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosPhase {
+    /// Operations issued during the phase.
+    pub ops: usize,
+    /// Offered rate during the phase, in operations per second.
+    pub rate: f64,
+}
+
+/// A seeded generator of bursty arrival schedules.
+///
+/// # Examples
+///
+/// ```
+/// use kvd_sim::{ChaosConfig, ChaosSchedule};
+///
+/// let mut s = ChaosSchedule::new(ChaosConfig::bursty(1e6), 42);
+/// let arrivals = s.arrivals(1000);
+/// assert_eq!(arrivals.len(), 1000);
+/// // Arrivals are sorted: they are a timeline, not a bag of samples.
+/// assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChaosSchedule {
+    cfg: ChaosConfig,
+    rng: DetRng,
+}
+
+impl ChaosSchedule {
+    /// Creates a schedule generator; every draw derives from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty multiplier palette or an inverted phase range.
+    pub fn new(cfg: ChaosConfig, seed: u64) -> Self {
+        assert!(!cfg.multipliers.is_empty(), "need at least one multiplier");
+        assert!(
+            cfg.min_phase >= 1 && cfg.min_phase <= cfg.max_phase,
+            "phase bounds inverted"
+        );
+        ChaosSchedule {
+            cfg,
+            rng: DetRng::seed(seed),
+        }
+    }
+
+    /// Draws phases until they cover `total_ops` operations; the last
+    /// phase is truncated to land exactly on the total.
+    pub fn phases(&mut self, total_ops: usize) -> Vec<ChaosPhase> {
+        let mut out = Vec::new();
+        let mut remaining = total_ops;
+        while remaining > 0 {
+            let span = self.cfg.max_phase - self.cfg.min_phase + 1;
+            let len = (self.cfg.min_phase + self.rng.usize_below(span)).min(remaining);
+            let mult = self.cfg.multipliers[self.rng.usize_below(self.cfg.multipliers.len())];
+            out.push(ChaosPhase {
+                ops: len,
+                rate: self.cfg.base_rate * mult,
+            });
+            remaining -= len;
+        }
+        out
+    }
+
+    /// Produces `total_ops` monotone arrival timestamps starting at the
+    /// epoch, spaced uniformly within each phase at the phase's rate.
+    pub fn arrivals(&mut self, total_ops: usize) -> Vec<SimTime> {
+        let mut out = Vec::with_capacity(total_ops);
+        let mut t_ps = 0.0f64;
+        for phase in self.phases(total_ops) {
+            let gap_ps = 1e12 / phase.rate;
+            for _ in 0..phase.ops {
+                out.push(SimTime::from_ps(t_ps as u64));
+                t_ps += gap_ps;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = ChaosSchedule::new(ChaosConfig::bursty(5e5), 9);
+        let mut b = ChaosSchedule::new(ChaosConfig::bursty(5e5), 9);
+        assert_eq!(a.arrivals(5_000), b.arrivals(5_000));
+        let mut c = ChaosSchedule::new(ChaosConfig::bursty(5e5), 10);
+        assert_ne!(a.arrivals(5_000), c.arrivals(5_000));
+    }
+
+    #[test]
+    fn phases_cover_exactly_the_requested_ops() {
+        let mut s = ChaosSchedule::new(ChaosConfig::bursty(1e6), 3);
+        let phases = s.phases(2_345);
+        assert_eq!(phases.iter().map(|p| p.ops).sum::<usize>(), 2_345);
+        assert!(phases.iter().all(|p| p.rate > 0.0));
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_bursty() {
+        let mut s = ChaosSchedule::new(ChaosConfig::bursty(1e6), 7);
+        let arrivals = s.arrivals(10_000);
+        assert_eq!(arrivals.len(), 10_000);
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        // Burstiness: the palette spans 12x between lull and burst, so
+        // distinct inter-arrival gaps must appear.
+        let mut gaps: Vec<u64> = arrivals.windows(2).map(|w| (w[1] - w[0]).as_ps()).collect();
+        gaps.sort_unstable();
+        gaps.dedup();
+        assert!(gaps.len() >= 3, "expected bursty gaps, got {gaps:?}");
+    }
+
+    #[test]
+    fn mean_rate_tracks_the_palette() {
+        // Over many phases the realized mean rate sits inside the palette's
+        // range (0.25x..3x the base).
+        let base = 1e6;
+        let mut s = ChaosSchedule::new(ChaosConfig::bursty(base), 11);
+        let arrivals = s.arrivals(50_000);
+        let span = arrivals.last().unwrap().as_secs_f64();
+        let rate = 50_000.0 / span;
+        assert!(
+            rate > 0.25 * base && rate < 3.0 * base,
+            "mean rate {rate} outside palette"
+        );
+    }
+}

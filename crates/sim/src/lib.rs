@@ -20,6 +20,11 @@
 //!   server's aggregate DRAM bandwidth deterministically.
 //! * [`fault`] — deterministic, seed-driven fault injection
 //!   ([`FaultPlane`]) consulted by the PCIe, DRAM and network models.
+//! * [`pressure`] — the [`PressureGauge`] backpressure snapshot shared by
+//!   the reservation station, DMA tag pools and host arbiter with the
+//!   admission layer.
+//! * [`chaos`] — seeded bursty open-loop arrival schedules
+//!   ([`ChaosSchedule`]) for overload/chaos soak testing.
 //! * [`report`] — plain-text table rendering used by the benchmark
 //!   harnesses that regenerate the paper's tables and figures.
 //!
@@ -27,7 +32,9 @@
 //! reproducible run-to-run.
 
 pub mod arbiter;
+pub mod chaos;
 pub mod fault;
+pub mod pressure;
 pub mod queue;
 pub mod report;
 pub mod resource;
@@ -36,9 +43,11 @@ pub mod stats;
 pub mod time;
 
 pub use arbiter::{ArbiterStats, HostArbiter, HostArbiterConfig};
+pub use chaos::{ChaosConfig, ChaosPhase, ChaosSchedule};
 pub use fault::{
     DramFault, FaultCounters, FaultPlane, FaultRates, NetFault, PcieFault, TxnOutcome,
 };
+pub use pressure::PressureGauge;
 pub use queue::EventQueue;
 pub use resource::{BandwidthLink, CreditPool, LatencyModel, TagPool};
 pub use rng::{DetRng, ZipfSampler};

@@ -1,0 +1,94 @@
+//! Backpressure signals shared across the request path.
+//!
+//! KV-Direct stays at 180 Mops per NIC only while its three capacity
+//! envelopes hold: the reservation station's 256 in-flight operations,
+//! the DMA engines' read-tag windows, and the host DRAM arbiter's
+//! bandwidth quantum. [`PressureGauge`] is the common currency those
+//! layers use to report how close they are to their envelope: each
+//! signal is a dimensionless utilization (0 = idle, 1 = at capacity,
+//! above 1 = backlogged past capacity), and the admission layer sheds on
+//! the *worst* of them, because whichever resource saturates first is
+//! the one that turns queueing into collapse.
+
+/// A snapshot of the pipeline's backpressure signals.
+///
+/// # Examples
+///
+/// ```
+/// use kvd_sim::PressureGauge;
+///
+/// let g = PressureGauge { station: 0.4, tags: 0.9, stretch: 0.1 };
+/// assert_eq!(g.overall(), 0.9); // the bottleneck dominates
+/// assert!(!PressureGauge::IDLE.saturated(0.85));
+/// assert!(g.saturated(0.85));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PressureGauge {
+    /// Reservation-station occupancy: tracked operations (or the decode
+    /// backlog expressed in station-capacities) relative to the station's
+    /// 256-op envelope.
+    pub station: f64,
+    /// DMA read-tag pressure: outstanding host lines relative to the tag
+    /// windows of every PCIe endpoint.
+    pub tags: f64,
+    /// Host-arbiter stretch: the fraction of the last synchronization
+    /// quantum that was lost to shared-DRAM oversubscription.
+    pub stretch: f64,
+}
+
+impl PressureGauge {
+    /// A gauge with every signal at zero.
+    pub const IDLE: PressureGauge = PressureGauge {
+        station: 0.0,
+        tags: 0.0,
+        stretch: 0.0,
+    };
+
+    /// The dominant pressure signal — the admission controller's input.
+    /// Negative components (never produced by well-behaved reporters) are
+    /// clamped to zero.
+    pub fn overall(&self) -> f64 {
+        self.station.max(self.tags).max(self.stretch).max(0.0)
+    }
+
+    /// True when the dominant signal has crossed `threshold`.
+    pub fn saturated(&self, threshold: f64) -> bool {
+        self.overall() >= threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overall_takes_the_worst_signal() {
+        let g = PressureGauge {
+            station: 0.2,
+            tags: 0.7,
+            stretch: 0.3,
+        };
+        assert_eq!(g.overall(), 0.7);
+        let g = PressureGauge {
+            station: 1.5,
+            ..PressureGauge::IDLE
+        };
+        assert_eq!(g.overall(), 1.5, "backlog past capacity is reported");
+    }
+
+    #[test]
+    fn idle_gauge_never_saturates() {
+        assert_eq!(PressureGauge::IDLE.overall(), 0.0);
+        assert!(!PressureGauge::IDLE.saturated(0.0 + f64::EPSILON));
+    }
+
+    #[test]
+    fn negative_components_clamp_to_zero() {
+        let g = PressureGauge {
+            station: -0.5,
+            tags: -1.0,
+            stretch: -0.1,
+        };
+        assert_eq!(g.overall(), 0.0);
+    }
+}

@@ -160,6 +160,7 @@ impl PresetWorkload {
                         key: self.key(id).to_vec(),
                         value: 1u64.to_le_bytes().to_vec(),
                         lambda: self.rmw_lambda,
+                        deadline_us: 0,
                     }
                 }
             }

@@ -1,0 +1,261 @@
+//! Chaos soak: bursty overload + fault injection + consistency checking.
+//!
+//! The full overload plane under the worst conditions the simulator can
+//! produce: an open-loop client offering ~2x the measured saturation
+//! throughput in bursty phases (0.5x–6x swings from the chaos
+//! scheduler), PR-1 fault rates on every component (PCIe corruption,
+//! DRAM bit errors, packet drops/reorders), admission control and
+//! deadlines enabled. Three invariant families are enforced:
+//!
+//! 1. **Sequential consistency per key** — keys are shard-partitioned
+//!    and each shard executes its stream in order, so replaying each
+//!    shard's recorded outcomes against a `HashMap` model must agree
+//!    exactly: every `Ok` GET returns the latest acknowledged PUT (no
+//!    lost writes, no resurrection of failed writes), versions embedded
+//!    in values never run backwards, and shed/expired/faulted ops have
+//!    no effect.
+//! 2. **Goodput holds at the knee** — at ~2x offered load, goodput stays
+//!    at or above 70% of the measured saturation throughput instead of
+//!    collapsing.
+//! 3. **Determinism** — the whole soak, faults and sheds included, is
+//!    bit-identical across worker counts for a fixed seed.
+
+use std::collections::HashMap;
+
+use kv_direct::net::shard_of;
+use kv_direct::parallel::{ParallelSimConfig, ParallelSimReport, ParallelSystemSim};
+use kv_direct::sim::{DetRng, SimTime};
+use kv_direct::{
+    ChaosConfig, ChaosSchedule, FaultRates, KvDirectConfig, KvRequest, OpCode, OverloadConfig,
+    Status,
+};
+
+const SHARDS: usize = 4;
+const KEYS: u64 = 1_500;
+const OPS: usize = 10_000;
+const DEADLINE_SLACK_US: u32 = 2_000;
+
+/// Values carry `(key id, version)` so consistency violations are
+/// attributable: a stale read names the exact write it lost.
+fn encode(id: u64, version: u64) -> Vec<u8> {
+    let mut v = id.to_le_bytes().to_vec();
+    v.extend_from_slice(&version.to_le_bytes());
+    v
+}
+
+fn version_of(value: &[u8]) -> u64 {
+    u64::from_le_bytes(value[8..16].try_into().expect("16-byte soak value"))
+}
+
+/// 70% GET / 25% PUT / 5% DELETE over a uniform key space, each PUT
+/// stamping the next version of its key.
+fn soak_ops(seed: u64) -> Vec<KvRequest> {
+    let mut rng = DetRng::seed(seed);
+    let mut versions: HashMap<u64, u64> = HashMap::new();
+    (0..OPS)
+        .map(|_| {
+            let id = rng.u64_below(KEYS);
+            let key = id.to_le_bytes();
+            let roll = rng.u64_below(100);
+            if roll < 70 {
+                KvRequest::get(&key)
+            } else if roll < 95 {
+                let v = versions.entry(id).and_modify(|v| *v += 1).or_insert(1);
+                KvRequest::put(&key, &encode(id, *v))
+            } else {
+                KvRequest::delete(&key)
+            }
+        })
+        .collect()
+}
+
+fn engine(seed: u64, workers: usize, faults: bool) -> ParallelSystemSim {
+    let mut cfg = ParallelSimConfig::paper(KvDirectConfig::with_memory(1 << 20), 16, SHARDS);
+    cfg.workers = workers;
+    cfg.seed = seed;
+    cfg.shard.store.overload = OverloadConfig::enabled();
+    if faults {
+        // PR-1 rates: every channel at 1%, the regime the fault-plane
+        // suite validates recovery under.
+        cfg.shard.store.fault_rates = FaultRates::uniform(0.01);
+        cfg.shard.store.fault_seed = seed ^ 0xC_4A05;
+    }
+    let mut sim = ParallelSystemSim::new(cfg);
+    for id in 0..KEYS {
+        sim.preload_put(&id.to_le_bytes(), &encode(id, 0))
+            .expect("preload fits");
+    }
+    sim
+}
+
+/// Closed-loop saturation throughput of the same engine geometry,
+/// fault-free: the baseline the soak's goodput is measured against.
+fn saturation_mops(seed: u64) -> f64 {
+    let mut sim = engine(seed, 2, false);
+    sim.run(&soak_ops(seed)).mops
+}
+
+/// Bursty open-loop schedule offering `offered_mops` on average.
+fn soak_schedule(seed: u64, offered_mops: f64) -> Vec<(SimTime, KvRequest)> {
+    // `ChaosConfig::bursty` phase multipliers average ~1.37; divide it
+    // out so the schedule's mean rate is the requested offered load.
+    let base = offered_mops * 1e6 / 1.375;
+    let mut chaos = ChaosSchedule::new(ChaosConfig::bursty(base), seed ^ 0xB0057);
+    let arrivals = chaos.arrivals(OPS);
+    arrivals
+        .into_iter()
+        .zip(soak_ops(seed))
+        .map(|(t, mut r)| {
+            r = r.with_deadline(t.as_us() as u32 + DEADLINE_SLACK_US);
+            (t, r)
+        })
+        .collect()
+}
+
+/// One shard's recorded `(status, value)` stream, index-aligned with
+/// the requests routed to it.
+type ShardOutcomes = Vec<(Status, Vec<u8>)>;
+
+fn run_soak(
+    seed: u64,
+    workers: usize,
+    offered_mops: f64,
+) -> (ParallelSimReport, Vec<ShardOutcomes>) {
+    let mut sim = engine(seed, workers, true);
+    sim.set_record_outcomes(true);
+    let report = sim.run_open(&soak_schedule(seed, offered_mops));
+    let outcomes = (0..SHARDS)
+        .map(|s| sim.shard_outcomes(s).to_vec())
+        .collect();
+    (report, outcomes)
+}
+
+/// Replays one shard's outcome stream against a sequential model.
+/// Returns the number of operations that had a visible effect.
+fn check_shard(
+    schedule: &[(SimTime, KvRequest)],
+    shard: usize,
+    outcomes: &[(Status, Vec<u8>)],
+) -> u64 {
+    let routed: Vec<&KvRequest> = schedule
+        .iter()
+        .map(|(_, r)| r)
+        .filter(|r| shard_of(&r.key, SHARDS) == shard)
+        .collect();
+    assert_eq!(
+        routed.len(),
+        outcomes.len(),
+        "shard {shard}: every routed op resolves exactly once"
+    );
+    let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+    for id in 0..KEYS {
+        let key = id.to_le_bytes();
+        if shard_of(&key, SHARDS) == shard {
+            model.insert(key.to_vec(), encode(id, 0));
+        }
+    }
+    let mut last_read_version: HashMap<Vec<u8>, u64> = HashMap::new();
+    let mut applied = 0u64;
+    for (i, (req, (status, value))) in routed.iter().zip(outcomes).enumerate() {
+        match (req.op, status) {
+            (OpCode::Get, Status::Ok) => {
+                let expect = model.get(&req.key).unwrap_or_else(|| {
+                    panic!("shard {shard} op {i}: GET returned Ok for a deleted key")
+                });
+                assert_eq!(
+                    value, expect,
+                    "shard {shard} op {i}: GET diverged from the acknowledged history"
+                );
+                let v = version_of(value);
+                let floor = last_read_version.entry(req.key.clone()).or_insert(0);
+                assert!(
+                    v >= *floor,
+                    "shard {shard} op {i}: version ran backwards ({v} < {floor})"
+                );
+                *floor = v;
+            }
+            (OpCode::Get, Status::NotFound) => {
+                assert!(
+                    !model.contains_key(&req.key),
+                    "shard {shard} op {i}: GET lost an acknowledged write"
+                );
+            }
+            (OpCode::Put, Status::Ok) => {
+                model.insert(req.key.clone(), req.value.clone());
+                applied += 1;
+            }
+            (OpCode::Delete, Status::Ok) => {
+                assert!(
+                    model.remove(&req.key).is_some(),
+                    "shard {shard} op {i}: DELETE acknowledged for an absent key"
+                );
+                last_read_version.remove(&req.key);
+                applied += 1;
+            }
+            (OpCode::Delete, Status::NotFound) => {
+                assert!(
+                    !model.contains_key(&req.key),
+                    "shard {shard} op {i}: DELETE missed a present key"
+                );
+            }
+            // Shed, expired, faulted or rejected: the contract is *no
+            // effect*, which the model checks by not updating.
+            (
+                _,
+                Status::Overloaded
+                | Status::Expired
+                | Status::DeviceError
+                | Status::OutOfMemory
+                | Status::Invalid,
+            ) => {}
+            (op, s) => panic!("shard {shard} op {i}: unexpected {op:?} -> {s:?}"),
+        }
+    }
+    applied
+}
+
+#[test]
+fn chaos_soak_consistency_holds_across_seeds() {
+    for seed in [1u64, 2, 3] {
+        let sat = saturation_mops(seed);
+        let offered = 2.0 * sat;
+        let schedule = soak_schedule(seed, offered);
+        let (report, outcomes) = run_soak(seed, 2, offered);
+        assert_eq!(report.ops, OPS as u64, "seed {seed}: every op resolves");
+        let applied: u64 = (0..SHARDS)
+            .map(|s| check_shard(&schedule, s, &outcomes[s]))
+            .sum();
+        assert!(applied > 0, "seed {seed}: soak applied no writes at all");
+        assert!(
+            report.faults.total_faults() > 0,
+            "seed {seed}: fault plane must actually fire"
+        );
+        // The knee: goodput at 2x offered load stays within 70% of the
+        // fault-free saturation throughput — shed, don't collapse.
+        assert!(
+            report.goodput_mops >= 0.7 * sat,
+            "seed {seed}: goodput {:.1} Mops collapsed below 70% of saturation {:.1} Mops \
+             (shed {} expired {} of {} ops)",
+            report.goodput_mops,
+            sat,
+            report.shed_ops,
+            report.expired_ops,
+            report.ops,
+        );
+    }
+}
+
+#[test]
+fn chaos_soak_is_bit_identical_across_worker_counts() {
+    let seed = 7u64;
+    let sat = saturation_mops(seed);
+    let offered = 2.0 * sat;
+    let (r1, o1) = run_soak(seed, 1, offered);
+    let (r2, o2) = run_soak(seed, 2, offered);
+    let (r8, o8) = run_soak(seed, 8, offered);
+    assert_eq!(r1, r2, "soak diverged between 1 and 2 workers");
+    assert_eq!(r1, r8, "soak diverged between 1 and 8 workers");
+    assert_eq!(o1, o2, "outcomes diverged between 1 and 2 workers");
+    assert_eq!(o1, o8, "outcomes diverged between 1 and 8 workers");
+    assert!(r1.ops == OPS as u64 && r1.goodput_ops > 0);
+}

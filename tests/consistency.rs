@@ -99,6 +99,7 @@ proptest! {
                     key: key_bytes(*key),
                     value: delta.to_le_bytes().to_vec(),
                     lambda: builtin::ADD,
+                    deadline_us: 0,
                 },
             }
         };
@@ -148,6 +149,7 @@ proptest! {
                     key: b"seq".to_vec(),
                     value: 1u64.to_le_bytes().to_vec(),
                     lambda: builtin::ADD,
+                    deadline_us: 0,
                 })
                 .collect();
             for r in store.execute_batch(&reqs) {

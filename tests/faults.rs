@@ -72,6 +72,7 @@ fn to_request(op: &Op) -> KvRequest {
             key: key_bytes(*key),
             value: delta.to_le_bytes().to_vec(),
             lambda: builtin::ADD,
+            deadline_us: 0,
         },
     }
 }

@@ -51,6 +51,43 @@ fn repeated_runs_are_bit_identical() {
     assert_eq!(a, b, "same seed + config must reproduce exactly");
 }
 
+fn run_faulty(workers: usize, reqs: &[KvRequest]) -> ParallelSimReport {
+    let mut cfg = ParallelSimConfig::paper(KvDirectConfig::with_memory(1 << 20), 24, 6);
+    cfg.workers = workers;
+    cfg.shard.store.fault_rates = kv_direct::FaultRates::uniform(0.02);
+    cfg.shard.store.fault_seed = 0xFA_17;
+    let mut sim = ParallelSystemSim::new(cfg);
+    for id in 0..5_000u64 {
+        sim.preload_put(&id.to_le_bytes(), &[id as u8; 16])
+            .expect("preload fits");
+    }
+    sim.run(reqs)
+}
+
+#[test]
+fn fault_counters_bit_identical_across_worker_counts() {
+    // Faults fork per shard from the store seed, so the schedule is part
+    // of the (config, seed, stream) function and must not care how
+    // shards map onto OS threads. `ParallelSimReport` equality covers
+    // the merged rollup and every per-shard `faults` field.
+    let reqs = workload(9_000, 0xD375);
+    let r1 = run_faulty(1, &reqs);
+    let r2 = run_faulty(2, &reqs);
+    let r8 = run_faulty(8, &reqs);
+    assert!(
+        r1.faults.total_faults() > 0,
+        "2% uniform rates over 9k ops must inject"
+    );
+    assert!(
+        r1.per_shard
+            .iter()
+            .any(|s| s.faults.total_faults() != r1.per_shard[0].faults.total_faults()),
+        "per-shard schedules should be decorrelated"
+    );
+    assert_eq!(r1, r2, "fault schedule diverged between 1 and 2 workers");
+    assert_eq!(r1, r8, "fault schedule diverged between 1 and 8 workers");
+}
+
 #[test]
 fn different_seeds_diverge() {
     // Sanity check that the equality above is meaningful: the engine is
