@@ -25,7 +25,7 @@
 
 use kvd_bench::{banner, shape_check, Table, SCALED_MEMORY_BIG};
 use kvd_core::system::{SystemSim, SystemSimConfig, SystemSimReport};
-use kvd_core::{KvDirectConfig, OverloadConfig};
+use kvd_core::{KvDirectConfig, OverloadConfig, RunSummary};
 use kvd_net::KvRequest;
 use kvd_sim::report::fmt_f;
 use kvd_sim::{DetRng, SimTime};
@@ -86,6 +86,17 @@ fn schedule(rate_mops: f64, seed: u64) -> Vec<(SimTime, KvRequest)> {
 
 fn offer(rate_mops: f64, overload: bool) -> SystemSimReport {
     preloaded(overload).run_open(&schedule(rate_mops, SEED))
+}
+
+/// Formats the shared [`RunSummary`] the report embeds — the same
+/// struct `ParallelSimReport` and `SystemSimReport` both deref to.
+fn summary_cells(s: &RunSummary) -> [String; 4] {
+    [
+        fmt_f(s.goodput_mops, 1),
+        fmt_f(s.mops, 1),
+        s.shed_ops.to_string(),
+        s.expired_ops.to_string(),
+    ]
 }
 
 fn main() {
@@ -157,20 +168,11 @@ fn main() {
         "2x offered load, with and without the overload plane",
         &["plane", "goodput", "raw", "shed", "expired"],
     );
-    c.row(&[
-        "enabled".into(),
-        fmt_f(planed.goodput_mops, 1),
-        fmt_f(planed.mops, 1),
-        planed.shed_ops.to_string(),
-        planed.expired_ops.to_string(),
-    ]);
-    c.row(&[
-        "disabled".into(),
-        fmt_f(unplanned.goodput_mops, 1),
-        fmt_f(unplanned.mops, 1),
-        unplanned.shed_ops.to_string(),
-        unplanned.expired_ops.to_string(),
-    ]);
+    for (label, r) in [("enabled", &planed), ("disabled", &unplanned)] {
+        let mut cells = vec![label.to_string()];
+        cells.extend(summary_cells(&r.summary));
+        c.row(&cells);
+    }
     c.print();
 
     shape_check(

@@ -40,5 +40,7 @@ pub use overload::{AdmissionController, OverloadConfig, OverloadCounters, Waterm
 pub use parallel::{ParallelSimConfig, ParallelSimReport, ParallelSystemSim};
 pub use processor::{KvProcessor, ProcessorStats};
 pub use store::{KvDirectConfig, KvDirectStore, MultiNicStore, StoreError};
-pub use system::{StepOutcome, SystemSim, SystemSimConfig, SystemSimReport};
+pub use system::{
+    Percentile, RunSummary, StepOutcome, SystemSim, SystemSimConfig, SystemSimReport,
+};
 pub use timing::{SystemModel, ThroughputBreakdown, WorkloadSpec};

@@ -34,7 +34,8 @@
 
 use kvd_net::{shard_of, KvRequest, Status};
 use kvd_sim::{
-    ArbiterStats, FaultCounters, Histogram, HostArbiter, HostArbiterConfig, SimTime, Summary,
+    ArbiterStats, FaultCounters, Histogram, HostArbiter, HostArbiterConfig, OpLedger, RunSummary,
+    SimTime,
 };
 
 use crate::overload::OverloadCounters;
@@ -83,34 +84,29 @@ impl ParallelSimConfig {
 pub struct ParallelSimReport {
     /// Shards simulated.
     pub shards: usize,
-    /// Operations completed across all shards.
-    pub ops: u64,
-    /// Simulated makespan (slowest shard).
-    pub elapsed: SimTime,
-    /// Aggregate sustained throughput (Mops).
-    pub mops: f64,
-    /// GET latency summary merged across shards (picoseconds).
-    pub get_latency: Summary,
-    /// PUT latency summary merged across shards (picoseconds).
-    pub put_latency: Summary,
-    /// Operations that produced a useful, on-time response, summed
-    /// across shards.
-    pub goodput_ops: u64,
-    /// Aggregate sustained goodput (Mops).
-    pub goodput_mops: f64,
-    /// Operations shed with `Status::Overloaded`, summed across shards.
-    pub shed_ops: u64,
-    /// Operations dropped as expired (client- or server-side), summed
-    /// across shards.
-    pub expired_ops: u64,
+    /// Aggregate run accounting: op totals, throughput/goodput rates
+    /// over the slowest shard's makespan, and shard-merged latency
+    /// summaries. Also reachable through `Deref`, so `r.mops` works.
+    pub summary: RunSummary,
     /// Overload rollup merged across shards.
     pub overload: OverloadCounters,
     /// Fault rollup merged across shards (stores + network links).
     pub faults: FaultCounters,
+    /// The op-cost ledger merged across shards in shard order
+    /// (deterministic: bit-identical for any worker count).
+    pub ledger: OpLedger,
     /// Each shard's individual report, in shard order.
     pub per_shard: Vec<SystemSimReport>,
     /// Host-memory arbiter activity (windows, oversubscription, stall).
     pub arbiter: ArbiterStats,
+}
+
+impl std::ops::Deref for ParallelSimReport {
+    type Target = RunSummary;
+
+    fn deref(&self) -> &RunSummary {
+        &self.summary
+    }
 }
 
 /// The parallel sharded simulator.
@@ -255,7 +251,7 @@ impl ParallelSystemSim {
         let chunk = n.div_ceil(workers);
         let mut outcomes = vec![
             StepOutcome {
-                host_lines: 0,
+                window: OpLedger::default(),
                 done: true,
             };
             n
@@ -280,10 +276,14 @@ impl ParallelSystemSim {
                 })
                 .expect("shard worker panicked");
             }
-            // Barrier: aggregate in shard order (a u64 sum — independent
-            // of which worker produced which outcome).
-            let lines: u64 = outcomes.iter().map(|o| o.host_lines).sum();
-            let stall = self.arbiter.charge(lines);
+            // Barrier: merge the window ledgers in shard order (counter
+            // sums and gauge maxes — independent of which worker produced
+            // which outcome) and charge the host traffic they carry.
+            let mut window = OpLedger::default();
+            for o in &outcomes {
+                window.merge(&o.window);
+            }
+            let stall = self.arbiter.charge(window.host_lines());
             for sim in self.sims.iter_mut() {
                 sim.absorb_host_stall(stall, quantum);
             }
@@ -305,10 +305,15 @@ impl ParallelSystemSim {
             .unwrap_or(SimTime::ZERO);
         let mut get_hist = Histogram::new();
         let mut put_hist = Histogram::new();
+        // Shard-order fold: ledger merge is associative and commutative,
+        // but folding in shard order keeps the invariant trivially
+        // auditable (and bit-identical for any worker count).
+        let mut ledger = OpLedger::default();
         for sim in &self.sims {
             let (g, p) = sim.histograms();
             get_hist.merge(g);
             put_hist.merge(p);
+            ledger.merge(&sim.ledger());
         }
         let goodput_ops: u64 = per_shard.iter().map(|r| r.goodput_ops).sum();
         let shed_ops: u64 = per_shard.iter().map(|r| r.shed_ops).sum();
@@ -319,27 +324,20 @@ impl ParallelSystemSim {
             overload.merge(&r.overload);
             faults.merge(&r.faults);
         }
-        let secs = elapsed.as_secs_f64();
-        let rate = |ops: u64| {
-            if secs > 0.0 {
-                ops as f64 / secs / 1e6
-            } else {
-                0.0
-            }
-        };
         ParallelSimReport {
             shards: n,
-            ops,
-            elapsed,
-            mops: rate(ops),
-            goodput_ops,
-            goodput_mops: rate(goodput_ops),
-            shed_ops,
-            expired_ops,
+            summary: RunSummary::new(
+                ops,
+                elapsed,
+                goodput_ops,
+                shed_ops,
+                expired_ops,
+                &get_hist,
+                &put_hist,
+            ),
             overload,
             faults,
-            get_latency: get_hist.summary(),
-            put_latency: put_hist.summary(),
+            ledger,
             per_shard,
             arbiter: self.arbiter.stats(),
         }

@@ -14,7 +14,7 @@ use kvd_hash::{HashError, HashTable, HashTableConfig};
 use kvd_mem::MemoryEngine;
 use kvd_net::{KvRequest, KvRequestRef, KvResponse, OpCode, Status};
 use kvd_ooo::{Admission, KvOpKind, ReservationStation, StationConfig, StationOp};
-use kvd_sim::{FaultPlane, SimTime};
+use kvd_sim::{CostSource, FaultPlane, OpLedger, SimTime};
 
 use crate::lambda::{decode_scalar, decode_vector, encode_vector, Lambda, LambdaRegistry};
 use crate::overload::{AdmissionController, OverloadConfig, OverloadCounters};
@@ -23,7 +23,8 @@ use crate::overload::{AdmissionController, OverloadConfig, OverloadCounters};
 /// [`Status::DeviceError`] (matches the DMA engine's read retry budget).
 pub const DEFAULT_FAULT_RETRY_LIMIT: u32 = 4;
 
-/// Counters for the processor.
+/// Counters for the processor — a *view* over the processor's op-cost
+/// ledger (`ledger().core`), not an accumulator of its own.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProcessorStats {
     /// Requests executed.
@@ -85,13 +86,17 @@ pub struct KvProcessor<M: MemoryEngine> {
     registry: LambdaRegistry,
     inflight: VecDeque<StationOp>,
     pipeline_depth: usize,
-    stats: ProcessorStats,
     responses: Vec<Option<KvResponse>>,
     ctxs: Vec<RespCtx>,
     faults: FaultPlane,
     fault_retry_limit: u32,
     overload_cfg: OverloadConfig,
     admission: Option<AdmissionController>,
+    /// When set, `finish` also attributes retire outcomes
+    /// (`retired_ok`/`retired_not_found`/`retired_failed`) to the ledger.
+    /// Off by default so the hot path stays exactly as wide as before the
+    /// ledger existed.
+    ledger_detail: bool,
     /// Pressure reported by layers the functional processor cannot see
     /// (decode backlog, PCIe tag pools, host-arbiter stretch); maxed with
     /// the live station occupancy at each admission decision.
@@ -99,7 +104,11 @@ pub struct KvProcessor<M: MemoryEngine> {
     /// The simulation clock the deadline gate compares against.
     now: SimTime,
     read_only: bool,
-    overload: OverloadCounters,
+    /// The processor's own slice of the op-cost ledger: request mix,
+    /// retire outcomes and overload-plane decisions. Station, slab,
+    /// memory and fault costs stay in their components and are folded in
+    /// on demand by [`CostSource::emit_costs`].
+    ledger: OpLedger,
 }
 
 impl KvProcessor<kvd_mem::FlatMemory> {
@@ -128,17 +137,17 @@ impl<M: MemoryEngine> KvProcessor<M> {
             // The paper saturates PCIe with up to 256 in-flight KV
             // operations; 64 models one DMA-tag window.
             pipeline_depth: 64,
-            stats: ProcessorStats::default(),
             responses: Vec::new(),
             ctxs: Vec::new(),
             faults: FaultPlane::disabled(),
             fault_retry_limit: DEFAULT_FAULT_RETRY_LIMIT,
             overload_cfg: OverloadConfig::default(),
             admission: None,
+            ledger_detail: false,
             external_pressure: 0.0,
             now: SimTime::ZERO,
             read_only: false,
-            overload: OverloadCounters::default(),
+            ledger: OpLedger::default(),
         }
     }
 
@@ -164,13 +173,32 @@ impl<M: MemoryEngine> KvProcessor<M> {
     }
 
     /// Overload/shed rollup (admissions, sheds by reason, degraded-mode
-    /// transitions).
+    /// transitions) — a view over the processor's ledger.
     pub fn overload_counters(&self) -> OverloadCounters {
-        let mut c = self.overload;
-        if let Some(ac) = &self.admission {
-            c.shed_transitions = ac.transitions();
+        let c = &self.ledger.core;
+        OverloadCounters {
+            admitted: c.admitted,
+            shed_overload: c.shed_overload,
+            shed_expired: c.shed_expired,
+            shed_read_only: c.shed_read_only,
+            read_only_entries: c.read_only_entries,
+            read_only_exits: c.read_only_exits,
+            shed_transitions: c.shed_transitions,
         }
-        c
+    }
+
+    /// Enables per-retire outcome attribution in the ledger
+    /// (`retired_ok`/`retired_not_found`/`retired_failed`). Costs one
+    /// branch + increment per response; off by default.
+    pub fn set_ledger_detail(&mut self, on: bool) {
+        self.ledger_detail = on;
+    }
+
+    /// The processor's own ledger slice (request mix, retire outcomes,
+    /// overload decisions). For the full rollup including station, slab,
+    /// memory and fault costs, use [`CostSource::emit_costs`].
+    pub fn ledger(&self) -> &OpLedger {
+        &self.ledger
     }
 
     /// Whether the processor is in read-only degraded mode.
@@ -226,9 +254,21 @@ impl<M: MemoryEngine> KvProcessor<M> {
         &mut self.registry
     }
 
-    /// Counters.
+    /// Counters — a view over the processor's ledger.
     pub fn stats(&self) -> ProcessorStats {
-        self.stats
+        let c = &self.ledger.core;
+        ProcessorStats {
+            requests: c.requests,
+            reads: c.reads,
+            puts: c.puts,
+            deletes: c.deletes,
+            updates: c.updates,
+            invalid: c.invalid,
+            oom: c.oom,
+            writeback_failures: c.writeback_failures,
+            fault_retries: c.fault_retries,
+            device_errors: c.device_errors,
+        }
     }
 
     /// Reservation-station counters (forwarding rate etc.).
@@ -291,7 +331,7 @@ impl<M: MemoryEngine> KvProcessor<M> {
                 Vec::new()
             },
         });
-        self.stats.requests += 1;
+        self.ledger.core.requests += 1;
         if let Some(status) = self.overload_gate(req) {
             self.responses[i] = Some(KvResponse {
                 status,
@@ -302,7 +342,7 @@ impl<M: MemoryEngine> KvProcessor<M> {
         match self.build_station_op(i as u64, req) {
             Ok(op) => self.submit(op),
             Err(status) => {
-                self.stats.invalid += 1;
+                self.ledger.core.invalid += 1;
                 self.responses[i] = Some(KvResponse {
                     status,
                     value: Vec::new(),
@@ -319,7 +359,7 @@ impl<M: MemoryEngine> KvProcessor<M> {
     /// actually execute.
     fn overload_gate(&mut self, req: KvRequestRef<'_>) -> Option<Status> {
         if req.deadline_us != 0 && self.now > SimTime::from_us(req.deadline_us as u64) {
-            self.overload.shed_expired += 1;
+            self.ledger.core.shed_expired += 1;
             return Some(Status::Expired);
         }
         // PUT and the atomic updates allocate; GET reads and DELETE frees,
@@ -335,20 +375,25 @@ impl<M: MemoryEngine> KvProcessor<M> {
         if self.read_only && allocates {
             if self.table.memory_utilization() < self.overload_cfg.read_only_exit_utilization {
                 self.read_only = false;
-                self.overload.read_only_exits += 1;
+                self.ledger.core.read_only_exits += 1;
             } else {
-                self.overload.shed_read_only += 1;
+                self.ledger.core.shed_read_only += 1;
                 return Some(Status::Overloaded);
             }
         }
         if let Some(ac) = &mut self.admission {
             let pressure = self.station.occupancy().max(self.external_pressure);
-            if ac.observe(pressure) {
-                self.overload.shed_overload += 1;
+            let was_shedding = ac.is_shedding();
+            let shed = ac.observe(pressure);
+            if shed != was_shedding {
+                self.ledger.core.shed_transitions += 1;
+            }
+            if shed {
+                self.ledger.core.shed_overload += 1;
                 return Some(Status::Overloaded);
             }
         }
-        self.overload.admitted += 1;
+        self.ledger.core.admitted += 1;
         None
     }
 
@@ -371,7 +416,7 @@ impl<M: MemoryEngine> KvProcessor<M> {
     fn build_station_op(&mut self, id: u64, req: KvRequestRef<'_>) -> Result<StationOp, Status> {
         let kind = match req.op {
             OpCode::Get | OpCode::Reduce | OpCode::Filter => {
-                self.stats.reads += 1;
+                self.ledger.core.reads += 1;
                 // Reduce/filter need a registered λ of the right type.
                 match req.op {
                     OpCode::Reduce => match self.registry.get(req.lambda) {
@@ -387,15 +432,15 @@ impl<M: MemoryEngine> KvProcessor<M> {
                 KvOpKind::Get
             }
             OpCode::Put => {
-                self.stats.puts += 1;
+                self.ledger.core.puts += 1;
                 KvOpKind::Put(req.value.to_vec())
             }
             OpCode::Delete => {
-                self.stats.deletes += 1;
+                self.ledger.core.deletes += 1;
                 KvOpKind::Delete
             }
             OpCode::UpdateScalar => {
-                self.stats.updates += 1;
+                self.ledger.core.updates += 1;
                 let f = match self.registry.get(req.lambda) {
                     Some(Lambda::Scalar(f)) => Arc::clone(f),
                     _ => return Err(Status::Invalid),
@@ -407,7 +452,7 @@ impl<M: MemoryEngine> KvProcessor<M> {
                 }))
             }
             OpCode::UpdateScalarToVector => {
-                self.stats.updates += 1;
+                self.ledger.core.updates += 1;
                 let f = match self.registry.get(req.lambda) {
                     Some(Lambda::ScalarToVector(f)) => Arc::clone(f),
                     _ => return Err(Status::Invalid),
@@ -424,7 +469,7 @@ impl<M: MemoryEngine> KvProcessor<M> {
                 }))
             }
             OpCode::UpdateVector => {
-                self.stats.updates += 1;
+                self.ledger.core.updates += 1;
                 let f = match self.registry.get(req.lambda) {
                     Some(Lambda::VectorToVector(f)) => Arc::clone(f),
                     _ => return Err(Status::Invalid),
@@ -489,13 +534,13 @@ impl<M: MemoryEngine> KvProcessor<M> {
         let mut next = Some(op);
         while let Some(op) = next.take() {
             let txn = self.faults.transaction(self.fault_retry_limit);
-            self.stats.fault_retries += txn.retries as u64;
+            self.ledger.core.fault_retries += txn.retries as u64;
             let mut completion = if txn.failed {
                 // The transaction died in the device after exhausting its
                 // retries: the table was never touched, so the station
                 // must reclaim the slot without installing a forwarding
                 // value — dependents re-reach memory themselves.
-                self.stats.device_errors += 1;
+                self.ledger.core.device_errors += 1;
                 self.finish(op.id, None, Some(Status::DeviceError));
                 self.station.reclaim(&op.key)
             } else {
@@ -569,15 +614,15 @@ impl<M: MemoryEngine> KvProcessor<M> {
     fn map_error(&mut self, e: HashError) -> Status {
         match e {
             HashError::OutOfMemory => {
-                self.stats.oom += 1;
+                self.ledger.core.oom += 1;
                 if self.overload_cfg.read_only_on_oom && !self.read_only {
                     self.read_only = true;
-                    self.overload.read_only_entries += 1;
+                    self.ledger.core.read_only_entries += 1;
                 }
                 Status::OutOfMemory
             }
             HashError::KeyTooLarge | HashError::ValueTooLarge => {
-                self.stats.invalid += 1;
+                self.ledger.core.invalid += 1;
                 Status::Invalid
             }
         }
@@ -595,7 +640,7 @@ impl<M: MemoryEngine> KvProcessor<M> {
             // A write-back can only fail if the cached value grew past
             // available memory; the value is then dropped. Surfaced via
             // stats so benchmarks can assert it never happens.
-            self.stats.writeback_failures += 1;
+            self.ledger.core.writeback_failures += 1;
         }
     }
 
@@ -613,7 +658,28 @@ impl<M: MemoryEngine> KvProcessor<M> {
             self.responses[id as usize].is_none(),
             "response {id} produced twice"
         );
+        if self.ledger_detail {
+            // Station-retired outcome attribution (fast-path, issued and
+            // chain-forwarded completions all land here; shed/invalid
+            // responses are written directly and are already counted by
+            // their own ledger channels).
+            match resp.status {
+                Status::Ok => self.ledger.core.retired_ok += 1,
+                Status::NotFound => self.ledger.core.retired_not_found += 1,
+                _ => self.ledger.core.retired_failed += 1,
+            }
+        }
         self.responses[id as usize] = Some(resp);
+    }
+}
+
+impl<M: MemoryEngine + CostSource> CostSource for KvProcessor<M> {
+    fn emit_costs(&self, out: &mut OpLedger) {
+        out.merge(&self.ledger);
+        self.station.emit_costs(out);
+        self.table.allocator().emit_costs(out);
+        self.faults.emit_costs(out);
+        self.table.mem().emit_costs(out);
     }
 }
 

@@ -10,7 +10,7 @@ use kvd_hash::{HashTable, HashTableConfig};
 use kvd_mem::{DispatchConfig, DispatchedMemory, NicDramConfig};
 use kvd_net::{shard_of, KvRequest, KvRequestRef, KvResponse, OpCode, Status};
 use kvd_ooo::StationConfig;
-use kvd_sim::{Bandwidth, FaultCounters, FaultPlane, FaultRates};
+use kvd_sim::{Bandwidth, CostSource, FaultCounters, FaultPlane, FaultRates, OpLedger};
 
 use crate::lambda::{decode_scalar, decode_vector, encode_vector, Lambda, LambdaRegistry};
 use crate::overload::{OverloadConfig, OverloadCounters};
@@ -242,11 +242,19 @@ impl KvDirectStore {
     }
 
     /// Store-wide rollup of injected faults across every component plane
-    /// (processor DMA transactions + memory-engine ECC/stall events).
+    /// (processor DMA transactions + memory-engine ECC/stall events) — a
+    /// view over the store's op-cost ledger.
     pub fn fault_counters(&self) -> FaultCounters {
-        let mut total = *self.proc.faults().counters();
-        total.merge(self.proc.table().mem().faults().counters());
-        total
+        self.ledger().fault_view()
+    }
+
+    /// The store's full op-cost ledger: processor request mix and
+    /// overload decisions, station occupancy, slab activity, memory
+    /// traffic and every fault plane's injections, folded together.
+    pub fn ledger(&self) -> OpLedger {
+        let mut out = OpLedger::default();
+        self.emit_costs(&mut out);
+        out
     }
 
     /// The memory engine's ECC recovery state (corrected/uncorrectable
@@ -440,6 +448,12 @@ impl KvDirectStore {
     /// simulator's per-op hot path.
     pub fn execute_one(&mut self, req: KvRequestRef<'_>) -> KvResponse {
         self.proc.execute_one(req)
+    }
+}
+
+impl CostSource for KvDirectStore {
+    fn emit_costs(&self, out: &mut OpLedger) {
+        self.proc.emit_costs(out);
     }
 }
 

@@ -38,8 +38,10 @@ use kvd_mem::MemoryEngine;
 use kvd_net::{KvRequest, NetConfig, NetLink, OpCode, Status};
 use kvd_pcie::PcieConfig;
 use kvd_sim::{
-    Bandwidth, DetRng, FaultCounters, FaultPlane, Freq, Histogram, PressureGauge, SimTime, Summary,
+    Bandwidth, CostSource, DetRng, FaultCounters, FaultPlane, Freq, Histogram, OpClass, OpLedger,
+    PressureGauge, SimTime,
 };
+pub use kvd_sim::{Percentile, RunSummary};
 
 use crate::overload::OverloadCounters;
 use crate::store::{KvDirectConfig, KvDirectStore};
@@ -85,66 +87,29 @@ impl SystemSimConfig {
     }
 }
 
-/// Result of a simulation run.
+/// Result of a simulation run: the shared [`RunSummary`] accounting
+/// (throughput, goodput, latency percentiles — the report derefs to it),
+/// plus the store-side counter views and the full op-cost ledger.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemSimReport {
-    /// Operations resolved (answered, shed, or expired).
-    pub ops: u64,
-    /// Simulated makespan.
-    pub elapsed: SimTime,
-    /// Sustained throughput over all resolved operations (Mops).
-    pub mops: f64,
-    /// Operations that produced a *useful* response: `Ok`/`NotFound`,
-    /// delivered before the request's deadline (if it carried one).
-    pub goodput_ops: u64,
-    /// Sustained goodput (Mops). Under overload this knees while `mops`
-    /// keeps counting sheds.
-    pub goodput_mops: f64,
-    /// Operations shed with `Status::Overloaded` (admission control or
-    /// read-only degradation).
-    pub shed_ops: u64,
-    /// Operations dropped as expired — at the client before transmission
-    /// or at the server before execution.
-    pub expired_ops: u64,
+    /// Core run accounting (ops, rates, latency summaries).
+    pub summary: RunSummary,
     /// Store-side overload rollup (admissions, sheds by reason,
-    /// degraded-mode transitions).
+    /// degraded-mode transitions) — a view over `ledger.core`.
     pub overload: OverloadCounters,
-    /// Fault rollup across the store *and* both network links.
+    /// Fault rollup across the store *and* both network links — a view
+    /// over the ledger's fault channels.
     pub faults: FaultCounters,
-    /// GET latency summary (picoseconds).
-    pub get_latency: Summary,
-    /// PUT latency summary (picoseconds).
-    pub put_latency: Summary,
+    /// The full op-cost ledger: per-plane traffic, retire outcomes,
+    /// per-component latency attribution and backpressure terms.
+    pub ledger: OpLedger,
 }
 
-impl SystemSimReport {
-    /// GET latency percentile in microseconds.
-    pub fn get_us(&self, p: Percentile) -> f64 {
-        pick(&self.get_latency, p) as f64 / 1e6
-    }
+impl std::ops::Deref for SystemSimReport {
+    type Target = RunSummary;
 
-    /// PUT latency percentile in microseconds.
-    pub fn put_us(&self, p: Percentile) -> f64 {
-        pick(&self.put_latency, p) as f64 / 1e6
-    }
-}
-
-/// Percentile selector for report accessors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Percentile {
-    /// 5th percentile (the paper's lower error bar).
-    P5,
-    /// Median.
-    P50,
-    /// 95th percentile (the paper's upper error bar).
-    P95,
-}
-
-fn pick(s: &Summary, p: Percentile) -> u64 {
-    match p {
-        Percentile::P5 => s.p5,
-        Percentile::P50 => s.p50,
-        Percentile::P95 => s.p95,
+    fn deref(&self) -> &RunSummary {
+        &self.summary
     }
 }
 
@@ -203,10 +168,12 @@ pub struct SystemSim {
     goodput_ops: u64,
     shed_ops: u64,
     expired_ops: u64,
-    /// Host-arbiter stretch of the previous window (stall / quantum),
-    /// pushed in by the parallel engine at its barrier.
-    host_stretch: f64,
-    pressure: PressureGauge,
+    /// The sim-side slice of the op-cost ledger: wire batch accounting,
+    /// per-component latency attribution, and the raw backpressure terms
+    /// the [`PressureGauge`] is computed from. Component costs (store,
+    /// links) stay in their components; [`Self::ledger`] folds everything
+    /// together.
+    ledger: OpLedger,
 }
 
 /// One operation's captured memory-access load, charged against the
@@ -214,23 +181,42 @@ pub struct SystemSim {
 /// passes of a batch).
 #[derive(Debug, Clone, Copy)]
 struct OpLoad {
+    /// Absolute index of the request in the staged stream.
+    idx: usize,
     t: SimTime,
     dma_reads: u64,
     dram_reads: u64,
     dma_writes: u64,
     dram_writes: u64,
+    /// Picoseconds attributed to the processor (decode backlog + own
+    /// decode cycles).
+    proc_ps: u64,
+    /// Picoseconds attributed to PCIe (queueing on the tag-limited path
+    /// + DMA round trips).
+    pcie_ps: u64,
+    /// Picoseconds attributed to NIC DRAM (queueing + line accesses).
+    dram_ps: u64,
 }
 
 /// What one [`SystemSim::step`] window consumed and whether the stream is
 /// drained.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StepOutcome {
-    /// Host-memory cache lines (PCIe DMA reads + writes) issued by
-    /// operations that *started* inside the window. The arbiter charges
-    /// these against shared host DRAM bandwidth.
-    pub host_lines: u64,
+    /// The window's op-cost delta: everything the ledger accrued between
+    /// step entry and exit (operations that *started* inside the window;
+    /// see [`OpLedger::since`]).
+    pub window: OpLedger,
     /// True once every staged request has completed.
     pub done: bool,
+}
+
+impl StepOutcome {
+    /// Host-memory cache lines (PCIe DMA reads + writes) issued inside
+    /// the window. The arbiter charges these against shared host DRAM
+    /// bandwidth.
+    pub fn host_lines(&self) -> u64 {
+        self.window.host_lines()
+    }
 }
 
 impl SystemSim {
@@ -284,8 +270,7 @@ impl SystemSim {
             goodput_ops: 0,
             shed_ops: 0,
             expired_ops: 0,
-            host_stretch: 0.0,
-            pressure: PressureGauge::IDLE,
+            ledger: OpLedger::default(),
             cfg,
         }
     }
@@ -314,8 +299,7 @@ impl SystemSim {
         self.goodput_ops = 0;
         self.shed_ops = 0;
         self.expired_ops = 0;
-        self.host_stretch = 0.0;
-        self.pressure = PressureGauge::IDLE;
+        self.ledger = OpLedger::default();
     }
 
     /// Stages an *open-loop* request stream: each request is issued at
@@ -353,9 +337,10 @@ impl SystemSim {
         &self.outcomes
     }
 
-    /// The backpressure gauge computed for the most recent batch.
+    /// The backpressure gauge computed for the most recent batch,
+    /// derived from the ledger's raw backpressure terms.
     pub fn pressure(&self) -> PressureGauge {
-        self.pressure
+        PressureGauge::from_terms(&self.ledger.pressure)
     }
 
     /// Folds the shared host arbiter's verdict for the previous lockstep
@@ -365,19 +350,27 @@ impl SystemSim {
     /// does not move any component clock (the engine's issue-floor
     /// already models the stall).
     pub fn absorb_host_stall(&mut self, stall: SimTime, quantum: SimTime) {
-        self.host_stretch = if quantum > SimTime::ZERO {
-            stall.as_secs_f64() / quantum.as_secs_f64()
-        } else {
-            0.0
-        };
+        self.ledger.pressure.stall_ps = stall.as_ps();
+        self.ledger.pressure.quantum_ps = quantum.as_ps();
     }
 
-    /// Fault rollup across the store and both network links.
+    /// Fault rollup across the store and both network links — a view
+    /// over the simulation's full ledger.
     pub fn fault_counters(&self) -> FaultCounters {
-        let mut total = self.store.fault_counters();
-        total.merge(self.req_link.faults().counters());
-        total.merge(self.resp_link.faults().counters());
-        total
+        self.ledger().fault_view()
+    }
+
+    /// The simulation's full op-cost ledger: the sim-side run slice
+    /// (batch fill, latency attribution, backpressure terms) folded with
+    /// the store's costs and both network links'. Store and link
+    /// counters span the component's lifetime (preload included),
+    /// consistent with [`Self::fault_counters`].
+    pub fn ledger(&self) -> OpLedger {
+        let mut out = self.ledger.clone();
+        self.store.emit_costs(&mut out);
+        self.req_link.emit_costs(&mut out);
+        self.resp_link.emit_costs(&mut out);
+        out
     }
 
     /// Advances the staged stream through one lookahead window.
@@ -394,7 +387,7 @@ impl SystemSim {
     pub fn step(&mut self, horizon: SimTime, floor: SimTime) -> StepOutcome {
         let batch = self.cfg.batch.max(1);
         let cycle = self.cfg.clock.cycle();
-        let mut host_lines = 0u64;
+        let base = self.ledger();
 
         while self.cursor < self.pending.len() {
             let end = (self.cursor + batch).min(self.pending.len());
@@ -444,6 +437,7 @@ impl SystemSim {
                 // Every request in the batch died at the client: nothing
                 // reaches the wire, the server, or the response path.
                 for _ in self.cursor..end {
+                    self.ledger.net.client_expired += 1;
                     self.statuses.push(Status::Expired);
                     if self.record_outcomes {
                         self.outcomes.push((Status::Expired, Vec::new()));
@@ -467,14 +461,12 @@ impl SystemSim {
                 let station_cap = cycle * self.cfg.store.station.capacity as u64;
                 let tag_cap = self.pcie_line_service
                     * (u64::from(self.cfg.pcie.read_tags) * self.cfg.pcie_ports.max(1) as u64);
-                let gauge = PressureGauge {
-                    station: self.server_free.saturating_sub(arrive).as_secs_f64()
-                        / station_cap.as_secs_f64().max(f64::MIN_POSITIVE),
-                    tags: self.pcie_free.saturating_sub(arrive).as_secs_f64()
-                        / tag_cap.as_secs_f64().max(f64::MIN_POSITIVE),
-                    stretch: self.host_stretch,
-                };
-                self.pressure = gauge;
+                let terms = &mut self.ledger.pressure;
+                terms.station_backlog_ps = self.server_free.saturating_sub(arrive).as_ps();
+                terms.station_cap_ps = station_cap.as_ps();
+                terms.tag_backlog_ps = self.pcie_free.saturating_sub(arrive).as_ps();
+                terms.tag_cap_ps = tag_cap.as_ps();
+                let gauge = PressureGauge::from_terms(terms);
                 self.store
                     .processor_mut()
                     .set_external_pressure(gauge.overall());
@@ -488,6 +480,7 @@ impl SystemSim {
                 for i in self.cursor..end {
                     let req = &self.pending[i];
                     if dead_at_client(req) {
+                        self.ledger.net.client_expired += 1;
                         self.statuses.push(Status::Expired);
                         if self.record_outcomes {
                             self.outcomes.push((Status::Expired, Vec::new()));
@@ -501,20 +494,25 @@ impl SystemSim {
                     let resp = self.store.execute_one(req.as_ref());
                     resp_bytes += 3 + resp.value.len() as u64;
                     let d = self.store.processor().table().mem().stats().since(&before);
-                    host_lines += d.dma_reads + d.dma_writes;
                     self.statuses.push(resp.status);
                     if self.record_outcomes {
                         self.outcomes.push((resp.status, resp.value));
                     }
                     self.loads.push(OpLoad {
+                        idx: i,
                         t: decode_done,
                         dma_reads: d.dma_reads,
                         dram_reads: d.dram_reads,
                         dma_writes: d.dma_writes,
                         dram_writes: d.dram_writes,
+                        proc_ps: decode_done.saturating_sub(arrive).as_ps(),
+                        pcie_ps: 0,
+                        dram_ps: 0,
                     });
                 }
                 self.server_free = decode_start + cycle * decoded;
+                self.ledger.net.batches += 1;
+                self.ledger.net.batch_ops += decoded;
                 // Pass 2: charge the accesses against fluid service
                 // models of the PCIe DMA engines and the NIC DRAM
                 // channel. Independent operations overlap freely up to
@@ -529,25 +527,37 @@ impl SystemSim {
                 let dram_backlog = self.dram_free.saturating_sub(arrive);
                 let mut batch_done = arrive;
                 let (mut pcie_lines, mut dram_lines) = (0u64, 0u64);
-                for op in self.loads.iter() {
-                    let queued = match (op.dma_reads > 0, op.dram_reads > 0) {
-                        (true, true) => pcie_backlog.max(dram_backlog),
-                        (true, false) => pcie_backlog,
-                        (false, true) => dram_backlog,
-                        (false, false) => SimTime::ZERO,
+                for li in 0..self.loads.len() {
+                    let op = self.loads[li];
+                    // Queueing delay lands on whichever resource owns the
+                    // dominant backlog; it is attributed to that component
+                    // in the per-op latency breakdown.
+                    let (queued, queued_is_pcie) = match (op.dma_reads > 0, op.dram_reads > 0) {
+                        (true, true) => {
+                            (pcie_backlog.max(dram_backlog), pcie_backlog >= dram_backlog)
+                        }
+                        (true, false) => (pcie_backlog, true),
+                        (false, true) => (dram_backlog, false),
+                        (false, false) => (SimTime::ZERO, true),
                     };
                     let mut t = op.t + queued;
+                    let mut pcie_ps = if queued_is_pcie { queued.as_ps() } else { 0 };
+                    let mut dram_ps = if queued_is_pcie { 0 } else { queued.as_ps() };
                     for _ in 0..op.dma_reads {
                         let mut rtt = self.cfg.pcie.cached_read_latency.sample(&mut self.rng);
                         rtt += SimTime::from_ps(
                             self.rng
                                 .u64_below(self.cfg.pcie.noncached_extra.as_ps() + 1),
                         );
+                        pcie_ps += rtt.as_ps();
                         t += rtt;
                     }
                     for _ in 0..op.dram_reads {
+                        dram_ps += self.cfg.dram_access.as_ps();
                         t += self.cfg.dram_access;
                     }
+                    self.loads[li].pcie_ps = pcie_ps;
+                    self.loads[li].dram_ps = dram_ps;
                     pcie_lines += op.dma_reads + op.dma_writes;
                     dram_lines += op.dram_reads + op.dram_writes;
                     batch_done = batch_done.max(t);
@@ -569,9 +579,16 @@ impl SystemSim {
             // latency histogram (they carry no service latency); a
             // useful response must also beat its deadline to count as
             // goodput.
+            let mut load_at = 0usize;
             for (off, i) in (self.cursor..end).enumerate() {
                 self.ops_done += 1;
                 let status = self.statuses[off];
+                let load = if load_at < self.loads.len() && self.loads[load_at].idx == i {
+                    load_at += 1;
+                    Some(self.loads[load_at - 1])
+                } else {
+                    None
+                };
                 match status {
                     Status::Overloaded => self.shed_ops += 1,
                     Status::Expired => self.expired_ops += 1,
@@ -582,6 +599,22 @@ impl SystemSim {
                             start
                         };
                         let lat = resp_arrive.saturating_sub(issued);
+                        // Per-component attribution: the processor, PCIe
+                        // and DRAM shares are the op's measured service
+                        // terms; the remainder (wire serialization,
+                        // propagation, batch skew) is the network's.
+                        if let Some(load) = load {
+                            let proc = load.proc_ps;
+                            let pcie = load.pcie_ps;
+                            let dram = load.dram_ps;
+                            let net = lat.as_ps().saturating_sub(proc + pcie + dram);
+                            let class = match self.pending[i].op {
+                                OpCode::Put => OpClass::Put,
+                                OpCode::Get => OpClass::Get,
+                                _ => OpClass::Other,
+                            };
+                            self.ledger.latency.record(class, [net, pcie, dram, proc]);
+                        }
                         // Tiny deterministic jitter spreads ties for
                         // percentile resolution (scheduling noise
                         // stand-in).
@@ -604,33 +637,26 @@ impl SystemSim {
         }
 
         StepOutcome {
-            host_lines,
+            window: self.ledger().since(&base),
             done: self.cursor >= self.pending.len(),
         }
     }
 
     /// Report over everything completed since the last [`Self::load`].
     pub fn report(&self) -> SystemSimReport {
-        let secs = self.makespan.as_secs_f64();
-        let rate = |ops: u64| {
-            if secs > 0.0 {
-                ops as f64 / secs / 1e6
-            } else {
-                0.0
-            }
-        };
         SystemSimReport {
-            ops: self.ops_done,
-            elapsed: self.makespan,
-            mops: rate(self.ops_done),
-            goodput_ops: self.goodput_ops,
-            goodput_mops: rate(self.goodput_ops),
-            shed_ops: self.shed_ops,
-            expired_ops: self.expired_ops,
+            summary: RunSummary::new(
+                self.ops_done,
+                self.makespan,
+                self.goodput_ops,
+                self.shed_ops,
+                self.expired_ops,
+                &self.get_hist,
+                &self.put_hist,
+            ),
             overload: self.store.overload_counters(),
             faults: self.fault_counters(),
-            get_latency: self.get_hist.summary(),
-            put_latency: self.put_hist.summary(),
+            ledger: self.ledger(),
         }
     }
 

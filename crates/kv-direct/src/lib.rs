@@ -50,7 +50,8 @@ pub use kvd_core::{
 };
 pub use kvd_net::{decode_packet, encode_packet, KvRequest, KvResponse, NetConfig, OpCode, Status};
 pub use kvd_sim::{
-    ChaosConfig, ChaosSchedule, FaultCounters, FaultPlane, FaultRates, PressureGauge,
+    ChaosConfig, ChaosSchedule, Component, CostSource, FaultCounters, FaultPlane, FaultRates,
+    OpClass, OpLedger, Percentile, PressureGauge, RunSummary,
 };
 
 /// The paper's λ machinery (element codecs, registry).

@@ -12,7 +12,7 @@
 //! * [`DispatchedMemory`] — the full stack: host memory behind PCIe, NIC
 //!   DRAM cache, and the hash-based load dispatcher.
 
-use kvd_sim::{DramFault, FaultPlane};
+use kvd_sim::{CostSource, DramFault, FaultPlane, OpLedger};
 
 use crate::dispatch::{DispatchConfig, LoadDispatcher};
 use crate::host::HostMemory;
@@ -494,6 +494,37 @@ impl MemoryEngine for DispatchedMemory {
     }
 }
 
+/// Folds an [`AccessStats`] into the ledger's PCIe and DRAM sections
+/// (traffic and cache behavior only — fault events belong to the fault
+/// plane that injected them).
+fn emit_access_stats(s: &AccessStats, out: &mut OpLedger) {
+    out.pcie.dma_reads += s.dma_reads;
+    out.pcie.dma_writes += s.dma_writes;
+    out.pcie.read_bytes += s.dma_read_bytes;
+    out.pcie.write_bytes += s.dma_write_bytes;
+    out.dram.reads += s.dram_reads;
+    out.dram.writes += s.dram_writes;
+    out.dram.cache_hits += s.cache_hits;
+    out.dram.cache_misses += s.cache_misses;
+}
+
+impl CostSource for FlatMemory {
+    fn emit_costs(&self, out: &mut OpLedger) {
+        emit_access_stats(&self.stats, out);
+    }
+}
+
+impl CostSource for DispatchedMemory {
+    fn emit_costs(&self, out: &mut OpLedger) {
+        emit_access_stats(&self.stats, out);
+        // ECC recovery bookkeeping that is disjoint from the fault
+        // plane's own counts: what recovery *did*, not what was injected.
+        out.dram.refetches += self.ecc.refetches;
+        out.dram.rescue_writebacks += self.ecc.rescue_writebacks;
+        self.faults.emit_costs(out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -828,7 +859,7 @@ mod tests {
                     m.read(addr, &mut buf);
                 }
             }
-            (m.stats(), *m.ecc(), *m.faults().counters())
+            (m.stats(), *m.ecc(), m.faults().counters())
         };
         assert_eq!(run(7), run(7));
         let (_, e7, _) = run(7);

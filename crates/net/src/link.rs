@@ -1,6 +1,6 @@
 //! The 40 GbE link as a timed resource.
 
-use kvd_sim::{BandwidthLink, FaultPlane, NetFault, SimTime};
+use kvd_sim::{BandwidthLink, CostSource, FaultPlane, NetFault, OpLedger, SimTime};
 
 use crate::config::NetConfig;
 
@@ -121,6 +121,15 @@ impl NetLink {
     }
 }
 
+impl CostSource for NetLink {
+    fn emit_costs(&self, out: &mut OpLedger) {
+        out.net.packets += self.packets;
+        out.net.payload_bytes += self.payload_bytes;
+        out.net.retransmits += self.retransmits;
+        self.faults.emit_costs(out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,7 +239,7 @@ mod tests {
             for i in 0..300u64 {
                 arrivals.push(link.send(SimTime::from_us(5 * i), 128));
             }
-            (arrivals, link.retransmits(), *link.faults().counters())
+            (arrivals, link.retransmits(), link.faults().counters())
         };
         assert_eq!(run(9), run(9));
         let (_, retx9, c9) = run(9);

@@ -13,6 +13,8 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use kvd_sim::{CostSource, OpLedger};
+
 /// The transform of an atomic update: old value → new value.
 ///
 /// In the paper these are user-defined λ functions pre-registered and
@@ -429,6 +431,19 @@ fn kvd_station_hash(key: &[u8]) -> u64 {
     h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     h ^ (h >> 31)
+}
+
+impl CostSource for ReservationStation {
+    fn emit_costs(&self, out: &mut OpLedger) {
+        let s = &self.stats;
+        out.station.forwarded += s.forwarded;
+        out.station.issued += s.issued;
+        out.station.queued += s.queued;
+        out.station.writebacks += s.writebacks;
+        out.station.rejected += s.rejected;
+        out.station.reclaimed += s.reclaimed;
+        out.station.high_water = out.station.high_water.max(s.high_water);
+    }
 }
 
 #[cfg(test)]

@@ -7,8 +7,8 @@
 //! like the FPGA DMA engine stalls its pipeline.
 
 use kvd_sim::{
-    BandwidthLink, CreditPool, DetRng, EventQueue, FaultPlane, Histogram, PcieFault, SimTime,
-    TagPool,
+    BandwidthLink, CostSource, CreditPool, DetRng, EventQueue, FaultPlane, Histogram, OpLedger,
+    PcieFault, SimTime, TagPool,
 };
 
 use crate::config::PcieConfig;
@@ -361,6 +361,22 @@ impl DmaPort {
     }
 }
 
+impl CostSource for DmaPort {
+    fn emit_costs(&self, out: &mut OpLedger) {
+        // Traffic only: the fault-flavored `PortStats` fields
+        // (corruptions, replays, timeouts, retries) are already counted
+        // by the port's fault plane, which emits them below.
+        let s = self.stats();
+        out.pcie.dma_reads += s.reads;
+        out.pcie.dma_writes += s.writes;
+        out.pcie.read_bytes += s.read_bytes;
+        out.pcie.write_bytes += s.write_bytes;
+        out.pcie.tag_stalls += s.tag_stalls;
+        out.pcie.credit_stalls += s.credit_stalls;
+        self.faults().emit_costs(out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -619,7 +635,7 @@ mod tests {
                     last = done;
                 }
             }
-            (last, oks, p.stats().clone(), *p.faults().counters())
+            (last, oks, p.stats().clone(), p.faults().counters())
         };
         let (a_last, a_oks, a_stats, a_counters) = run(7);
         let (b_last, b_oks, b_stats, b_counters) = run(7);

@@ -18,9 +18,13 @@
 //!   disabled plane (all rates zero, the default) is behaviorally inert:
 //!   timing, stats and RNG streams are bit-identical to a build without
 //!   fault injection.
-//! * Planes count every event they inject ([`FaultCounters`]) so stores
-//!   and benchmarks can report fault overhead.
+//! * Planes count every event they inject into an [`OpLedger`] (the
+//!   workspace-wide op-cost ledger); [`FaultCounters`] is the legacy
+//!   rollup *view* over the ledger's fault channels
+//!   ([`OpLedger::fault_view`]), kept so stores and benchmarks can keep
+//!   reporting fault overhead with the familiar shape.
 
+use crate::ledger::{CostSource, OpLedger};
 use crate::rng::DetRng;
 
 /// Per-channel fault probabilities. All rates are per-event (per DMA
@@ -88,7 +92,9 @@ impl FaultRates {
     }
 }
 
-/// Count of every fault event a plane has injected.
+/// Count of every fault event a plane has injected — a *view* over the
+/// ledger's fault channels (see [`OpLedger::fault_view`]), not an
+/// accumulator of its own.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultCounters {
     /// Corrupted TLPs injected.
@@ -199,7 +205,7 @@ impl TxnOutcome {
 pub struct FaultPlane {
     rates: FaultRates,
     rng: DetRng,
-    counters: FaultCounters,
+    ledger: OpLedger,
 }
 
 impl FaultPlane {
@@ -208,7 +214,7 @@ impl FaultPlane {
         FaultPlane {
             rates,
             rng: DetRng::seed(seed),
-            counters: FaultCounters::default(),
+            ledger: OpLedger::default(),
         }
     }
 
@@ -223,7 +229,7 @@ impl FaultPlane {
         FaultPlane {
             rates: self.rates,
             rng: self.rng.fork(salt),
-            counters: FaultCounters::default(),
+            ledger: OpLedger::default(),
         }
     }
 
@@ -244,14 +250,21 @@ impl FaultPlane {
         self.rates = rates;
     }
 
-    /// Events injected so far.
-    pub fn counters(&self) -> &FaultCounters {
-        &self.counters
+    /// Events injected so far, as the legacy rollup view over this
+    /// plane's ledger.
+    pub fn counters(&self) -> FaultCounters {
+        self.ledger.fault_view()
+    }
+
+    /// The plane's op-cost ledger (only the fault channels are ever
+    /// populated by a plane).
+    pub fn ledger(&self) -> &OpLedger {
+        &self.ledger
     }
 
     /// Zeroes the event counters (rates and RNG state are untouched).
     pub fn reset_counters(&mut self) {
-        self.counters = FaultCounters::default();
+        self.ledger = OpLedger::default();
     }
 
     /// Bernoulli draw that consumes no randomness when `p` is zero, so a
@@ -264,13 +277,13 @@ impl FaultPlane {
     /// timeout beats corruption beats replay.
     pub fn pcie_fault(&mut self) -> PcieFault {
         if self.chance(self.rates.pcie_timeout) {
-            self.counters.pcie_timeouts += 1;
+            self.ledger.pcie.timeouts += 1;
             PcieFault::Timeout
         } else if self.chance(self.rates.pcie_corrupt) {
-            self.counters.pcie_corruptions += 1;
+            self.ledger.pcie.corruptions += 1;
             PcieFault::Corrupt
         } else if self.chance(self.rates.pcie_replay) {
-            self.counters.pcie_replays += 1;
+            self.ledger.pcie.replays += 1;
             PcieFault::Replay
         } else {
             PcieFault::None
@@ -281,10 +294,10 @@ impl FaultPlane {
     pub fn dram_fault(&mut self) -> DramFault {
         if self.chance(self.rates.dram_bit_error) {
             if self.chance(self.rates.dram_uncorrectable) {
-                self.counters.dram_uncorrectable += 1;
+                self.ledger.dram.uncorrectable += 1;
                 DramFault::Uncorrectable
             } else {
-                self.counters.dram_corrected += 1;
+                self.ledger.dram.corrected += 1;
                 DramFault::Corrected
             }
         } else {
@@ -295,7 +308,7 @@ impl FaultPlane {
     /// Draws whether one host memory access stalls.
     pub fn host_stall(&mut self) -> bool {
         if self.chance(self.rates.host_stall) {
-            self.counters.host_stalls += 1;
+            self.ledger.dram.host_stalls += 1;
             true
         } else {
             false
@@ -305,10 +318,10 @@ impl FaultPlane {
     /// Draws the fate of one network packet. Drop beats reorder.
     pub fn net_fault(&mut self) -> NetFault {
         if self.chance(self.rates.net_drop) {
-            self.counters.net_drops += 1;
+            self.ledger.net.drops += 1;
             NetFault::Drop
         } else if self.chance(self.rates.net_reorder) {
-            self.counters.net_reorders += 1;
+            self.ledger.net.reorders += 1;
             NetFault::Reorder
         } else {
             NetFault::None
@@ -317,12 +330,12 @@ impl FaultPlane {
 
     /// Records one recovery retry.
     pub fn count_retry(&mut self) {
-        self.counters.retries += 1;
+        self.ledger.pcie.retries += 1;
     }
 
     /// Records one abandoned transaction (retry budget exhausted).
     pub fn count_exhausted(&mut self) {
-        self.counters.exhausted += 1;
+        self.ledger.pcie.exhausted += 1;
     }
 
     /// Models one logical operation under bounded retry: each attempt
@@ -358,6 +371,12 @@ impl FaultPlane {
             retries += 1;
             self.count_retry();
         }
+    }
+}
+
+impl CostSource for FaultPlane {
+    fn emit_costs(&self, out: &mut OpLedger) {
+        out.merge(&self.ledger);
     }
 }
 

@@ -1,0 +1,904 @@
+//! The op-cost ledger: one typed, mergeable account of where every
+//! byte, line and cycle went.
+//!
+//! Before this module, the workspace reported costs through four ad-hoc
+//! planes grown PR-by-PR — `ProcessorStats`, [`FaultCounters`],
+//! `OverloadCounters` and bare `u64` host-traffic sums threaded
+//! hand-over-hand between the sharded simulator and the host arbiter.
+//! [`OpLedger`] replaces the *accumulation* layer underneath all of
+//! them: each hardware model emits its counters into the ledger through
+//! one narrow trait ([`CostSource`]), and the legacy structs become pure
+//! *views* over ledger sections ([`OpLedger::fault_view`] and friends in
+//! `kvd-core`).
+//!
+//! Design rules, mirroring the fault plane's:
+//!
+//! * **Mergeable.** [`OpLedger::merge`] is associative and commutative
+//!   with the zero ledger as identity: event counters add, capacity
+//!   gauges ([`PressureTerms`], the station high-water mark) take the
+//!   component-wise maximum. Both operations are exact over `u64`, so
+//!   merging N shard ledgers in shard order is bit-identical for any
+//!   worker count — the property `tests/parallel_determinism.rs` pins.
+//! * **Window deltas are views.** [`OpLedger::since`] subtracts an
+//!   earlier snapshot, which is how the parallel engine's per-window
+//!   host-traffic charge ([`OpLedger::host_lines`]) is derived instead
+//!   of hand-plumbed as a bare `u64`.
+//! * **Zero-overhead when idle.** Components do not write the ledger on
+//!   their hot paths; they keep their existing counters and *emit* them
+//!   on demand ([`CostSource::emit_costs`]), so a build that never
+//!   collects a ledger executes exactly the same instructions as one
+//!   that predates it.
+
+use crate::fault::FaultCounters;
+
+/// Where a nanosecond of client-observed latency was spent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Component {
+    /// Wire serialization, propagation and batching waits (request and
+    /// response links).
+    Network,
+    /// PCIe DMA: per-line round trips and queueing on the tag-limited
+    /// read path.
+    Pcie,
+    /// NIC DRAM: cache-line accesses and queueing on the channel.
+    Dram,
+    /// The KV processor: decode backlog plus per-op decode cycles.
+    Processor,
+}
+
+impl Component {
+    /// Every component, in the order latency records are laid out.
+    pub const ALL: [Component; 4] = [
+        Component::Network,
+        Component::Pcie,
+        Component::Dram,
+        Component::Processor,
+    ];
+
+    /// Human-readable label for report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Component::Network => "network",
+            Component::Pcie => "pcie",
+            Component::Dram => "dram",
+            Component::Processor => "processor",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Component::Network => 0,
+            Component::Pcie => 1,
+            Component::Dram => 2,
+            Component::Processor => 3,
+        }
+    }
+}
+
+/// Operation class for per-class latency attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// GET (and other read-only ops answered from the read path).
+    Get,
+    /// PUT.
+    Put,
+    /// Everything else (deletes, atomics, vector ops).
+    Other,
+}
+
+impl OpClass {
+    /// Every class, in record-layout order.
+    pub const ALL: [OpClass; 3] = [OpClass::Get, OpClass::Put, OpClass::Other];
+
+    /// Human-readable label for report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpClass::Get => "GET",
+            OpClass::Put => "PUT",
+            OpClass::Other => "OTHER",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            OpClass::Get => 0,
+            OpClass::Put => 1,
+            OpClass::Other => 2,
+        }
+    }
+}
+
+/// Network-plane costs: wire traffic, batch fill, drops and client-side
+/// expiry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetCosts {
+    /// Packets serialized onto a link (retransmissions included).
+    pub packets: u64,
+    /// Payload bytes carried by those packets.
+    pub payload_bytes: u64,
+    /// Retransmissions after an injected drop.
+    pub retransmits: u64,
+    /// Packets the fault plane dropped.
+    pub drops: u64,
+    /// Packets the fault plane reordered.
+    pub reorders: u64,
+    /// Request batches that reached the wire.
+    pub batches: u64,
+    /// Live operations those batches carried (`batch_ops / batches` is
+    /// the mean batch fill).
+    pub batch_ops: u64,
+    /// Requests dropped at the client because their deadline had passed
+    /// before transmission.
+    pub client_expired: u64,
+}
+
+/// PCIe-plane costs: DMA traffic, tag/credit stalls and link faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcieCosts {
+    /// DMA read requests (64 B lines) issued to host memory.
+    pub dma_reads: u64,
+    /// DMA write requests issued to host memory.
+    pub dma_writes: u64,
+    /// Payload bytes moved by DMA reads.
+    pub read_bytes: u64,
+    /// Payload bytes moved by DMA writes.
+    pub write_bytes: u64,
+    /// Issue stalls waiting for a free read tag.
+    pub tag_stalls: u64,
+    /// Issue stalls waiting for flow-control credits.
+    pub credit_stalls: u64,
+    /// Corrupted TLPs injected by the fault plane.
+    pub corruptions: u64,
+    /// Replayed (duplicate) TLPs injected.
+    pub replays: u64,
+    /// Read-tag timeouts injected.
+    pub timeouts: u64,
+    /// Recovery retries performed because of an injected fault.
+    pub retries: u64,
+    /// Transactions abandoned after the retry budget ran out.
+    pub exhausted: u64,
+}
+
+/// DRAM-plane costs: NIC DRAM lines, cache behavior and ECC recovery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramCosts {
+    /// NIC DRAM line reads.
+    pub reads: u64,
+    /// NIC DRAM line writes.
+    pub writes: u64,
+    /// NIC DRAM cache hits.
+    pub cache_hits: u64,
+    /// NIC DRAM cache misses.
+    pub cache_misses: u64,
+    /// Single-bit errors corrected by ECC.
+    pub corrected: u64,
+    /// Multi-bit errors ECC could only detect.
+    pub uncorrectable: u64,
+    /// Host-memory stall events.
+    pub host_stalls: u64,
+    /// Lines refetched from host memory after an uncorrectable error.
+    pub refetches: u64,
+    /// Dirty lines salvaged to host before a refetch.
+    pub rescue_writebacks: u64,
+}
+
+/// Reservation-station costs: occupancy and forwarding behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StationCosts {
+    /// Results served from the forwarding cache without touching memory.
+    pub forwarded: u64,
+    /// Operations issued to the execution pipeline.
+    pub issued: u64,
+    /// Operations queued behind a same-key operation.
+    pub queued: u64,
+    /// Dirty cache values written back to memory.
+    pub writebacks: u64,
+    /// Admissions rejected because the station was full.
+    pub rejected: u64,
+    /// Slots reclaimed without installing a forwarding value (device
+    /// errors).
+    pub reclaimed: u64,
+    /// High-water mark of tracked operations (merged by maximum: the
+    /// worst occupancy any shard saw).
+    pub high_water: u64,
+}
+
+/// Slab-allocator costs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlabCosts {
+    /// Allocations served.
+    pub allocs: u64,
+    /// Frees accepted.
+    pub frees: u64,
+    /// Allocations that failed (out of memory).
+    pub failed_allocs: u64,
+    /// NIC-to-host free-list synchronization DMAs.
+    pub dma_syncs: u64,
+    /// Free-list entries moved by those syncs.
+    pub entries_synced: u64,
+    /// Block splits performed to serve a smaller class.
+    pub splits: u64,
+    /// Buddy merges performed by the lazy merger.
+    pub merges: u64,
+    /// Merge passes executed.
+    pub merge_passes: u64,
+}
+
+/// KV-processor costs: request mix, retire outcomes and overload-plane
+/// decisions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreCosts {
+    /// Requests executed.
+    pub requests: u64,
+    /// Read-only requests (GET/REDUCE/FILTER).
+    pub reads: u64,
+    /// PUT requests.
+    pub puts: u64,
+    /// DELETE requests.
+    pub deletes: u64,
+    /// Atomic update requests (scalar or vector).
+    pub updates: u64,
+    /// Requests rejected as invalid (unknown λ, wrong type, oversized).
+    pub invalid: u64,
+    /// Requests that hit out-of-memory.
+    pub oom: u64,
+    /// Station write-backs that failed.
+    pub writeback_failures: u64,
+    /// Memory transactions re-run after a recoverable injected fault.
+    pub fault_retries: u64,
+    /// Requests failed with `DeviceError` after the retry budget ran out.
+    pub device_errors: u64,
+    /// Requests that passed every overload gate.
+    pub admitted: u64,
+    /// Requests shed by the admission controller.
+    pub shed_overload: u64,
+    /// Requests dropped at the server because their deadline had passed.
+    pub shed_expired: u64,
+    /// Writes shed while in read-only degraded mode.
+    pub shed_read_only: u64,
+    /// Entries into read-only mode.
+    pub read_only_entries: u64,
+    /// Exits from read-only mode.
+    pub read_only_exits: u64,
+    /// Admission-controller state flips (both directions).
+    pub shed_transitions: u64,
+    /// Station-retired operations that completed `Ok` (detail mode only;
+    /// see `KvProcessor::set_ledger_detail`).
+    pub retired_ok: u64,
+    /// Station-retired operations that completed `NotFound` (detail mode
+    /// only).
+    pub retired_not_found: u64,
+    /// Station-retired operations that completed with any error status
+    /// (detail mode only).
+    pub retired_failed: u64,
+}
+
+/// Per-class, per-component latency attribution in picoseconds.
+///
+/// For every answered operation the simulator splits the client-observed
+/// latency into the [`Component::ALL`] buckets such that the buckets sum
+/// *exactly* to the measured latency (network absorbs the residual:
+/// wire serialization, propagation and batching waits). Shed and expired
+/// operations carry no service latency and are not recorded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyCosts {
+    /// Accumulated picoseconds, indexed `[OpClass][Component]` in
+    /// [`OpClass::ALL`] / [`Component::ALL`] order.
+    pub ps: [[u64; 4]; 3],
+    /// Answered operations per class, same order as [`OpClass::ALL`].
+    pub ops: [u64; 3],
+}
+
+impl LatencyCosts {
+    /// Records one answered operation's component split (picoseconds,
+    /// in [`Component::ALL`] order).
+    pub fn record(&mut self, class: OpClass, component_ps: [u64; 4]) {
+        let row = &mut self.ps[class.index()];
+        for (acc, ps) in row.iter_mut().zip(component_ps) {
+            *acc += ps;
+        }
+        self.ops[class.index()] += 1;
+    }
+
+    /// Answered operations of `class`.
+    pub fn ops(&self, class: OpClass) -> u64 {
+        self.ops[class.index()]
+    }
+
+    /// Mean nanoseconds per op of `class` spent in `component` (0.0 when
+    /// no op of the class was answered).
+    pub fn mean_ns(&self, class: OpClass, component: Component) -> f64 {
+        let n = self.ops[class.index()];
+        if n == 0 {
+            return 0.0;
+        }
+        self.ps[class.index()][component.index()] as f64 / n as f64 / 1e3
+    }
+
+    /// Mean total nanoseconds per op of `class` (sum over components).
+    pub fn total_mean_ns(&self, class: OpClass) -> f64 {
+        Component::ALL.iter().map(|&c| self.mean_ns(class, c)).sum()
+    }
+
+    /// `component`'s share of the class's total latency, in `0.0..=1.0`
+    /// (0.0 when the class saw no ops).
+    pub fn share(&self, class: OpClass, component: Component) -> f64 {
+        let total: u64 = self.ps[class.index()].iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.ps[class.index()][component.index()] as f64 / total as f64
+    }
+
+    fn merge(&mut self, other: &LatencyCosts) {
+        for (row, orow) in self.ps.iter_mut().zip(&other.ps) {
+            for (a, b) in row.iter_mut().zip(orow) {
+                *a += b;
+            }
+        }
+        for (a, b) in self.ops.iter_mut().zip(&other.ops) {
+            *a += b;
+        }
+    }
+
+    fn since(&self, earlier: &LatencyCosts) -> LatencyCosts {
+        let mut out = *self;
+        for (row, erow) in out.ps.iter_mut().zip(&earlier.ps) {
+            for (a, b) in row.iter_mut().zip(erow) {
+                *a = a.saturating_sub(*b);
+            }
+        }
+        for (a, b) in out.ops.iter_mut().zip(&earlier.ops) {
+            *a = a.saturating_sub(*b);
+        }
+        out
+    }
+}
+
+/// Raw backpressure terms the `PressureGauge` is computed from, all in
+/// integer picoseconds so shard merges stay exact.
+///
+/// These are *gauges* (latest sample), not event counters: merging takes
+/// the component-wise maximum — the worst backlog any shard reported —
+/// which is associative, commutative and has the zero term as identity,
+/// exactly like the counter sums.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PressureTerms {
+    /// Decode backlog at the last batch cut (how far the server's decode
+    /// clock ran ahead of the batch's arrival).
+    pub station_backlog_ps: u64,
+    /// The station capacity envelope: one decode cycle times the station's
+    /// operation capacity.
+    pub station_cap_ps: u64,
+    /// PCIe service backlog at the last batch cut.
+    pub tag_backlog_ps: u64,
+    /// The tag-pool capacity envelope: per-line service time times the
+    /// total read tags across endpoints.
+    pub tag_cap_ps: u64,
+    /// Host-arbiter stall of the previous lockstep window.
+    pub stall_ps: u64,
+    /// The arbiter's synchronization quantum.
+    pub quantum_ps: u64,
+}
+
+impl PressureTerms {
+    fn merge(&mut self, other: &PressureTerms) {
+        self.station_backlog_ps = self.station_backlog_ps.max(other.station_backlog_ps);
+        self.station_cap_ps = self.station_cap_ps.max(other.station_cap_ps);
+        self.tag_backlog_ps = self.tag_backlog_ps.max(other.tag_backlog_ps);
+        self.tag_cap_ps = self.tag_cap_ps.max(other.tag_cap_ps);
+        self.stall_ps = self.stall_ps.max(other.stall_ps);
+        self.quantum_ps = self.quantum_ps.max(other.quantum_ps);
+    }
+}
+
+macro_rules! sum_fields {
+    ($self:ident, $other:ident, $($field:ident),+ $(,)?) => {
+        $( $self.$field += $other.$field; )+
+    };
+}
+
+macro_rules! sub_fields {
+    ($out:ident, $earlier:ident, $($field:ident),+ $(,)?) => {
+        $( $out.$field = $out.$field.saturating_sub($earlier.$field); )+
+    };
+}
+
+impl NetCosts {
+    fn merge(&mut self, other: &NetCosts) {
+        sum_fields!(
+            self,
+            other,
+            packets,
+            payload_bytes,
+            retransmits,
+            drops,
+            reorders,
+            batches,
+            batch_ops,
+            client_expired
+        );
+    }
+
+    fn since(&self, earlier: &NetCosts) -> NetCosts {
+        let mut out = *self;
+        sub_fields!(
+            out,
+            earlier,
+            packets,
+            payload_bytes,
+            retransmits,
+            drops,
+            reorders,
+            batches,
+            batch_ops,
+            client_expired
+        );
+        out
+    }
+}
+
+impl PcieCosts {
+    fn merge(&mut self, other: &PcieCosts) {
+        sum_fields!(
+            self,
+            other,
+            dma_reads,
+            dma_writes,
+            read_bytes,
+            write_bytes,
+            tag_stalls,
+            credit_stalls,
+            corruptions,
+            replays,
+            timeouts,
+            retries,
+            exhausted
+        );
+    }
+
+    fn since(&self, earlier: &PcieCosts) -> PcieCosts {
+        let mut out = *self;
+        sub_fields!(
+            out,
+            earlier,
+            dma_reads,
+            dma_writes,
+            read_bytes,
+            write_bytes,
+            tag_stalls,
+            credit_stalls,
+            corruptions,
+            replays,
+            timeouts,
+            retries,
+            exhausted
+        );
+        out
+    }
+}
+
+impl DramCosts {
+    fn merge(&mut self, other: &DramCosts) {
+        sum_fields!(
+            self,
+            other,
+            reads,
+            writes,
+            cache_hits,
+            cache_misses,
+            corrected,
+            uncorrectable,
+            host_stalls,
+            refetches,
+            rescue_writebacks
+        );
+    }
+
+    fn since(&self, earlier: &DramCosts) -> DramCosts {
+        let mut out = *self;
+        sub_fields!(
+            out,
+            earlier,
+            reads,
+            writes,
+            cache_hits,
+            cache_misses,
+            corrected,
+            uncorrectable,
+            host_stalls,
+            refetches,
+            rescue_writebacks
+        );
+        out
+    }
+}
+
+impl StationCosts {
+    fn merge(&mut self, other: &StationCosts) {
+        sum_fields!(self, other, forwarded, issued, queued, writebacks, rejected, reclaimed);
+        self.high_water = self.high_water.max(other.high_water);
+    }
+
+    fn since(&self, earlier: &StationCosts) -> StationCosts {
+        let mut out = *self;
+        sub_fields!(out, earlier, forwarded, issued, queued, writebacks, rejected, reclaimed);
+        // `high_water` is a gauge: the delta keeps the current mark.
+        out
+    }
+}
+
+impl SlabCosts {
+    fn merge(&mut self, other: &SlabCosts) {
+        sum_fields!(
+            self,
+            other,
+            allocs,
+            frees,
+            failed_allocs,
+            dma_syncs,
+            entries_synced,
+            splits,
+            merges,
+            merge_passes
+        );
+    }
+
+    fn since(&self, earlier: &SlabCosts) -> SlabCosts {
+        let mut out = *self;
+        sub_fields!(
+            out,
+            earlier,
+            allocs,
+            frees,
+            failed_allocs,
+            dma_syncs,
+            entries_synced,
+            splits,
+            merges,
+            merge_passes
+        );
+        out
+    }
+}
+
+impl CoreCosts {
+    fn merge(&mut self, other: &CoreCosts) {
+        sum_fields!(
+            self,
+            other,
+            requests,
+            reads,
+            puts,
+            deletes,
+            updates,
+            invalid,
+            oom,
+            writeback_failures,
+            fault_retries,
+            device_errors,
+            admitted,
+            shed_overload,
+            shed_expired,
+            shed_read_only,
+            read_only_entries,
+            read_only_exits,
+            shed_transitions,
+            retired_ok,
+            retired_not_found,
+            retired_failed
+        );
+    }
+
+    fn since(&self, earlier: &CoreCosts) -> CoreCosts {
+        let mut out = *self;
+        sub_fields!(
+            out,
+            earlier,
+            requests,
+            reads,
+            puts,
+            deletes,
+            updates,
+            invalid,
+            oom,
+            writeback_failures,
+            fault_retries,
+            device_errors,
+            admitted,
+            shed_overload,
+            shed_expired,
+            shed_read_only,
+            read_only_entries,
+            read_only_exits,
+            shed_transitions,
+            retired_ok,
+            retired_not_found,
+            retired_failed
+        );
+        out
+    }
+}
+
+/// The op-cost ledger: one section per plane, every field an exact
+/// integer so merges and deltas never lose a count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpLedger {
+    /// Network-plane costs (links, batching, client-side expiry).
+    pub net: NetCosts,
+    /// PCIe-plane costs (DMA traffic, stalls, link faults).
+    pub pcie: PcieCosts,
+    /// NIC-DRAM-plane costs (lines, cache, ECC).
+    pub dram: DramCosts,
+    /// Reservation-station costs.
+    pub station: StationCosts,
+    /// Slab-allocator costs.
+    pub slab: SlabCosts,
+    /// KV-processor costs (request mix, retire outcomes, overload plane).
+    pub core: CoreCosts,
+    /// Per-class, per-component latency attribution.
+    pub latency: LatencyCosts,
+    /// Raw backpressure terms (gauges, merged by maximum).
+    pub pressure: PressureTerms,
+}
+
+impl OpLedger {
+    /// Accumulates another ledger into this one. Counter sections add;
+    /// gauge fields ([`PressureTerms`], the station high-water mark) take
+    /// the maximum. Associative and commutative, with the default ledger
+    /// as identity.
+    pub fn merge(&mut self, other: &OpLedger) {
+        self.net.merge(&other.net);
+        self.pcie.merge(&other.pcie);
+        self.dram.merge(&other.dram);
+        self.station.merge(&other.station);
+        self.slab.merge(&other.slab);
+        self.core.merge(&other.core);
+        self.latency.merge(&other.latency);
+        self.pressure.merge(&other.pressure);
+    }
+
+    /// The delta since an `earlier` snapshot of the same ledger: counter
+    /// fields subtract (saturating), gauge fields keep their current
+    /// value. This is how per-window traffic is derived from the run
+    /// ledger instead of being accumulated separately.
+    pub fn since(&self, earlier: &OpLedger) -> OpLedger {
+        OpLedger {
+            net: self.net.since(&earlier.net),
+            pcie: self.pcie.since(&earlier.pcie),
+            dram: self.dram.since(&earlier.dram),
+            station: self.station.since(&earlier.station),
+            slab: self.slab.since(&earlier.slab),
+            core: self.core.since(&earlier.core),
+            latency: self.latency.since(&earlier.latency),
+            pressure: self.pressure,
+        }
+    }
+
+    /// Host-memory cache lines this ledger accounts for (PCIe DMA reads
+    /// plus writes) — the quantity the multi-NIC host arbiter charges
+    /// against shared DRAM bandwidth.
+    pub fn host_lines(&self) -> u64 {
+        self.pcie.dma_reads + self.pcie.dma_writes
+    }
+
+    /// The legacy [`FaultCounters`] rollup as a view over the ledger's
+    /// fault channels.
+    pub fn fault_view(&self) -> FaultCounters {
+        FaultCounters {
+            pcie_corruptions: self.pcie.corruptions,
+            pcie_replays: self.pcie.replays,
+            pcie_timeouts: self.pcie.timeouts,
+            dram_corrected: self.dram.corrected,
+            dram_uncorrectable: self.dram.uncorrectable,
+            host_stalls: self.dram.host_stalls,
+            net_drops: self.net.drops,
+            net_reorders: self.net.reorders,
+            retries: self.pcie.retries,
+            exhausted: self.pcie.exhausted,
+        }
+    }
+}
+
+/// The one narrow trait every plane reports through: fold your counters
+/// into `out`. Implementations must be additive (emitting into a
+/// non-empty ledger accumulates) and must not double-report events that
+/// another source already owns — fault events belong to the fault plane
+/// that injected them, traffic to the component that moved it.
+pub trait CostSource {
+    /// Folds this component's accumulated costs into `out`.
+    fn emit_costs(&self, out: &mut OpLedger);
+}
+
+impl CostSource for OpLedger {
+    fn emit_costs(&self, out: &mut OpLedger) {
+        out.merge(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DetRng;
+
+    /// A ledger with every field filled from a seeded stream, exercising
+    /// all sections in merge laws.
+    fn random_ledger(seed: u64) -> OpLedger {
+        let mut rng = DetRng::seed(seed);
+        let mut r = || rng.u64_below(1 << 20);
+        OpLedger {
+            net: NetCosts {
+                packets: r(),
+                payload_bytes: r(),
+                retransmits: r(),
+                drops: r(),
+                reorders: r(),
+                batches: r(),
+                batch_ops: r(),
+                client_expired: r(),
+            },
+            pcie: PcieCosts {
+                dma_reads: r(),
+                dma_writes: r(),
+                read_bytes: r(),
+                write_bytes: r(),
+                tag_stalls: r(),
+                credit_stalls: r(),
+                corruptions: r(),
+                replays: r(),
+                timeouts: r(),
+                retries: r(),
+                exhausted: r(),
+            },
+            dram: DramCosts {
+                reads: r(),
+                writes: r(),
+                cache_hits: r(),
+                cache_misses: r(),
+                corrected: r(),
+                uncorrectable: r(),
+                host_stalls: r(),
+                refetches: r(),
+                rescue_writebacks: r(),
+            },
+            station: StationCosts {
+                forwarded: r(),
+                issued: r(),
+                queued: r(),
+                writebacks: r(),
+                rejected: r(),
+                reclaimed: r(),
+                high_water: r(),
+            },
+            slab: SlabCosts {
+                allocs: r(),
+                frees: r(),
+                failed_allocs: r(),
+                dma_syncs: r(),
+                entries_synced: r(),
+                splits: r(),
+                merges: r(),
+                merge_passes: r(),
+            },
+            core: CoreCosts {
+                requests: r(),
+                reads: r(),
+                puts: r(),
+                deletes: r(),
+                updates: r(),
+                invalid: r(),
+                oom: r(),
+                writeback_failures: r(),
+                fault_retries: r(),
+                device_errors: r(),
+                admitted: r(),
+                shed_overload: r(),
+                shed_expired: r(),
+                shed_read_only: r(),
+                read_only_entries: r(),
+                read_only_exits: r(),
+                shed_transitions: r(),
+                retired_ok: r(),
+                retired_not_found: r(),
+                retired_failed: r(),
+            },
+            latency: LatencyCosts {
+                ps: [
+                    [r(), r(), r(), r()],
+                    [r(), r(), r(), r()],
+                    [r(), r(), r(), r()],
+                ],
+                ops: [r(), r(), r()],
+            },
+            pressure: PressureTerms {
+                station_backlog_ps: r(),
+                station_cap_ps: r(),
+                tag_backlog_ps: r(),
+                tag_cap_ps: r(),
+                stall_ps: r(),
+                quantum_ps: r(),
+            },
+        }
+    }
+
+    fn merged(a: &OpLedger, b: &OpLedger) -> OpLedger {
+        let mut out = a.clone();
+        out.merge(b);
+        out
+    }
+
+    #[test]
+    fn merge_identity_is_the_default_ledger() {
+        let a = random_ledger(1);
+        assert_eq!(merged(&a, &OpLedger::default()), a);
+        assert_eq!(merged(&OpLedger::default(), &a), a);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        for seed in 0..32u64 {
+            let (a, b, c) = (
+                random_ledger(seed),
+                random_ledger(seed ^ 0xAAAA),
+                random_ledger(seed ^ 0x5555),
+            );
+            assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+            assert_eq!(merged(&a, &b), merged(&b, &a));
+        }
+    }
+
+    #[test]
+    fn since_inverts_merge_for_counters() {
+        let base = random_ledger(7);
+        let delta = random_ledger(8);
+        let total = merged(&base, &delta);
+        let got = total.since(&base);
+        // Counter sections round-trip exactly.
+        assert_eq!(got.net, delta.net);
+        assert_eq!(got.pcie, delta.pcie);
+        assert_eq!(got.dram, delta.dram);
+        assert_eq!(got.slab, delta.slab);
+        assert_eq!(got.core, delta.core);
+        assert_eq!(got.latency, delta.latency);
+        // Gauges keep their merged (max) value.
+        assert_eq!(got.pressure, total.pressure);
+        assert_eq!(got.station.high_water, total.station.high_water);
+    }
+
+    #[test]
+    fn host_lines_is_the_pcie_dma_view() {
+        let mut l = OpLedger::default();
+        l.pcie.dma_reads = 3;
+        l.pcie.dma_writes = 4;
+        assert_eq!(l.host_lines(), 7);
+    }
+
+    #[test]
+    fn fault_view_round_trips_every_channel() {
+        let l = random_ledger(9);
+        let v = l.fault_view();
+        assert_eq!(v.pcie_corruptions, l.pcie.corruptions);
+        assert_eq!(v.pcie_replays, l.pcie.replays);
+        assert_eq!(v.pcie_timeouts, l.pcie.timeouts);
+        assert_eq!(v.dram_corrected, l.dram.corrected);
+        assert_eq!(v.dram_uncorrectable, l.dram.uncorrectable);
+        assert_eq!(v.host_stalls, l.dram.host_stalls);
+        assert_eq!(v.net_drops, l.net.drops);
+        assert_eq!(v.net_reorders, l.net.reorders);
+        assert_eq!(v.retries, l.pcie.retries);
+        assert_eq!(v.exhausted, l.pcie.exhausted);
+    }
+
+    #[test]
+    fn latency_attribution_math() {
+        let mut lat = LatencyCosts::default();
+        lat.record(OpClass::Get, [2_000, 1_000, 500, 500]);
+        lat.record(OpClass::Get, [4_000, 1_000, 500, 500]);
+        assert_eq!(lat.ops(OpClass::Get), 2);
+        assert!((lat.mean_ns(OpClass::Get, Component::Network) - 3.0).abs() < 1e-9);
+        assert!((lat.total_mean_ns(OpClass::Get) - 5.0).abs() < 1e-9);
+        assert!((lat.share(OpClass::Get, Component::Network) - 0.6).abs() < 1e-9);
+        assert_eq!(lat.mean_ns(OpClass::Put, Component::Pcie), 0.0);
+        assert_eq!(lat.share(OpClass::Put, Component::Pcie), 0.0);
+    }
+}

@@ -25,6 +25,11 @@
 //!   admission layer.
 //! * [`chaos`] — seeded bursty open-loop arrival schedules
 //!   ([`ChaosSchedule`]) for overload/chaos soak testing.
+//! * [`ledger`] — the typed, mergeable op-cost ledger ([`OpLedger`])
+//!   every plane emits into through [`CostSource`]; the legacy counter
+//!   structs are views over it.
+//! * [`runreport`] — the shared [`RunSummary`] both simulation reports
+//!   (single-shard and parallel) are built from.
 //! * [`report`] — plain-text table rendering used by the benchmark
 //!   harnesses that regenerate the paper's tables and figures.
 //!
@@ -34,11 +39,13 @@
 pub mod arbiter;
 pub mod chaos;
 pub mod fault;
+pub mod ledger;
 pub mod pressure;
 pub mod queue;
 pub mod report;
 pub mod resource;
 pub mod rng;
+pub mod runreport;
 pub mod stats;
 pub mod time;
 
@@ -47,9 +54,14 @@ pub use chaos::{ChaosConfig, ChaosPhase, ChaosSchedule};
 pub use fault::{
     DramFault, FaultCounters, FaultPlane, FaultRates, NetFault, PcieFault, TxnOutcome,
 };
+pub use ledger::{
+    Component, CoreCosts, CostSource, DramCosts, LatencyCosts, NetCosts, OpClass, OpLedger,
+    PcieCosts, PressureTerms, SlabCosts, StationCosts,
+};
 pub use pressure::PressureGauge;
 pub use queue::EventQueue;
 pub use resource::{BandwidthLink, CreditPool, LatencyModel, TagPool};
 pub use rng::{DetRng, ZipfSampler};
+pub use runreport::{Percentile, RunSummary};
 pub use stats::{Counter, Histogram, Summary};
 pub use time::{Bandwidth, Freq, SimTime};

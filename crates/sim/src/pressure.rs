@@ -10,6 +10,8 @@
 //! the *worst* of them, because whichever resource saturates first is
 //! the one that turns queueing into collapse.
 
+use crate::ledger::PressureTerms;
+
 /// A snapshot of the pipeline's backpressure signals.
 ///
 /// # Examples
@@ -43,6 +45,24 @@ impl PressureGauge {
         tags: 0.0,
         stretch: 0.0,
     };
+
+    /// Computes the gauge from the ledger's raw backpressure terms: each
+    /// signal is its backlog divided by its capacity envelope (zero when
+    /// the envelope is unknown/zero, i.e. before any batch ran).
+    pub fn from_terms(t: &PressureTerms) -> PressureGauge {
+        let ratio = |backlog: u64, cap: u64| {
+            if cap == 0 {
+                0.0
+            } else {
+                backlog as f64 / cap as f64
+            }
+        };
+        PressureGauge {
+            station: ratio(t.station_backlog_ps, t.station_cap_ps),
+            tags: ratio(t.tag_backlog_ps, t.tag_cap_ps),
+            stretch: ratio(t.stall_ps, t.quantum_ps),
+        }
+    }
 
     /// The dominant pressure signal — the admission controller's input.
     /// Negative components (never produced by well-behaved reporters) are
@@ -80,6 +100,26 @@ mod tests {
     fn idle_gauge_never_saturates() {
         assert_eq!(PressureGauge::IDLE.overall(), 0.0);
         assert!(!PressureGauge::IDLE.saturated(0.0 + f64::EPSILON));
+    }
+
+    #[test]
+    fn from_terms_divides_backlog_by_envelope() {
+        let g = PressureGauge::from_terms(&PressureTerms {
+            station_backlog_ps: 500,
+            station_cap_ps: 1000,
+            tag_backlog_ps: 300,
+            tag_cap_ps: 100,
+            stall_ps: 0,
+            quantum_ps: 8_000_000,
+        });
+        assert!((g.station - 0.5).abs() < 1e-12);
+        assert!((g.tags - 3.0).abs() < 1e-12);
+        assert_eq!(g.stretch, 0.0);
+        assert_eq!(
+            PressureGauge::from_terms(&PressureTerms::default()),
+            PressureGauge::IDLE,
+            "zero envelopes (no batch yet) read as idle"
+        );
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! The shared run summary every simulation report is built from.
+//!
+//! `SystemSimReport` (single shard) and `ParallelSimReport` (sharded
+//! multi-NIC) used to hand-roll the same throughput/goodput/percentile
+//! fields independently, each with its own `ops-per-second` closure.
+//! [`RunSummary`] is the one place that math lives: both reports embed it
+//! (and deref to it), and the bench harnesses format it directly.
+
+use crate::stats::{Histogram, Summary};
+use crate::time::SimTime;
+
+/// Percentile selector for report accessors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Percentile {
+    /// 5th percentile (the paper's lower error bar).
+    P5,
+    /// Median.
+    P50,
+    /// 95th percentile (the paper's upper error bar).
+    P95,
+}
+
+fn pick(s: &Summary, p: Percentile) -> u64 {
+    match p {
+        Percentile::P5 => s.p5,
+        Percentile::P50 => s.p50,
+        Percentile::P95 => s.p95,
+    }
+}
+
+/// Core accounting of one simulation run: operation totals, throughput
+/// and goodput rates over the makespan, and the GET/PUT latency
+/// summaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Operations resolved (answered, shed, or expired).
+    pub ops: u64,
+    /// Simulated makespan.
+    pub elapsed: SimTime,
+    /// Sustained throughput over all resolved operations (Mops).
+    pub mops: f64,
+    /// Operations that produced a *useful* response: `Ok`/`NotFound`,
+    /// delivered before the request's deadline (if it carried one).
+    pub goodput_ops: u64,
+    /// Sustained goodput (Mops). Under overload this knees while `mops`
+    /// keeps counting sheds.
+    pub goodput_mops: f64,
+    /// Operations shed with `Status::Overloaded` (admission control or
+    /// read-only degradation).
+    pub shed_ops: u64,
+    /// Operations dropped as expired — at the client before transmission
+    /// or at the server before execution.
+    pub expired_ops: u64,
+    /// GET latency summary (picoseconds).
+    pub get_latency: Summary,
+    /// PUT latency summary (picoseconds).
+    pub put_latency: Summary,
+}
+
+impl RunSummary {
+    /// Builds the summary from raw run accounting: rates are derived from
+    /// the makespan, latency summaries from the (possibly shard-merged)
+    /// histograms.
+    pub fn new(
+        ops: u64,
+        elapsed: SimTime,
+        goodput_ops: u64,
+        shed_ops: u64,
+        expired_ops: u64,
+        get_hist: &Histogram,
+        put_hist: &Histogram,
+    ) -> Self {
+        let secs = elapsed.as_secs_f64();
+        let rate = |ops: u64| {
+            if secs > 0.0 {
+                ops as f64 / secs / 1e6
+            } else {
+                0.0
+            }
+        };
+        RunSummary {
+            ops,
+            elapsed,
+            mops: rate(ops),
+            goodput_ops,
+            goodput_mops: rate(goodput_ops),
+            shed_ops,
+            expired_ops,
+            get_latency: get_hist.summary(),
+            put_latency: put_hist.summary(),
+        }
+    }
+
+    /// GET latency percentile in microseconds.
+    pub fn get_us(&self, p: Percentile) -> f64 {
+        pick(&self.get_latency, p) as f64 / 1e6
+    }
+
+    /// PUT latency percentile in microseconds.
+    pub fn put_us(&self, p: Percentile) -> f64 {
+        pick(&self.put_latency, p) as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_derive_from_makespan() {
+        let mut gets = Histogram::new();
+        gets.record(5_000_000); // 5 µs
+        let puts = Histogram::new();
+        let s = RunSummary::new(1000, SimTime::from_us(100), 800, 150, 50, &gets, &puts);
+        assert!((s.mops - 10.0).abs() < 1e-9, "1000 ops / 100 µs = 10 Mops");
+        assert!((s.goodput_mops - 8.0).abs() < 1e-9);
+        assert!((s.get_us(Percentile::P50) - 5.0).abs() < 0.2);
+        assert_eq!(s.put_latency.count, 0);
+    }
+
+    #[test]
+    fn zero_makespan_yields_zero_rates() {
+        let h = Histogram::new();
+        let s = RunSummary::new(0, SimTime::ZERO, 0, 0, 0, &h, &h);
+        assert_eq!(s.mops, 0.0);
+        assert_eq!(s.goodput_mops, 0.0);
+    }
+}

@@ -13,6 +13,8 @@
 //! allocation bitmap (see [`crate::merge`] for the standalone bitmap /
 //! radix-sort merge kernels benchmarked in Figure 12).
 
+use kvd_sim::{CostSource, OpLedger};
+
 use crate::bitmap::AllocBitmap;
 use crate::class::{SlabClass, GRANULE};
 
@@ -372,6 +374,20 @@ impl SlabAllocator {
                 );
             }
         }
+    }
+}
+
+impl CostSource for SlabAllocator {
+    fn emit_costs(&self, out: &mut OpLedger) {
+        let s = &self.stats;
+        out.slab.allocs += s.allocs;
+        out.slab.frees += s.frees;
+        out.slab.failed_allocs += s.failed_allocs;
+        out.slab.dma_syncs += s.dma_syncs;
+        out.slab.entries_synced += s.entries_synced;
+        out.slab.splits += s.splits;
+        out.slab.merges += s.merges;
+        out.slab.merge_passes += s.merge_passes;
     }
 }
 

@@ -11,8 +11,10 @@
 //! `--test-threads` values).
 
 use kv_direct::parallel::{ParallelSimConfig, ParallelSimReport, ParallelSystemSim};
+use kv_direct::sim::DetRng;
 use kv_direct::workloads::presets::{PresetWorkload, YcsbPreset};
-use kv_direct::{KvDirectConfig, KvRequest};
+use kv_direct::{KvDirectConfig, KvRequest, OpClass, OpLedger};
+use proptest::prelude::*;
 
 fn workload(n: usize, seed: u64) -> Vec<KvRequest> {
     let mut w = PresetWorkload::new(YcsbPreset::A, 5_000, 16, seed);
@@ -96,4 +98,146 @@ fn different_seeds_diverge() {
     let ra = run_with_workers(1, &workload(6_000, 0xD373));
     let rb = run_with_workers(1, &workload(6_000, 0xD374));
     assert_ne!(ra, rb, "distinct workloads should not collide bit-for-bit");
+}
+
+#[test]
+fn worker_count_does_not_change_merged_ledger() {
+    // The explicit tentpole invariant, separate from whole-report
+    // equality: the shard-order ledger fold is bit-identical for any
+    // worker count, on a fig18-shaped run and on a faulty one.
+    let reqs = workload(9_000, 0xD376);
+    let (c1, c8) = (run_with_workers(1, &reqs), run_with_workers(8, &reqs));
+    assert_eq!(c1.ledger, c8.ledger, "fig18-shaped merged ledger diverged");
+    let (f1, f8) = (run_faulty(1, &reqs), run_faulty(8, &reqs));
+    assert_eq!(f1.ledger, f8.ledger, "faulty merged ledger diverged");
+    assert!(
+        f1.ledger.fault_view().total_faults() > 0,
+        "faults must fire"
+    );
+    // The merged ledger is exactly the shard-order fold of the per-shard
+    // slices: re-deriving it from a fresh sequential run agrees.
+    let total: u64 = OpClass::ALL.iter().map(|&c| f1.ledger.latency.ops(c)).sum();
+    assert!(total > 0, "latency attribution must record answered ops");
+}
+
+/// A ledger with every counter (and gauge) populated from `seed` —
+/// random enough that a non-associative merge would be caught.
+fn random_ledger(seed: u64) -> OpLedger {
+    let mut rng = DetRng::seed(seed);
+    let mut l = OpLedger::default();
+    macro_rules! fill {
+        ($($f:expr),+ $(,)?) => { $( $f = rng.u64_below(1 << 16); )+ };
+    }
+    fill!(
+        l.net.packets,
+        l.net.payload_bytes,
+        l.net.retransmits,
+        l.net.drops,
+        l.net.reorders,
+        l.net.batches,
+        l.net.batch_ops,
+        l.net.client_expired,
+        l.pcie.dma_reads,
+        l.pcie.dma_writes,
+        l.pcie.read_bytes,
+        l.pcie.write_bytes,
+        l.pcie.tag_stalls,
+        l.pcie.credit_stalls,
+        l.pcie.corruptions,
+        l.pcie.replays,
+        l.pcie.timeouts,
+        l.pcie.retries,
+        l.pcie.exhausted,
+        l.dram.reads,
+        l.dram.writes,
+        l.dram.cache_hits,
+        l.dram.cache_misses,
+        l.dram.corrected,
+        l.dram.uncorrectable,
+        l.dram.host_stalls,
+        l.dram.refetches,
+        l.dram.rescue_writebacks,
+        l.station.forwarded,
+        l.station.issued,
+        l.station.queued,
+        l.station.writebacks,
+        l.station.rejected,
+        l.station.reclaimed,
+        l.station.high_water,
+        l.slab.allocs,
+        l.slab.frees,
+        l.slab.failed_allocs,
+        l.slab.dma_syncs,
+        l.slab.entries_synced,
+        l.slab.splits,
+        l.slab.merges,
+        l.slab.merge_passes,
+        l.core.requests,
+        l.core.reads,
+        l.core.puts,
+        l.core.deletes,
+        l.core.updates,
+        l.core.invalid,
+        l.core.oom,
+        l.core.writeback_failures,
+        l.core.fault_retries,
+        l.core.device_errors,
+        l.core.admitted,
+        l.core.shed_overload,
+        l.core.shed_expired,
+        l.core.shed_read_only,
+        l.core.read_only_entries,
+        l.core.read_only_exits,
+        l.core.shed_transitions,
+        l.core.retired_ok,
+        l.core.retired_not_found,
+        l.core.retired_failed,
+        l.pressure.station_backlog_ps,
+        l.pressure.station_cap_ps,
+        l.pressure.tag_backlog_ps,
+        l.pressure.tag_cap_ps,
+        l.pressure.stall_ps,
+        l.pressure.quantum_ps,
+    );
+    for class in OpClass::ALL {
+        for _ in 0..rng.u64_below(4) {
+            l.latency.record(
+                class,
+                [
+                    rng.u64_below(1 << 16),
+                    rng.u64_below(1 << 16),
+                    rng.u64_below(1 << 16),
+                    rng.u64_below(1 << 16),
+                ],
+            );
+        }
+    }
+    l
+}
+
+fn merged(a: &OpLedger, b: &OpLedger) -> OpLedger {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Merge is associative: the shard fold can be parenthesized any way
+    /// a worker partition induces without changing the result.
+    #[test]
+    fn ledger_merge_is_associative(sa in 0u64..1 << 48, sb in 0u64..1 << 48, sc in 0u64..1 << 48) {
+        let (a, b, c) = (random_ledger(sa), random_ledger(sb), random_ledger(sc));
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+
+    /// Merge is commutative with identity zero: shard order is a
+    /// convention, not a correctness requirement.
+    #[test]
+    fn ledger_merge_is_commutative_with_identity(sa in 0u64..1 << 48, sb in 0u64..1 << 48) {
+        let (a, b) = (random_ledger(sa), random_ledger(sb));
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+        prop_assert_eq!(merged(&a, &OpLedger::default()), a);
+    }
 }
