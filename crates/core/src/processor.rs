@@ -304,13 +304,53 @@ impl<M: MemoryEngine> KvProcessor<M> {
         self.finish_batch()
     }
 
+    /// Executes a batch of borrowed requests into a caller-owned response
+    /// vector. `out` is cleared first; its old response value buffers are
+    /// retired into the station's pool, so a caller that loops with one
+    /// `Vec` reuses every buffer instead of reallocating.
+    pub fn execute_batch_refs_into(
+        &mut self,
+        reqs: &[KvRequestRef<'_>],
+        out: &mut Vec<KvResponse>,
+    ) {
+        self.begin_batch(reqs.len());
+        for (i, req) in reqs.iter().enumerate() {
+            self.admit_request(i, *req);
+        }
+        self.drain_and_flush();
+        for r in out.drain(..) {
+            self.station.give(r.value);
+        }
+        out.extend(
+            self.responses
+                .drain(..)
+                .map(|r| r.expect("every request produces a response")),
+        );
+    }
+
     /// Executes one borrowed request (the embedder API's point ops).
     pub fn execute_one(&mut self, req: KvRequestRef<'_>) -> KvResponse {
+        let mut resp = KvResponse {
+            status: Status::Ok,
+            value: Vec::new(),
+        };
+        self.execute_one_into(req, &mut resp);
+        resp
+    }
+
+    /// Executes one borrowed request into a caller-owned response. The
+    /// response's previous value buffer is retired into the station's
+    /// pool, so a caller that loops with one `KvResponse` runs the
+    /// steady-state GET path without a single heap allocation.
+    pub fn execute_one_into(&mut self, req: KvRequestRef<'_>, resp: &mut KvResponse) {
         self.begin_batch(1);
         self.admit_request(0, req);
-        self.finish_batch()
-            .pop()
-            .expect("one request yields one response")
+        self.drain_and_flush();
+        let r = self.responses[0]
+            .take()
+            .expect("one request yields one response");
+        let old = std::mem::replace(resp, r);
+        self.station.give(old.value);
     }
 
     fn begin_batch(&mut self, n: usize) {
@@ -398,17 +438,23 @@ impl<M: MemoryEngine> KvProcessor<M> {
     }
 
     fn finish_batch(&mut self) -> Vec<KvResponse> {
-        // Drain the pipeline and flush dirty caches.
+        self.drain_and_flush();
+        self.responses
+            .drain(..)
+            .map(|r| r.expect("every request produces a response"))
+            .collect()
+    }
+
+    /// Drains the pipeline and flushes dirty caches; applied write-back
+    /// buffers are retired into the station's pool.
+    fn drain_and_flush(&mut self) {
         while !self.inflight.is_empty() {
             self.retire_one();
         }
         for (key, value) in self.station.flush() {
             self.apply_writeback(&key, value);
+            self.station.give(key);
         }
-        self.responses
-            .drain(..)
-            .map(|r| r.expect("every request produces a response"))
-            .collect()
     }
 
     /// Builds the station operation (with its forwarding-compatible
@@ -433,7 +479,9 @@ impl<M: MemoryEngine> KvProcessor<M> {
             }
             OpCode::Put => {
                 self.ledger.core.puts += 1;
-                KvOpKind::Put(req.value.to_vec())
+                let mut v = self.station.recycle().unwrap_or_default();
+                v.extend_from_slice(req.value);
+                KvOpKind::Put(v)
             }
             OpCode::Delete => {
                 self.ledger.core.deletes += 1;
@@ -486,11 +534,9 @@ impl<M: MemoryEngine> KvProcessor<M> {
                 }))
             }
         };
-        Ok(StationOp {
-            id,
-            key: req.key.to_vec(),
-            kind,
-        })
+        let mut key = self.station.recycle().unwrap_or_default();
+        key.extend_from_slice(req.key);
+        Ok(StationOp { id, key, kind })
     }
 
     /// Submits one operation to the station, handling backpressure.
@@ -506,6 +552,7 @@ impl<M: MemoryEngine> KvProcessor<M> {
                 Admission::Issue { op, writeback } => {
                     if let Some((k, v)) = writeback {
                         self.apply_writeback(&k, v);
+                        self.station.give(k);
                     }
                     self.inflight.push_back(op);
                     if self.inflight.len() >= self.pipeline_depth {
@@ -532,7 +579,7 @@ impl<M: MemoryEngine> KvProcessor<M> {
         // Each issued op (including colliding-chain re-issues) is one
         // memory transaction with its own fault draw.
         let mut next = Some(op);
-        while let Some(op) = next.take() {
+        while let Some(mut op) = next.take() {
             let txn = self.faults.transaction(self.fault_retry_limit);
             self.ledger.core.fault_retries += txn.retries as u64;
             let mut completion = if txn.failed {
@@ -544,17 +591,25 @@ impl<M: MemoryEngine> KvProcessor<M> {
                 self.finish(op.id, None, Some(Status::DeviceError));
                 self.station.reclaim(&op.key)
             } else {
-                let (result_value, cache_value, status_override) = self.execute_on_table(&op);
+                let (result_value, cache_value, status_override) = self.execute_on_table(&mut op);
                 self.finish(op.id, result_value, status_override);
                 self.station.complete(&op.key, cache_value)
             };
+            // The retired op's buffers feed the next one.
+            let StationOp { key, kind, .. } = op;
+            self.station.give(key);
+            if let KvOpKind::Put(v) = kind {
+                self.station.give(v);
+            }
             for r in completion.results.drain(..) {
                 self.finish(r.id, r.value, None);
             }
             if let Some((k, v)) = completion.writeback.take() {
                 self.apply_writeback(&k, v);
+                self.station.give(k);
             }
             next = completion.issue.take();
+            self.station.give_results(completion.results);
         }
     }
 
@@ -564,15 +619,27 @@ impl<M: MemoryEngine> KvProcessor<M> {
     #[allow(clippy::type_complexity)]
     fn execute_on_table(
         &mut self,
-        op: &StationOp,
+        op: &mut StationOp,
     ) -> (Option<Vec<u8>>, Option<Vec<u8>>, Option<Status>) {
-        match &op.kind {
+        match &mut op.kind {
             KvOpKind::Get => {
-                let v = self.table.get(&op.key);
-                (v.clone(), v, None)
+                let mut buf = self.station.recycle().unwrap_or_default();
+                match self.table.get_into(&op.key, &mut buf) {
+                    Some(_) => {
+                        let mut result = self.station.recycle().unwrap_or_default();
+                        result.extend_from_slice(&buf);
+                        (Some(result), Some(buf), None)
+                    }
+                    None => {
+                        self.station.give(buf);
+                        (None, None, None)
+                    }
+                }
             }
             KvOpKind::Put(v) => match self.table.put(&op.key, v) {
-                Ok(_replaced) => (None, Some(v.clone()), None),
+                // The op's value buffer moves straight into the
+                // forwarding cache; no copy.
+                Ok(_replaced) => (None, Some(std::mem::take(v)), None),
                 Err(e) => {
                     let status = self.map_error(e);
                     // Leave the cache coherent with the table's (old)
@@ -630,7 +697,11 @@ impl<M: MemoryEngine> KvProcessor<M> {
 
     fn apply_writeback(&mut self, key: &[u8], value: Option<Vec<u8>>) {
         let r = match value {
-            Some(v) => self.table.put(key, &v).map(|_| ()),
+            Some(v) => {
+                let r = self.table.put(key, &v).map(|_| ());
+                self.station.give(v);
+                r
+            }
             None => {
                 self.table.delete(key);
                 Ok(())

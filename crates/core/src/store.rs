@@ -190,6 +190,10 @@ impl Default for KvDirectConfig {
 /// ```
 pub struct KvDirectStore {
     proc: KvProcessor<DispatchedMemory>,
+    /// Reused response for the point-op convenience API (`get_into`,
+    /// `execute_one`-style wrappers); its value buffer circulates through
+    /// the processor's pool instead of being reallocated per call.
+    scratch: KvResponse,
 }
 
 impl KvDirectStore {
@@ -223,7 +227,13 @@ impl KvDirectStore {
         let mut proc = KvProcessor::new(table, cfg.station, LambdaRegistry::with_builtins());
         proc.set_fault_plane(root.fork(2));
         proc.set_overload_config(cfg.overload.clone());
-        KvDirectStore { proc }
+        KvDirectStore {
+            proc,
+            scratch: KvResponse {
+                status: Status::Ok,
+                value: Vec::new(),
+            },
+        }
     }
 
     /// The underlying processor (stats, preloading).
@@ -298,11 +308,12 @@ impl KvDirectStore {
     /// length on a hit. `out` is cleared and filled in place, so a read
     /// loop reuses one allocation instead of producing one `Vec` per op.
     pub fn get_into(&mut self, key: &[u8], out: &mut Vec<u8>) -> Option<usize> {
-        let r = self.one(KvRequestRef::get(key));
-        match r.status {
+        self.proc
+            .execute_one_into(KvRequestRef::get(key), &mut self.scratch);
+        match self.scratch.status {
             Status::Ok => {
                 out.clear();
-                out.extend_from_slice(&r.value);
+                out.extend_from_slice(&self.scratch.value);
                 Some(out.len())
             }
             _ => None,
@@ -444,10 +455,34 @@ impl KvDirectStore {
         self.proc.execute_batch(reqs)
     }
 
+    /// Executes a batch of borrowed requests straight off a decoded wire
+    /// packet (see [`KvProcessor::execute_batch_refs`]).
+    pub fn execute_batch_refs(&mut self, reqs: &[KvRequestRef<'_>]) -> Vec<KvResponse> {
+        self.proc.execute_batch_refs(reqs)
+    }
+
+    /// Batch execution into a caller-owned response vector; retired
+    /// response buffers are recycled (see
+    /// [`KvProcessor::execute_batch_refs_into`]).
+    pub fn execute_batch_refs_into(
+        &mut self,
+        reqs: &[KvRequestRef<'_>],
+        out: &mut Vec<KvResponse>,
+    ) {
+        self.proc.execute_batch_refs_into(reqs, out)
+    }
+
     /// Executes one borrowed request without staging allocations — the
     /// simulator's per-op hot path.
     pub fn execute_one(&mut self, req: KvRequestRef<'_>) -> KvResponse {
         self.proc.execute_one(req)
+    }
+
+    /// Executes one borrowed request into a caller-owned response; the
+    /// response's old value buffer is recycled (see
+    /// [`KvProcessor::execute_one_into`]).
+    pub fn execute_one_into(&mut self, req: KvRequestRef<'_>, resp: &mut KvResponse) {
+        self.proc.execute_one_into(req, resp)
     }
 }
 

@@ -35,7 +35,7 @@
 //! drops and reorders ride the same deterministic schedule.
 
 use kvd_mem::MemoryEngine;
-use kvd_net::{KvRequest, NetConfig, NetLink, OpCode, Status};
+use kvd_net::{KvRequest, KvResponse, NetConfig, NetLink, OpCode, Status};
 use kvd_pcie::PcieConfig;
 use kvd_sim::{
     Bandwidth, CostSource, DetRng, FaultCounters, FaultPlane, Freq, Histogram, OpClass, OpLedger,
@@ -477,6 +477,13 @@ impl SystemSim {
                 // and feeds the processor so server-side deadline expiry
                 // sees simulated time.
                 let mut decoded = 0u64;
+                // One response reused across the whole batch: its value
+                // buffer circulates through the processor's pool, so the
+                // steady-state GET path allocates nothing per op.
+                let mut resp = KvResponse {
+                    status: Status::Ok,
+                    value: Vec::new(),
+                };
                 for i in self.cursor..end {
                     let req = &self.pending[i];
                     if dead_at_client(req) {
@@ -491,12 +498,12 @@ impl SystemSim {
                     let decode_done = decode_start + cycle * decoded;
                     self.store.processor_mut().set_now(decode_done);
                     let before = self.store.processor().table().mem().stats();
-                    let resp = self.store.execute_one(req.as_ref());
+                    self.store.execute_one_into(req.as_ref(), &mut resp);
                     resp_bytes += 3 + resp.value.len() as u64;
                     let d = self.store.processor().table().mem().stats().since(&before);
                     self.statuses.push(resp.status);
                     if self.record_outcomes {
-                        self.outcomes.push((resp.status, resp.value));
+                        self.outcomes.push((resp.status, resp.value.clone()));
                     }
                     self.loads.push(OpLoad {
                         idx: i,

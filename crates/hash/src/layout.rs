@@ -281,12 +281,13 @@ impl Bucket {
                     .expect("compaction must make free slots contiguous")
             }
         };
-        let mut run = vec![0u8; need * SLOT_BYTES];
+        let mut buf = [0u8; SLOTS_PER_BUCKET * SLOT_BYTES];
+        let run = &mut buf[..need * SLOT_BYTES];
         run[0] = key.len() as u8;
         run[1] = value.len() as u8;
         run[INLINE_HEADER..INLINE_HEADER + key.len()].copy_from_slice(key);
         run[INLINE_HEADER + key.len()..INLINE_HEADER + kv_len].copy_from_slice(value);
-        self.slot_bytes[slot * SLOT_BYTES..(slot + need) * SLOT_BYTES].copy_from_slice(&run);
+        self.slot_bytes[slot * SLOT_BYTES..(slot + need) * SLOT_BYTES].copy_from_slice(run);
         for s in slot..slot + need {
             self.used |= 1 << s;
             self.start &= !(1 << s);

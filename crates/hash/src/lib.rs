@@ -28,9 +28,11 @@
 
 pub mod hashing;
 pub mod layout;
+pub mod swar;
 pub mod table;
 pub mod tuning;
 
 pub use layout::{Bucket, BucketEntry, BUCKET_BYTES, MAX_INLINE_KV, SLOTS_PER_BUCKET};
+pub use swar::{RawEntries, RawEntry};
 pub use table::{HashError, HashTable, HashTableConfig, OpCost};
 pub use tuning::{fill_to_utilization, measure_costs, optimal_config, MeasuredCosts};

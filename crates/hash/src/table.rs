@@ -13,7 +13,8 @@ use kvd_mem::MemoryEngine;
 use kvd_slab::{SlabAddr, SlabAllocator, SlabClass, SlabConfig, GRANULE};
 
 use crate::hashing::{primary_hash, secondary_hash};
-use crate::layout::{Bucket, BucketEntry, BUCKET_BYTES, MAX_INLINE_KV};
+use crate::layout::{Bucket, BUCKET_BYTES, MAX_INLINE_KV};
+use crate::swar::{self, RawEntries, RawEntry};
 
 /// Errors a table operation can produce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,6 +101,10 @@ pub struct HashTable<M: MemoryEngine> {
     total_memory: u64,
     count: u64,
     stored_kv_bytes: u64,
+    /// Table-owned scratch for slab KV records: sized to the largest
+    /// class touched so far, so steady-state reads and writes of KV data
+    /// never allocate.
+    kv_scratch: Vec<u8>,
 }
 
 impl<M: MemoryEngine> HashTable<M> {
@@ -151,6 +156,7 @@ impl<M: MemoryEngine> HashTable<M> {
             total_memory: cfg.total_memory,
             count: 0,
             stored_kv_bytes: 0,
+            kv_scratch: Vec::new(),
         }
     }
 
@@ -209,11 +215,11 @@ impl<M: MemoryEngine> HashTable<M> {
         ((addr - self.dyn_base) / GRANULE) as u32
     }
 
-    fn read_bucket(&mut self, addr: u64, cost: &mut u64) -> Bucket {
-        let mut bytes = [0u8; BUCKET_BYTES];
-        self.mem.read(addr, &mut bytes);
+    /// Reads a bucket into a caller-provided fixed 64-byte buffer — the
+    /// probing paths walk it raw (no `Bucket` decode, no allocation).
+    fn read_bucket_raw(&mut self, addr: u64, bytes: &mut [u8; BUCKET_BYTES], cost: &mut u64) {
+        self.mem.read(addr, bytes);
         *cost += 1;
-        Bucket::decode(&bytes)
     }
 
     fn write_bucket(&mut self, addr: u64, bucket: &Bucket, cost: &mut u64) {
@@ -221,12 +227,25 @@ impl<M: MemoryEngine> HashTable<M> {
         *cost += 1;
     }
 
-    fn read_kv_data(&mut self, ptr: u32, class: SlabClass, cost: &mut u64) -> (Vec<u8>, Vec<u8>) {
+    /// Reads a slab KV record into the table-owned scratch buffer,
+    /// returning its key and value lengths.
+    fn read_kv_scratch(&mut self, ptr: u32, class: SlabClass, cost: &mut u64) -> (usize, usize) {
         let addr = self.chain_to_addr(ptr);
-        let mut buf = vec![0u8; class.size() as usize];
-        self.mem.read(addr, &mut buf);
+        self.kv_scratch.clear();
+        self.kv_scratch.resize(class.size() as usize, 0);
+        self.mem.read(addr, &mut self.kv_scratch);
         *cost += 1;
-        decode_kv(&buf)
+        let klen = self.kv_scratch[0] as usize;
+        let vlen = u16::from_le_bytes([self.kv_scratch[1], self.kv_scratch[2]]) as usize;
+        (klen, vlen)
+    }
+
+    fn scratch_key(&self, klen: usize) -> &[u8] {
+        &self.kv_scratch[3..3 + klen]
+    }
+
+    fn scratch_value(&self, klen: usize, vlen: usize) -> &[u8] {
+        &self.kv_scratch[3 + klen..3 + klen + vlen]
     }
 
     fn write_kv_data(
@@ -237,27 +256,37 @@ impl<M: MemoryEngine> HashTable<M> {
         value: &[u8],
         cost: &mut u64,
     ) {
-        let mut buf = vec![0u8; class.size() as usize];
-        encode_kv(&mut buf, key, value);
-        self.mem.write(addr, &buf);
+        // Zero-filled up to the class size so slab padding bytes stay
+        // deterministic (the ledger oracle sees identical memory images).
+        self.kv_scratch.clear();
+        self.kv_scratch.resize(class.size() as usize, 0);
+        encode_kv(&mut self.kv_scratch, key, value);
+        self.mem.write(addr, &self.kv_scratch);
         *cost += 1;
     }
 
-    /// Looks up `key`, returning its value, with the operation cost.
-    pub fn get_with_cost(&mut self, key: &[u8]) -> (Option<Vec<u8>>, OpCost) {
+    /// Looks up `key` into a caller-owned buffer, with the operation
+    /// cost. On a hit, `out` is cleared and filled with the value; on a
+    /// miss it is left untouched. Steady state performs zero heap
+    /// allocations: the bucket walk is raw ([`RawEntries`]) and slab
+    /// records land in the table's scratch buffer.
+    pub fn get_into_with_cost(&mut self, key: &[u8], out: &mut Vec<u8>) -> (bool, OpCost) {
         let mut cost = 0u64;
         let sec = secondary_hash(key);
         let mut addr = self.bucket_addr(primary_hash(key) % self.n_buckets);
+        let mut bytes = [0u8; BUCKET_BYTES];
         loop {
-            let bucket = self.read_bucket(addr, &mut cost);
-            for e in bucket.entries() {
+            self.read_bucket_raw(addr, &mut bytes, &mut cost);
+            for e in RawEntries::new(&bytes) {
                 match e {
-                    BucketEntry::Inline {
+                    RawEntry::Inline {
                         key: k, value: v, ..
                     } => {
                         if k == key {
+                            out.clear();
+                            out.extend_from_slice(v);
                             return (
-                                Some(v),
+                                true,
                                 OpCost {
                                     accesses: cost,
                                     hit: true,
@@ -265,16 +294,17 @@ impl<M: MemoryEngine> HashTable<M> {
                             );
                         }
                     }
-                    BucketEntry::Pointer {
-                        ptr, sec: s, class, ..
-                    } => {
-                        if s == sec {
+                    RawEntry::Pointer { raw, class, .. } => {
+                        if swar::sec_matches(raw, sec) {
                             // The key is always checked for correctness
                             // (secondary hash can false-positive).
-                            let (k, v) = self.read_kv_data(ptr, class, &mut cost);
-                            if k == key {
+                            let (klen, vlen) =
+                                self.read_kv_scratch(swar::slot_ptr(raw), class, &mut cost);
+                            if self.scratch_key(klen) == key {
+                                out.clear();
+                                out.extend_from_slice(self.scratch_value(klen, vlen));
                                 return (
-                                    Some(v),
+                                    true,
                                     OpCost {
                                         accesses: cost,
                                         hit: true,
@@ -285,11 +315,11 @@ impl<M: MemoryEngine> HashTable<M> {
                     }
                 }
             }
-            match bucket.chain() {
+            match swar::chain_of(&bytes) {
                 Some(p) => addr = self.chain_to_addr(p),
                 None => {
                     return (
-                        None,
+                        false,
                         OpCost {
                             accesses: cost,
                             hit: false,
@@ -298,6 +328,20 @@ impl<M: MemoryEngine> HashTable<M> {
                 }
             }
         }
+    }
+
+    /// Looks up `key`, returning its value, with the operation cost.
+    pub fn get_with_cost(&mut self, key: &[u8]) -> (Option<Vec<u8>>, OpCost) {
+        let mut out = Vec::new();
+        let (hit, cost) = self.get_into_with_cost(key, &mut out);
+        (hit.then_some(out), cost)
+    }
+
+    /// Looks up `key` into a caller-owned buffer; returns the value
+    /// length on a hit.
+    pub fn get_into(&mut self, key: &[u8], out: &mut Vec<u8>) -> Option<usize> {
+        let (hit, _) = self.get_into_with_cost(key, out);
+        hit.then_some(out.len())
     }
 
     /// Looks up `key`.
@@ -318,62 +362,98 @@ impl<M: MemoryEngine> HashTable<M> {
         let sec = secondary_hash(key);
         let first_addr = self.bucket_addr(primary_hash(key) % self.n_buckets);
 
-        // Phase 1: walk the chain, looking for the key and remembering
-        // where a new entry could go.
+        // Phase 1: walk the chain raw, looking for the key and
+        // remembering where a new entry could go. Buckets stay in their
+        // 64-byte wire form; a `Bucket` is decoded only for the one
+        // bucket that gets mutated.
+        enum Found {
+            Inline {
+                slot: usize,
+                old_len: usize,
+            },
+            Pointer {
+                slot: usize,
+                ptr: u32,
+                class: SlabClass,
+                old_len: usize,
+            },
+        }
         let mut addr = first_addr;
-        let mut candidate: Option<(u64, Bucket)> = None;
-        let last = loop {
-            let bucket = self.read_bucket(addr, &mut cost);
-            for e in bucket.entries() {
-                match &e {
-                    BucketEntry::Inline {
+        let mut candidate: Option<(u64, [u8; BUCKET_BYTES])> = None;
+        let mut bytes = [0u8; BUCKET_BYTES];
+        let (last_addr, last_raw) = loop {
+            self.read_bucket_raw(addr, &mut bytes, &mut cost);
+            let mut found = None;
+            for e in RawEntries::new(&bytes) {
+                match e {
+                    RawEntry::Inline {
                         slot,
                         key: k,
                         value: old,
                         ..
                     } => {
                         if k == key {
-                            let old_len = k.len() + old.len();
-                            return self.replace_inline(
-                                addr, bucket, *slot, key, value, inline_ok, old_len, cost,
-                            );
+                            found = Some(Found::Inline {
+                                slot,
+                                old_len: k.len() + old.len(),
+                            });
+                            break;
                         }
                     }
-                    BucketEntry::Pointer {
-                        slot,
-                        ptr,
-                        sec: s,
-                        class,
-                    } => {
-                        if *s == sec {
-                            let (k, old) = self.read_kv_data(*ptr, *class, &mut cost);
-                            if k == key {
-                                let old_len = k.len() + old.len();
-                                return self.replace_pointer(
-                                    addr, bucket, *slot, *ptr, *class, key, value, old_len, cost,
-                                );
+                    RawEntry::Pointer { slot, raw, class } => {
+                        if swar::sec_matches(raw, sec) {
+                            let ptr = swar::slot_ptr(raw);
+                            let (klen, vlen) = self.read_kv_scratch(ptr, class, &mut cost);
+                            if self.scratch_key(klen) == key {
+                                found = Some(Found::Pointer {
+                                    slot,
+                                    ptr,
+                                    class,
+                                    old_len: klen + vlen,
+                                });
+                                break;
                             }
                         }
                     }
                 }
             }
+            match found {
+                Some(Found::Inline { slot, old_len }) => {
+                    let bucket = Bucket::decode(&bytes);
+                    return self
+                        .replace_inline(addr, bucket, slot, key, value, inline_ok, old_len, cost);
+                }
+                Some(Found::Pointer {
+                    slot,
+                    ptr,
+                    class,
+                    old_len,
+                }) => {
+                    let bucket = Bucket::decode(&bytes);
+                    return self.replace_pointer(
+                        addr, bucket, slot, ptr, class, key, value, old_len, cost,
+                    );
+                }
+                None => {}
+            }
+            let free = swar::free_slots_of(&bytes);
             let fits = if inline_ok {
-                bucket.free_slots() >= Bucket::inline_slots_needed(kv_len)
+                free >= Bucket::inline_slots_needed(kv_len)
             } else {
-                bucket.free_slots() >= 1
+                free >= 1
             };
             if fits && candidate.is_none() {
-                candidate = Some((addr, bucket.clone()));
+                candidate = Some((addr, bytes));
             }
-            match bucket.chain() {
+            match swar::chain_of(&bytes) {
                 Some(p) => addr = self.chain_to_addr(p),
-                None => break (addr, bucket),
+                None => break (addr, bytes),
             }
         };
 
         // Phase 2: insert a new entry.
         let (target_addr, mut target) = match candidate {
-            Some(c) => c,
+            Some((addr, raw)) => (addr, Bucket::decode(&raw)),
             None => {
                 // Extend the chain with a fresh 64B bucket from the slab
                 // allocator.
@@ -382,7 +462,7 @@ impl<M: MemoryEngine> HashTable<M> {
                     .alloc(BUCKET_BYTES as u64)
                     .ok_or(HashError::OutOfMemory)?;
                 debug_assert_eq!(slab.class.size(), BUCKET_BYTES as u64);
-                let (last_addr, mut last_bucket) = last;
+                let mut last_bucket = Bucket::decode(&last_raw);
                 last_bucket.set_chain(Some(self.addr_to_ptr(slab.addr)));
                 self.write_bucket(last_addr, &last_bucket, &mut cost);
                 (slab.addr, Bucket::empty())
@@ -536,60 +616,58 @@ impl<M: MemoryEngine> HashTable<M> {
         let mut cost = 0u64;
         let sec = secondary_hash(key);
         let mut addr = self.bucket_addr(primary_hash(key) % self.n_buckets);
+        let mut bytes = [0u8; BUCKET_BYTES];
         loop {
-            let mut bucket = self.read_bucket(addr, &mut cost);
-            for e in bucket.entries() {
+            self.read_bucket_raw(addr, &mut bytes, &mut cost);
+            // slot, slab backing to free (if any), logical KV bytes.
+            type Found = (usize, Option<(u32, SlabClass)>, usize);
+            let mut found: Option<Found> = None;
+            for e in RawEntries::new(&bytes) {
                 match e {
-                    BucketEntry::Inline {
+                    RawEntry::Inline {
                         slot,
                         key: k,
                         value: v,
                         ..
                     } => {
                         if k == key {
-                            bucket.remove(slot);
-                            self.write_bucket(addr, &bucket, &mut cost);
-                            self.count -= 1;
-                            self.stored_kv_bytes -= (k.len() + v.len()) as u64;
-                            return (
-                                true,
-                                OpCost {
-                                    accesses: cost,
-                                    hit: true,
-                                },
-                            );
+                            found = Some((slot, None, k.len() + v.len()));
+                            break;
                         }
                     }
-                    BucketEntry::Pointer {
-                        slot,
-                        ptr,
-                        sec: s,
-                        class,
-                    } => {
-                        if s == sec {
-                            let (k, v) = self.read_kv_data(ptr, class, &mut cost);
-                            if k == key {
-                                bucket.remove(slot);
-                                self.write_bucket(addr, &bucket, &mut cost);
-                                self.alloc.free(SlabAddr {
-                                    addr: self.chain_to_addr(ptr),
-                                    class,
-                                });
-                                self.count -= 1;
-                                self.stored_kv_bytes -= (k.len() + v.len()) as u64;
-                                return (
-                                    true,
-                                    OpCost {
-                                        accesses: cost,
-                                        hit: true,
-                                    },
-                                );
+                    RawEntry::Pointer { slot, raw, class } => {
+                        if swar::sec_matches(raw, sec) {
+                            let ptr = swar::slot_ptr(raw);
+                            let (klen, vlen) = self.read_kv_scratch(ptr, class, &mut cost);
+                            if self.scratch_key(klen) == key {
+                                found = Some((slot, Some((ptr, class)), klen + vlen));
+                                break;
                             }
                         }
                     }
                 }
             }
-            match bucket.chain() {
+            if let Some((slot, slab, kv_len)) = found {
+                let mut bucket = Bucket::decode(&bytes);
+                bucket.remove(slot);
+                self.write_bucket(addr, &bucket, &mut cost);
+                if let Some((ptr, class)) = slab {
+                    self.alloc.free(SlabAddr {
+                        addr: self.chain_to_addr(ptr),
+                        class,
+                    });
+                }
+                self.count -= 1;
+                self.stored_kv_bytes -= kv_len as u64;
+                return (
+                    true,
+                    OpCost {
+                        accesses: cost,
+                        hit: true,
+                    },
+                );
+            }
+            match swar::chain_of(&bytes) {
                 Some(p) => addr = self.chain_to_addr(p),
                 None => {
                     return (
@@ -625,14 +703,6 @@ fn encode_kv(buf: &mut [u8], key: &[u8], value: &[u8]) {
     buf[1..3].copy_from_slice(&(value.len() as u16).to_le_bytes());
     buf[3..3 + key.len()].copy_from_slice(key);
     buf[3 + key.len()..3 + key.len() + value.len()].copy_from_slice(value);
-}
-
-fn decode_kv(buf: &[u8]) -> (Vec<u8>, Vec<u8>) {
-    let klen = buf[0] as usize;
-    let vlen = u16::from_le_bytes([buf[1], buf[2]]) as usize;
-    let key = buf[3..3 + klen].to_vec();
-    let value = buf[3 + klen..3 + klen + vlen].to_vec();
-    (key, value)
 }
 
 #[cfg(test)]

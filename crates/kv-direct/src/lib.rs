@@ -48,7 +48,10 @@ pub use kvd_core::{
     ParallelSimReport, ParallelSystemSim, StoreError, SystemModel, ThroughputBreakdown, Watermarks,
     WorkloadSpec,
 };
-pub use kvd_net::{decode_packet, encode_packet, KvRequest, KvResponse, NetConfig, OpCode, Status};
+pub use kvd_net::{
+    decode_packet, decode_packet_ref, encode_packet, KvRequest, KvRequestRef, KvResponse,
+    NetConfig, OpCode, Status,
+};
 pub use kvd_sim::{
     ChaosConfig, ChaosSchedule, Component, CostSource, FaultCounters, FaultPlane, FaultRates,
     OpClass, OpLedger, Percentile, PressureGauge, RunSummary,

@@ -377,18 +377,45 @@ pub fn encode_packet(ops: &[KvRequest]) -> Bytes {
     buf.freeze()
 }
 
-/// Decodes a packet payload back into requests (the NIC-side decoder).
-pub fn decode_packet(mut bytes: &[u8]) -> Result<Vec<KvRequest>, WireError> {
-    if bytes.remaining() < 2 {
-        return Err(WireError::Truncated);
-    }
-    let n = bytes.get_u16_le() as usize;
-    let mut out: Vec<KvRequest> = Vec::with_capacity(n);
-    for _ in 0..n {
-        if bytes.remaining() < 1 {
+/// Decodes a packet payload into borrowed requests — the zero-copy
+/// NIC-side decoder. Keys and values are slices straight off `bytes`,
+/// and a `same_value` copy flag resolves to the *same* borrowed slice
+/// as the previous request (the owned decoder used to clone the
+/// previous value for every chained flag).
+///
+/// # Examples
+///
+/// ```
+/// use kvd_net::{decode_packet_ref, encode_packet, KvRequest};
+///
+/// let ops = vec![
+///     KvRequest::put(b"key1", b"value"),
+///     KvRequest::put(b"key2", b"value"), // value elided on the wire
+/// ];
+/// let bytes = encode_packet(&ops);
+/// let refs = decode_packet_ref(&bytes).unwrap();
+/// assert_eq!(refs[1].to_owned(), ops[1]);
+/// // Both requests borrow the one value payload in the packet.
+/// assert!(std::ptr::eq(refs[0].value, refs[1].value));
+/// ```
+pub fn decode_packet_ref(bytes: &[u8]) -> Result<Vec<KvRequestRef<'_>>, WireError> {
+    fn take<'a>(bytes: &'a [u8], off: &mut usize, n: usize) -> Result<&'a [u8], WireError> {
+        let end = off.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > bytes.len() {
             return Err(WireError::Truncated);
         }
-        let header = bytes.get_u8();
+        let s = &bytes[*off..end];
+        *off = end;
+        Ok(s)
+    }
+    let mut off = 0usize;
+    let n = {
+        let s = take(bytes, &mut off, 2)?;
+        u16::from_le_bytes([s[0], s[1]]) as usize
+    };
+    let mut out: Vec<KvRequestRef<'_>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let header = take(bytes, &mut off, 1)?[0];
         let op = OpCode::from_bits(header & 0x0F).ok_or(WireError::BadCode)?;
         let same_sizes = header & FLAG_SAME_SIZES != 0;
         let same_value = header & FLAG_SAME_VALUE != 0;
@@ -396,49 +423,32 @@ pub fn decode_packet(mut bytes: &[u8]) -> Result<Vec<KvRequest>, WireError> {
             let prev = out.last().ok_or(WireError::DanglingCopyFlag)?;
             (prev.key.len(), prev.value.len())
         } else {
-            if bytes.remaining() < 3 {
-                return Err(WireError::Truncated);
-            }
-            let k = bytes.get_u8() as usize;
-            let v = bytes.get_u16_le() as usize;
-            (k, v)
+            let s = take(bytes, &mut off, 3)?;
+            (s[0] as usize, u16::from_le_bytes([s[1], s[2]]) as usize)
         };
         let lambda = if op.is_func() {
-            if bytes.remaining() < 2 {
-                return Err(WireError::Truncated);
-            }
-            bytes.get_u16_le()
+            let s = take(bytes, &mut off, 2)?;
+            u16::from_le_bytes([s[0], s[1]])
         } else {
             0
         };
         let deadline_us = if header & FLAG_DEADLINE != 0 {
-            if bytes.remaining() < 4 {
-                return Err(WireError::Truncated);
-            }
-            bytes.get_u32_le()
+            let s = take(bytes, &mut off, 4)?;
+            u32::from_le_bytes([s[0], s[1], s[2], s[3]])
         } else {
             0
         };
-        if bytes.remaining() < klen {
-            return Err(WireError::Truncated);
-        }
-        let key = bytes[..klen].to_vec();
-        bytes.advance(klen);
-        let value = if op.carries_value() {
+        let key = take(bytes, &mut off, klen)?;
+        let value: &[u8] = if op.carries_value() {
             if same_value {
-                out.last().ok_or(WireError::DanglingCopyFlag)?.value.clone()
+                out.last().ok_or(WireError::DanglingCopyFlag)?.value
             } else {
-                if bytes.remaining() < vlen {
-                    return Err(WireError::Truncated);
-                }
-                let v = bytes[..vlen].to_vec();
-                bytes.advance(vlen);
-                v
+                take(bytes, &mut off, vlen)?
             }
         } else {
-            Vec::new()
+            &[]
         };
-        out.push(KvRequest {
+        out.push(KvRequestRef {
             op,
             key,
             value,
@@ -447,6 +457,16 @@ pub fn decode_packet(mut bytes: &[u8]) -> Result<Vec<KvRequest>, WireError> {
         });
     }
     Ok(out)
+}
+
+/// Decodes a packet payload back into owned requests — a thin wrapper
+/// over [`decode_packet_ref`] kept for embedders that need `'static`
+/// requests.
+pub fn decode_packet(bytes: &[u8]) -> Result<Vec<KvRequest>, WireError> {
+    Ok(decode_packet_ref(bytes)?
+        .into_iter()
+        .map(KvRequestRef::to_owned)
+        .collect())
 }
 
 /// Encodes a batch of responses.
@@ -630,6 +650,86 @@ mod tests {
         ];
         let bytes = encode_responses(&rs);
         assert_eq!(decode_responses(&bytes).unwrap(), rs);
+    }
+
+    #[test]
+    fn chained_copy_flags_share_one_borrowed_value() {
+        // Regression: the owned decoder used to re-clone the previous
+        // request's value for every chained same-value flag; the
+        // borrowing decoder must resolve an arbitrarily long chain to
+        // the single value payload carried on the wire.
+        let ops: Vec<KvRequest> = (0..8u64)
+            .map(|i| KvRequest::put(&i.to_le_bytes(), b"shared-payload"))
+            .collect();
+        let bytes = encode_packet(&ops);
+        let refs = decode_packet_ref(&bytes).unwrap();
+        assert_eq!(refs.len(), 8);
+        for (r, o) in refs.iter().copied().zip(&ops) {
+            assert_eq!(&r.to_owned(), o);
+        }
+        // Every request in the chain borrows the exact same slice.
+        for w in refs.windows(2) {
+            assert!(std::ptr::eq(w[0].value, w[1].value), "value re-copied");
+        }
+        // The slice points into the packet buffer itself.
+        let payload = refs[0].value;
+        let base = bytes.as_ptr() as usize;
+        let p = payload.as_ptr() as usize;
+        assert!(p >= base && p + payload.len() <= base + bytes.len());
+        // The owned wrapper agrees with the borrowed decode.
+        assert_eq!(decode_packet(&bytes).unwrap(), ops);
+    }
+
+    #[test]
+    fn dangling_copy_flags_rejected_by_both_decoders() {
+        // Hand-craft packets whose first op uses a copy flag.
+        for flag in [FLAG_SAME_SIZES, FLAG_SAME_VALUE] {
+            let mut bytes = vec![1, 0]; // count = 1
+            bytes.push(OpCode::Put as u8 | flag);
+            if flag == FLAG_SAME_VALUE {
+                bytes.extend_from_slice(&[1, 1, 0]); // klen 1, vlen 1
+            }
+            bytes.push(b'k');
+            assert_eq!(
+                decode_packet_ref(&bytes).unwrap_err(),
+                WireError::DanglingCopyFlag,
+                "flag {flag:#x}"
+            );
+            assert_eq!(
+                decode_packet(&bytes).unwrap_err(),
+                WireError::DanglingCopyFlag,
+                "flag {flag:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn borrowed_decode_matches_owned_on_mixed_batch() {
+        let ops = vec![
+            KvRequest::get(b"alpha"),
+            KvRequest::put(b"beta", b"123456"),
+            KvRequest::put(b"gama", b"123456"), // same sizes + same value
+            KvRequest::delete(b"omega"),
+            KvRequest {
+                op: OpCode::UpdateScalar,
+                key: b"counter".to_vec(),
+                value: 5u64.to_le_bytes().to_vec(),
+                lambda: 42,
+                deadline_us: 0,
+            },
+            KvRequest::get(b"k3").with_deadline(77),
+        ];
+        let bytes = encode_packet(&ops);
+        let refs = decode_packet_ref(&bytes).unwrap();
+        let owned: Vec<KvRequest> = refs.into_iter().map(KvRequestRef::to_owned).collect();
+        assert_eq!(owned, ops);
+        // Truncations error identically through the wrapper.
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                decode_packet_ref(&bytes[..cut]).is_err(),
+                decode_packet(&bytes[..cut]).is_err()
+            );
+        }
     }
 
     #[test]

@@ -192,6 +192,22 @@ pub struct ReservationStation {
     slots: Vec<Slot>,
     total_tracked: usize,
     stats: StationStats,
+    /// One bit per hash slot: set iff the slot holds a dirty cache, so
+    /// [`flush`] scans words instead of every slot.
+    ///
+    /// [`flush`]: ReservationStation::flush
+    dirty_bits: Vec<u64>,
+    /// Retired key/value buffers, recycled instead of reallocated. Keys
+    /// of fast-path ops, evicted clean caches, and buffers the caller
+    /// hands back via [`give`] all land here; [`recycle`] and the
+    /// station's own copies drain it.
+    ///
+    /// [`give`]: ReservationStation::give
+    /// [`recycle`]: ReservationStation::recycle
+    spare: Vec<Vec<u8>>,
+    spare_cap: usize,
+    /// Retired [`Completion::results`] vectors, recycled the same way.
+    spare_results: Vec<Vec<OpResult>>,
 }
 
 impl ReservationStation {
@@ -205,12 +221,42 @@ impl ReservationStation {
             slots,
             total_tracked: 0,
             stats: StationStats::default(),
+            dirty_bits: vec![0; cfg.hash_slots.div_ceil(64)],
+            spare: Vec::new(),
+            // Enough for every slot's cache plus the in-flight envelope;
+            // beyond that, buffers are dropped rather than hoarded.
+            spare_cap: cfg.hash_slots + 4 * cfg.capacity,
+            spare_results: Vec::new(),
         }
     }
 
     /// Counters.
     pub fn stats(&self) -> StationStats {
         self.stats
+    }
+
+    /// Hands out a retired buffer for reuse (cleared), if one is pooled.
+    /// Callers build op keys/values into these instead of allocating.
+    pub fn recycle(&mut self) -> Option<Vec<u8>> {
+        self.spare.pop().map(|mut b| {
+            b.clear();
+            b
+        })
+    }
+
+    /// Returns a buffer to the pool (e.g. an [`OpResult`] value or an
+    /// applied [`Writeback`] the caller is done with).
+    pub fn give(&mut self, buf: Vec<u8>) {
+        give_to(&mut self.spare, self.spare_cap, buf);
+    }
+
+    /// Returns a drained [`Completion::results`] vector to the pool, so
+    /// the next chain drain pushes into recycled capacity.
+    pub fn give_results(&mut self, mut v: Vec<OpResult>) {
+        if v.capacity() > 0 && self.spare_results.len() < 64 {
+            v.clear();
+            self.spare_results.push(v);
+        }
     }
 
     /// Operations currently tracked (busy + queued).
@@ -234,37 +280,39 @@ impl ReservationStation {
         (kvd_station_hash(key) % self.cfg.hash_slots as u64) as usize
     }
 
-    /// Applies `kind` to a cached value, returning the op's result and the
-    /// new cache value + dirtiness.
-    fn execute_on_cache(kind: &KvOpKind, cached: &mut Cached) -> OpResultValue {
-        match kind {
-            KvOpKind::Get => OpResultValue {
-                value: cached.value.clone(),
-                dirtied: false,
-            },
-            KvOpKind::Put(v) => {
-                let old = cached.value.replace(v.clone());
-                OpResultValue {
-                    value: old,
-                    dirtied: true,
-                }
-            }
-            KvOpKind::Delete => {
-                let old = cached.value.take();
-                OpResultValue {
-                    value: old,
-                    dirtied: true,
-                }
-            }
+    /// Applies an op to a cached value, returning the op's result and the
+    /// new cache value + dirtiness. Consumes the op: its key buffer is
+    /// pooled, and a PUT's value moves into the cache without a copy.
+    fn execute_on_cache(
+        op: StationOp,
+        cached: &mut Cached,
+        spare: &mut Vec<Vec<u8>>,
+        spare_cap: usize,
+    ) -> OpResultValue {
+        let StationOp { id, key, kind } = op;
+        give_to(spare, spare_cap, key);
+        let (value, dirtied) = match kind {
+            KvOpKind::Get => (clone_pooled(spare, cached.value.as_deref()), false),
+            KvOpKind::Put(v) => (cached.value.replace(v), true),
+            KvOpKind::Delete => (cached.value.take(), true),
             KvOpKind::Update(f) => {
-                let old = cached.value.clone();
+                let old = cached.value.take();
                 cached.value = f(old.as_deref());
-                OpResultValue {
-                    value: old,
-                    dirtied: true,
-                }
+                (old, true)
             }
+        };
+        OpResultValue {
+            result: OpResult { id, value },
+            dirtied,
         }
+    }
+
+    fn set_dirty(bits: &mut [u64], idx: usize) {
+        bits[idx / 64] |= 1 << (idx % 64);
+    }
+
+    fn clear_dirty(bits: &mut [u64], idx: usize) {
+        bits[idx / 64] &= !(1 << (idx % 64));
     }
 
     /// Admits one operation.
@@ -283,31 +331,53 @@ impl ReservationStation {
         let slot = &mut self.slots[idx];
         if let Some(cached) = &mut slot.cache {
             if cached.key == op.key {
-                let r = Self::execute_on_cache(&op.kind, cached);
-                cached.dirty |= r.dirtied;
+                let r = Self::execute_on_cache(op, cached, &mut self.spare, self.spare_cap);
+                if r.dirtied && !cached.dirty {
+                    cached.dirty = true;
+                    Self::set_dirty(&mut self.dirty_bits, idx);
+                }
                 self.stats.forwarded += 1;
-                return Admission::Fast(OpResult {
-                    id: op.id,
-                    value: r.value,
-                });
+                return Admission::Fast(r.result);
             }
         }
         // Different key (or cold slot): evict any dirty cache and issue.
-        let writeback = Self::take_writeback(slot, &mut self.stats);
+        let writeback = Self::take_writeback(
+            slot,
+            &mut self.stats,
+            &mut self.dirty_bits,
+            idx,
+            &mut self.spare,
+            self.spare_cap,
+        );
         slot.busy = true;
-        slot.cache = None;
         self.note_tracked();
         self.stats.issued += 1;
         Admission::Issue { op, writeback }
     }
 
-    fn take_writeback(slot: &mut Slot, stats: &mut StationStats) -> Option<Writeback> {
+    fn take_writeback(
+        slot: &mut Slot,
+        stats: &mut StationStats,
+        dirty_bits: &mut [u64],
+        idx: usize,
+        spare: &mut Vec<Vec<u8>>,
+        spare_cap: usize,
+    ) -> Option<Writeback> {
+        Self::clear_dirty(dirty_bits, idx);
         match slot.cache.take() {
             Some(c) if c.dirty => {
                 stats.writebacks += 1;
                 Some((c.key, c.value))
             }
-            _ => None,
+            Some(c) => {
+                // Clean eviction: the buffers are dead — pool them.
+                give_to(spare, spare_cap, c.key);
+                if let Some(v) = c.value {
+                    give_to(spare, spare_cap, v);
+                }
+                None
+            }
+            None => None,
         }
     }
 
@@ -317,34 +387,47 @@ impl ReservationStation {
     /// chain with data forwarding.
     pub fn complete(&mut self, key: &[u8], cache_value: Option<Vec<u8>>) -> Completion {
         let idx = self.slot_index(key);
+        let mut kbuf = self.spare.pop().unwrap_or_default();
+        kbuf.clear();
+        kbuf.extend_from_slice(key);
         let slot = &mut self.slots[idx];
         assert!(slot.busy, "completion for a non-busy slot");
         slot.busy = false;
         self.total_tracked -= 1;
         slot.cache = Some(Cached {
-            key: key.to_vec(),
+            key: kbuf,
             value: cache_value,
             dirty: false,
         });
-        let mut out = Completion::default();
+        let mut out = Completion {
+            results: self.spare_results.pop().unwrap_or_default(),
+            ..Completion::default()
+        };
         // Examine the chain sequentially (paper: "Pending operations in
         // the same hash slot are checked one by one").
         while let Some(front) = slot.pending.front() {
             let cached = slot.cache.as_mut().expect("installed above");
             if front.key == cached.key {
                 let op = slot.pending.pop_front().expect("front checked");
-                let r = Self::execute_on_cache(&op.kind, cached);
-                cached.dirty |= r.dirtied;
+                let r = Self::execute_on_cache(op, cached, &mut self.spare, self.spare_cap);
+                if r.dirtied && !cached.dirty {
+                    cached.dirty = true;
+                    Self::set_dirty(&mut self.dirty_bits, idx);
+                }
                 self.total_tracked -= 1;
                 self.stats.forwarded += 1;
-                out.results.push(OpResult {
-                    id: op.id,
-                    value: r.value,
-                });
+                out.results.push(r.result);
             } else {
                 // Hash-colliding different key: evict and issue it.
                 let op = slot.pending.pop_front().expect("front checked");
-                out.writeback = Self::take_writeback(slot, &mut self.stats);
+                out.writeback = Self::take_writeback(
+                    slot,
+                    &mut self.stats,
+                    &mut self.dirty_bits,
+                    idx,
+                    &mut self.spare,
+                    self.spare_cap,
+                );
                 slot.busy = true;
                 // Tracked count unchanged: it moves from queued to busy.
                 self.stats.issued += 1;
@@ -383,7 +466,14 @@ impl ReservationStation {
         if let Some(op) = slot.pending.pop_front() {
             // No value to forward: the next dependent must reach memory
             // itself, whatever its key.
-            out.writeback = Self::take_writeback(slot, &mut self.stats);
+            out.writeback = Self::take_writeback(
+                slot,
+                &mut self.stats,
+                &mut self.dirty_bits,
+                idx,
+                &mut self.spare,
+                self.spare_cap,
+            );
             slot.busy = true;
             // Tracked count unchanged: it moves from queued to busy.
             self.stats.issued += 1;
@@ -394,15 +484,27 @@ impl ReservationStation {
 
     /// Flushes every dirty cached value, returning the write-backs the
     /// caller must apply. Clean caches are kept for future forwarding.
+    ///
+    /// Scans the dirty bitset — 64 slots per word — instead of every
+    /// slot, still emitting write-backs in slot-index order.
     pub fn flush(&mut self) -> Vec<Writeback> {
         let mut out = Vec::new();
-        for slot in &mut self.slots {
-            if let Some(c) = &mut slot.cache {
-                if c.dirty {
-                    c.dirty = false;
-                    self.stats.writebacks += 1;
-                    out.push((c.key.clone(), c.value.clone()));
-                }
+        for w in 0..self.dirty_bits.len() {
+            let mut bits = self.dirty_bits[w];
+            self.dirty_bits[w] = 0;
+            while bits != 0 {
+                let idx = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let c = self.slots[idx]
+                    .cache
+                    .as_mut()
+                    .expect("dirty bit implies a cached entry");
+                debug_assert!(c.dirty, "dirty bit implies a dirty cache");
+                c.dirty = false;
+                self.stats.writebacks += 1;
+                let key = clone_pooled(&mut self.spare, Some(&c.key)).expect("key present");
+                let value = clone_pooled(&mut self.spare, c.value.as_deref());
+                out.push((key, value));
             }
         }
         out
@@ -415,8 +517,26 @@ impl ReservationStation {
 }
 
 struct OpResultValue {
-    value: Option<Vec<u8>>,
+    result: OpResult,
     dirtied: bool,
+}
+
+/// Pools `buf` unless the pool is at capacity or the buffer never
+/// allocated (zero capacity — pooling it would gain nothing).
+fn give_to(spare: &mut Vec<Vec<u8>>, cap: usize, buf: Vec<u8>) {
+    if buf.capacity() > 0 && spare.len() < cap {
+        spare.push(buf);
+    }
+}
+
+/// Copies `src` into a pooled buffer (or a fresh one if the pool is dry).
+fn clone_pooled(spare: &mut Vec<Vec<u8>>, src: Option<&[u8]>) -> Option<Vec<u8>> {
+    src.map(|s| {
+        let mut b = spare.pop().unwrap_or_default();
+        b.clear();
+        b.extend_from_slice(s);
+        b
+    })
 }
 
 /// The station's key hash (a distinct stream from the table's hashes).
@@ -734,6 +854,60 @@ mod tests {
     fn reclaim_requires_busy_slot() {
         let mut rs = ReservationStation::new(StationConfig::default());
         rs.reclaim(b"nope");
+    }
+
+    #[test]
+    fn flush_emits_dirty_caches_in_slot_order() {
+        // Dirty several slots out of admission order; flush must still
+        // walk the bitset in slot-index order, and a second flush (plus a
+        // re-dirty) must see a consistent bitset.
+        let mut rs = ReservationStation::new(StationConfig::default());
+        let keys: Vec<Vec<u8>> = (0u32..32).map(|i| format!("k{i}").into_bytes()).collect();
+        for (i, k) in keys.iter().enumerate() {
+            match rs.admit(put(i as u64, k, b"v")) {
+                Admission::Issue { op, .. } => {
+                    rs.complete(&op.key, Some(b"v".to_vec()));
+                    // Dirty via the fast path.
+                    assert!(matches!(
+                        rs.admit(put(100 + i as u64, k, b"w")),
+                        Admission::Fast(_)
+                    ));
+                }
+                Admission::Fast(_) => {}
+                a => panic!("{a:?}"),
+            }
+        }
+        let wb = rs.flush();
+        assert_eq!(wb.len(), keys.len());
+        let slots: Vec<usize> = wb.iter().map(|(k, _)| rs.slot_index(k)).collect();
+        let mut sorted = slots.clone();
+        sorted.sort_unstable();
+        assert_eq!(slots, sorted, "write-backs must come out in slot order");
+        assert!(rs.flush().is_empty(), "bitset cleared by the first flush");
+        // Re-dirtying after a flush sets the bit again.
+        assert!(matches!(
+            rs.admit(put(999, &keys[0], b"x")),
+            Admission::Fast(_)
+        ));
+        assert_eq!(rs.flush().len(), 1);
+    }
+
+    #[test]
+    fn recycle_returns_retired_buffers() {
+        let mut rs = ReservationStation::new(StationConfig::default());
+        assert!(rs.recycle().is_none(), "pool starts empty");
+        rs.give(Vec::with_capacity(64));
+        let b = rs.recycle().expect("given buffer comes back");
+        assert!(b.is_empty() && b.capacity() >= 64, "cleared, capacity kept");
+        // Fast-path ops retire their key buffers into the pool; the GET
+        // result reuses one, so the cycle is closed by giving it back.
+        assert!(matches!(rs.admit(get(0, b"k")), Admission::Issue { .. }));
+        rs.complete(b"k", Some(b"v".to_vec()));
+        match rs.admit(get(1, b"k")) {
+            Admission::Fast(r) => rs.give(r.value.expect("hit")),
+            a => panic!("{a:?}"),
+        }
+        assert!(rs.recycle().is_some(), "retired buffers circulate");
     }
 
     #[test]
