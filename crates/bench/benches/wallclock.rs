@@ -21,12 +21,13 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use kvd_bench::{banner, shape_check, Table, SCALED_MEMORY_BIG};
 use kvd_core::parallel::{ParallelSimConfig, ParallelSystemSim};
 use kvd_core::{KvDirectConfig, KvDirectStore, SystemSim, SystemSimConfig};
 use kvd_net::KvRequest;
+use kvd_server::{run_load, serve, LoadConfig, ServerConfig};
 use kvd_workloads::{PresetWorkload, YcsbPreset};
 
 struct Counting;
@@ -167,6 +168,38 @@ fn allocs_per_get() -> f64 {
     (ALLOCS.load(Ordering::Relaxed) - before) as f64 / reqs.len() as f64
 }
 
+/// (answered req/s, goodput req/s) of the TCP memcache front-end: a
+/// loopback `kvd-server` driven by the open-loop load client at an
+/// offered rate well above loopback capacity, so answered RPS measures
+/// the server, not the schedule. Requests cross a real TCP stack into
+/// the shard workers' pooled `execute_batch_refs_into` path.
+fn server_rps() -> (f64, f64) {
+    let shards = std::thread::available_parallelism()
+        .map(|p| p.get().min(4))
+        .unwrap_or(2);
+    let server = serve("127.0.0.1:0", ServerConfig::loopback(shards)).expect("bind bench server");
+    let cfg = LoadConfig {
+        addr: server.local_addr(),
+        connections: 4,
+        ops_per_conn: 15_000,
+        rate: 1_000_000.0,
+        preset: YcsbPreset::B,
+        population: POP,
+        value_len: 64,
+        deadline: Duration::from_millis(100),
+        seed: 0x5E_55ED,
+        preload: true,
+    };
+    let report = run_load(&cfg).expect("bench load run");
+    let ledger = server.stop();
+    assert_eq!(report.errors, 0, "bench traffic must be error-free");
+    assert!(
+        ledger.server.requests >= report.offered,
+        "every offered op must land in the server ledger"
+    );
+    (report.rps(), report.goodput_rps())
+}
+
 /// Pulls `"key": <number>` out of the `"after"` object of a committed
 /// `BENCH_wallclock.json` (no JSON dependency needed for one flat key).
 fn parse_committed_after(text: &str, key: &str) -> Option<f64> {
@@ -260,11 +293,33 @@ fn main() {
         "-".to_string(),
         "-".to_string(),
     ]);
+    // The TCP front-end has no pre-rework baseline (it first shipped
+    // with the serving PR); its own committed result is the gate.
+    let (srv_rps, srv_goodput) = {
+        let first = server_rps();
+        let second = server_rps();
+        if second.0 > first.0 {
+            second
+        } else {
+            first
+        }
+    };
+    t.row(&[
+        "server RPS".to_string(),
+        "-".to_string(),
+        format!("{:.3}", srv_rps / 1e6),
+        "-".to_string(),
+        "-".to_string(),
+    ]);
     t.print();
+    println!();
+    println!(
+        "server front-end: {srv_rps:.0} req/s answered, {srv_goodput:.0} req/s within deadline"
+    );
     println!();
 
     let json = format!(
-        "{{\n  \"config\": {{\"population\": {POP}, \"ops_seq\": {OPS_SEQ}, \"ops_micro\": {OPS_MICRO}, \"value_len\": {VALUE_LEN}}},\n  \"before\": {{\n    \"seq_a_wall_mops\": {:.3}, \"seq_b_wall_mops\": {:.3}, \"seq_c_wall_mops\": {:.3},\n    \"par4_a_wall_mops\": {:.3}, \"par4_b_wall_mops\": {:.3}, \"par4_c_wall_mops\": {:.3},\n    \"micro_b_wall_mops\": {:.3}, \"allocs_per_get\": {:.2},\n    \"seq_a_sim_mops\": {:.1}, \"seq_b_sim_mops\": {:.1}, \"seq_c_sim_mops\": {:.1},\n    \"par4_a_sim_mops\": {:.1}, \"par4_b_sim_mops\": {:.1}, \"par4_c_sim_mops\": {:.1}\n  }},\n  \"after\": {{\n    \"seq_a_wall_mops\": {:.3}, \"seq_b_wall_mops\": {:.3}, \"seq_c_wall_mops\": {:.3},\n    \"par4_a_wall_mops\": {:.3}, \"par4_b_wall_mops\": {:.3}, \"par4_c_wall_mops\": {:.3},\n    \"micro_b_wall_mops\": {:.3}, \"allocs_per_get\": {:.2},\n    \"micro_b_speedup\": {:.2},\n    \"seq_a_sim_mops\": {:.1}, \"seq_b_sim_mops\": {:.1}, \"seq_c_sim_mops\": {:.1},\n    \"par4_a_sim_mops\": {:.1}, \"par4_b_sim_mops\": {:.1}, \"par4_c_sim_mops\": {:.1}\n  }}\n}}\n",
+        "{{\n  \"config\": {{\"population\": {POP}, \"ops_seq\": {OPS_SEQ}, \"ops_micro\": {OPS_MICRO}, \"value_len\": {VALUE_LEN}}},\n  \"before\": {{\n    \"seq_a_wall_mops\": {:.3}, \"seq_b_wall_mops\": {:.3}, \"seq_c_wall_mops\": {:.3},\n    \"par4_a_wall_mops\": {:.3}, \"par4_b_wall_mops\": {:.3}, \"par4_c_wall_mops\": {:.3},\n    \"micro_b_wall_mops\": {:.3}, \"allocs_per_get\": {:.2},\n    \"seq_a_sim_mops\": {:.1}, \"seq_b_sim_mops\": {:.1}, \"seq_c_sim_mops\": {:.1},\n    \"par4_a_sim_mops\": {:.1}, \"par4_b_sim_mops\": {:.1}, \"par4_c_sim_mops\": {:.1}\n  }},\n  \"after\": {{\n    \"seq_a_wall_mops\": {:.3}, \"seq_b_wall_mops\": {:.3}, \"seq_c_wall_mops\": {:.3},\n    \"par4_a_wall_mops\": {:.3}, \"par4_b_wall_mops\": {:.3}, \"par4_c_wall_mops\": {:.3},\n    \"micro_b_wall_mops\": {:.3}, \"allocs_per_get\": {:.2},\n    \"micro_b_speedup\": {:.2},\n    \"seq_a_sim_mops\": {:.1}, \"seq_b_sim_mops\": {:.1}, \"seq_c_sim_mops\": {:.1},\n    \"par4_a_sim_mops\": {:.1}, \"par4_b_sim_mops\": {:.1}, \"par4_c_sim_mops\": {:.1},\n    \"server_rps\": {:.0}, \"server_goodput_rps\": {:.0}\n  }}\n}}\n",
         BEFORE_SEQ[0].1, BEFORE_SEQ[1].1, BEFORE_SEQ[2].1,
         BEFORE_PAR4[0].1, BEFORE_PAR4[1].1, BEFORE_PAR4[2].1,
         BEFORE_MICRO_B, BEFORE_ALLOCS_PER_GET,
@@ -276,6 +331,7 @@ fn main() {
         micro / BEFORE_MICRO_B,
         seq[0].1, seq[1].1, seq[2].1,
         par4[0].1, par4[1].1, par4[2].1,
+        srv_rps, srv_goodput,
     );
     match std::fs::write(json_path, &json) {
         Ok(()) => println!("wrote {json_path}"),
@@ -320,5 +376,19 @@ fn main() {
             &format!("{:.3} vs committed {gate:.3} Mops/wall-s", seq[1].0),
         ),
         None => println!("(no committed BENCH_wallclock.json — regression gate armed on next run)"),
+    }
+    // TCP loopback throughput swings harder than in-process numbers
+    // (kernel scheduling, socket buffers), so its gate is looser: 40%
+    // below the committed answered RPS is a red build.
+    match committed
+        .as_deref()
+        .and_then(|c| parse_committed_after(c, "server_rps"))
+    {
+        Some(gate) => shape_check(
+            "server RPS within 40% of committed result",
+            srv_rps >= 0.6 * gate,
+            &format!("{srv_rps:.0} vs committed {gate:.0} req/s"),
+        ),
+        None => println!("(no committed server_rps — server regression gate armed on next run)"),
     }
 }

@@ -293,14 +293,43 @@ pub struct KvResponse {
 }
 
 /// Errors produced by the decoder.
+///
+/// Length-field failures carry the claimed and available byte counts so
+/// a server can log *why* a packet was rejected (and a fuzzer can
+/// assert the decoder attributed the failure to the right field)
+/// instead of collapsing every short packet into one opaque variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WireError {
-    /// Packet ended mid-field.
+    /// Packet ended inside a fixed-size field (count, header, size
+    /// triplet, λ id, deadline, or response status).
     Truncated,
     /// Unknown opcode or status.
     BadCode,
     /// First op of a packet used a copy flag.
     DanglingCopyFlag,
+    /// A key length field promised more bytes than the packet holds.
+    ShortKey {
+        /// Bytes the length field claimed.
+        want: usize,
+        /// Bytes actually remaining.
+        have: usize,
+    },
+    /// A value length field promised more bytes than the packet holds.
+    ShortValue {
+        /// Bytes the length field claimed.
+        want: usize,
+        /// Bytes actually remaining.
+        have: usize,
+    },
+    /// The packet's op count cannot fit in the remaining bytes even at
+    /// the minimum one byte per operation — the count field itself is
+    /// corrupt or the packet was cut.
+    OversizedCount {
+        /// Operations the count field claimed.
+        count: usize,
+        /// Bytes remaining after the count field.
+        have: usize,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -309,6 +338,15 @@ impl std::fmt::Display for WireError {
             WireError::Truncated => write!(f, "packet truncated"),
             WireError::BadCode => write!(f, "unknown opcode or status"),
             WireError::DanglingCopyFlag => write!(f, "copy flag on first op"),
+            WireError::ShortKey { want, have } => {
+                write!(f, "key length {want} exceeds {have} remaining bytes")
+            }
+            WireError::ShortValue { want, have } => {
+                write!(f, "value length {want} exceeds {have} remaining bytes")
+            }
+            WireError::OversizedCount { count, have } => {
+                write!(f, "op count {count} cannot fit in {have} remaining bytes")
+            }
         }
     }
 }
@@ -413,6 +451,16 @@ pub fn decode_packet_ref(bytes: &[u8]) -> Result<Vec<KvRequestRef<'_>>, WireErro
         let s = take(bytes, &mut off, 2)?;
         u16::from_le_bytes([s[0], s[1]]) as usize
     };
+    // Every operation occupies at least its one header byte, so a count
+    // the remaining bytes cannot possibly satisfy is rejected up front
+    // (with the count attributed) instead of surfacing as a generic
+    // truncation N ops in.
+    if n > bytes.len() - off {
+        return Err(WireError::OversizedCount {
+            count: n,
+            have: bytes.len() - off,
+        });
+    }
     let mut out: Vec<KvRequestRef<'_>> = Vec::with_capacity(n);
     for _ in 0..n {
         let header = take(bytes, &mut off, 1)?[0];
@@ -438,12 +486,18 @@ pub fn decode_packet_ref(bytes: &[u8]) -> Result<Vec<KvRequestRef<'_>>, WireErro
         } else {
             0
         };
-        let key = take(bytes, &mut off, klen)?;
+        let key = take(bytes, &mut off, klen).map_err(|_| WireError::ShortKey {
+            want: klen,
+            have: bytes.len() - off,
+        })?;
         let value: &[u8] = if op.carries_value() {
             if same_value {
                 out.last().ok_or(WireError::DanglingCopyFlag)?.value
             } else {
-                take(bytes, &mut off, vlen)?
+                take(bytes, &mut off, vlen).map_err(|_| WireError::ShortValue {
+                    want: vlen,
+                    have: bytes.len() - off,
+                })?
             }
         } else {
             &[]
@@ -495,7 +549,10 @@ pub fn decode_responses(mut bytes: &[u8]) -> Result<Vec<KvResponse>, WireError> 
         let status = Status::from_bits(bytes.get_u8()).ok_or(WireError::BadCode)?;
         let vlen = bytes.get_u16_le() as usize;
         if bytes.remaining() < vlen {
-            return Err(WireError::Truncated);
+            return Err(WireError::ShortValue {
+                want: vlen,
+                have: bytes.remaining(),
+            });
         }
         let value = bytes[..vlen].to_vec();
         bytes.advance(vlen);
@@ -730,6 +787,67 @@ mod tests {
                 decode_packet(&bytes[..cut]).is_err()
             );
         }
+    }
+
+    #[test]
+    fn short_key_field_names_the_deficit() {
+        // count=1, GET, klen=5, vlen=0 — but only 2 key bytes follow.
+        let bytes = [1, 0, OpCode::Get as u8, 5, 0, 0, b'a', b'b'];
+        let want = WireError::ShortKey { want: 5, have: 2 };
+        assert_eq!(decode_packet_ref(&bytes).unwrap_err(), want);
+        assert_eq!(decode_packet(&bytes).unwrap_err(), want);
+    }
+
+    #[test]
+    fn short_value_field_names_the_deficit() {
+        // count=1, PUT, klen=1, vlen=300 — key present, 3 value bytes.
+        let mut bytes = vec![1, 0, OpCode::Put as u8, 1];
+        bytes.extend_from_slice(&300u16.to_le_bytes());
+        bytes.push(b'k');
+        bytes.extend_from_slice(b"abc");
+        assert_eq!(
+            decode_packet_ref(&bytes).unwrap_err(),
+            WireError::ShortValue { want: 300, have: 3 }
+        );
+    }
+
+    #[test]
+    fn oversized_count_rejected_up_front() {
+        // A count field claiming 65535 ops against 3 trailing bytes is
+        // attributed to the count, not misreported as a truncated op.
+        let bytes = [0xFF, 0xFF, OpCode::Get as u8, 1, 0];
+        assert_eq!(
+            decode_packet_ref(&bytes).unwrap_err(),
+            WireError::OversizedCount {
+                count: 65_535,
+                have: 3
+            }
+        );
+        // A count that *exactly* fits minimum-size ops still decodes into
+        // the per-op path (where it may legitimately fail further in).
+        let ok_count = encode_packet(&[KvRequest::get(b"k")]);
+        assert!(decode_packet_ref(&ok_count).is_ok());
+    }
+
+    #[test]
+    fn short_response_value_names_the_deficit() {
+        // count=1, status Ok, vlen=10, only 4 value bytes.
+        let mut bytes = vec![1, 0, Status::Ok as u8];
+        bytes.extend_from_slice(&10u16.to_le_bytes());
+        bytes.extend_from_slice(b"abcd");
+        assert_eq!(
+            decode_responses(&bytes).unwrap_err(),
+            WireError::ShortValue { want: 10, have: 4 }
+        );
+    }
+
+    #[test]
+    fn fixed_field_truncations_still_generic() {
+        // Cut inside the 2-byte count and inside the size triplet: these
+        // are not length-field failures and keep the generic variant.
+        assert_eq!(decode_packet(&[1]).unwrap_err(), WireError::Truncated);
+        let bytes = [1, 0, OpCode::Get as u8, 5]; // size triplet cut short
+        assert_eq!(decode_packet(&bytes).unwrap_err(), WireError::Truncated);
     }
 
     #[test]

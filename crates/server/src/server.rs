@@ -1,0 +1,1097 @@
+//! The serving front-end: worker-per-core, shard-per-worker TCP server.
+//!
+//! Layout (DESIGN.md §12):
+//!
+//! * one **acceptor** thread owns the listener;
+//! * `shards` **shard workers**, each exclusively owning one
+//!   [`KvDirectStore`] — shared-nothing, so the data plane never locks;
+//! * one thread per **connection**, which reassembles frames
+//!   incrementally ([`crate::proto::parse`]), routes each operation to
+//!   its shard via [`kvd_net::shard_of`], scatters per-shard jobs over
+//!   channels, gathers the replies and writes responses back in request
+//!   order.
+//!
+//! Steady-state the hot path allocates nothing per request: keys and
+//! data are staged into per-shard arenas that travel to the worker and
+//! back, workers execute through the pooled
+//! [`KvDirectStore::execute_batch_refs_into`] entry point (retired value
+//! buffers recycle into the station pool), and response encoding appends
+//! into a reused write buffer.
+//!
+//! Stored values carry a 12-byte header — `flags: u32 LE | cas: u64 LE`
+//! — ahead of the client data, so GET can echo flags and `gets` a cas
+//! unique without a second index.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use kvd_core::{KvDirectConfig, KvDirectStore};
+use kvd_net::{shard_of, KvRequestRef, KvResponse, Status};
+use kvd_sim::{CostSource, OpLedger, ServerCosts};
+
+use crate::proto::{
+    parse, Command, Parsed, StoreVerb, MAX_KEY_LEN, TOO_LARGE_REPLY, VERSION_REPLY,
+};
+
+/// Bytes of `flags | cas` prepended to every stored value.
+pub const VALUE_HEADER_LEN: usize = 12;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Shard (= worker thread) count; keys route via `shard_of`.
+    pub shards: usize,
+    /// Per-shard store configuration.
+    pub store: KvDirectConfig,
+    /// Max operations gathered from one connection's buffered frames
+    /// before a scatter/gather round trip.
+    pub max_batch: usize,
+}
+
+impl ServerConfig {
+    /// A loopback-test configuration: `shards` workers, 64 MiB per
+    /// shard, extended slabs on (memcache data blocks routinely exceed
+    /// the paper's 512 B inline regime).
+    pub fn loopback(shards: usize) -> Self {
+        let mut store = KvDirectConfig::with_memory(64 << 20);
+        store.extended_slabs = true;
+        ServerConfig {
+            shards,
+            store,
+            max_batch: 64,
+        }
+    }
+}
+
+/// Operation verb as routed to a shard worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Verb {
+    Get,
+    Set,
+    Add,
+    Replace,
+    Delete,
+}
+
+impl Verb {
+    fn conditional(self) -> bool {
+        matches!(self, Verb::Add | Verb::Replace)
+    }
+}
+
+/// One routed operation: ranges into its bundle's arena.
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    verb: Verb,
+    /// Response slot in the connection's chunk.
+    slot: u32,
+    key: (u32, u32),
+    /// Framed value range (`flags|cas|data`) for store verbs.
+    val: (u32, u32),
+}
+
+/// A pooled scatter unit: ops + their byte arena out, responses back.
+/// Bundles shuttle between a connection and one worker per round trip
+/// and return with `responses[i]` aligned to `ops[i]`; the next reuse
+/// hands `responses` back to `execute_batch_refs_into`, which recycles
+/// the retired value buffers.
+#[derive(Debug, Default)]
+struct Bundle {
+    ops: Vec<Op>,
+    arena: Vec<u8>,
+    responses: Vec<KvResponse>,
+}
+
+impl Bundle {
+    fn key<'a>(&'a self, op: &Op) -> &'a [u8] {
+        &self.arena[op.key.0 as usize..op.key.1 as usize]
+    }
+}
+
+struct Job {
+    bundle: Bundle,
+    reply: mpsc::Sender<Bundle>,
+}
+
+enum ShardMsg {
+    Job(Job),
+    /// Snapshot request: the worker sends its store's ledger back.
+    Ledger(mpsc::Sender<OpLedger>),
+}
+
+/// Live protocol counters shared by all connections.
+#[derive(Default)]
+struct SharedCosts {
+    connections: AtomicU64,
+    disconnects: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    frames: AtomicU64,
+    requests: AtomicU64,
+    get_hits: AtomicU64,
+    get_misses: AtomicU64,
+    stored: AtomicU64,
+    not_stored: AtomicU64,
+    deleted: AtomicU64,
+    protocol_errors: AtomicU64,
+    server_errors: AtomicU64,
+}
+
+impl SharedCosts {
+    fn fold(&self, c: &ServerCosts) {
+        macro_rules! fold {
+            ($($f:ident),+ $(,)?) => { $(self.$f.fetch_add(c.$f, Ordering::Relaxed);)+ };
+        }
+        fold!(
+            connections,
+            disconnects,
+            bytes_in,
+            bytes_out,
+            frames,
+            requests,
+            get_hits,
+            get_misses,
+            stored,
+            not_stored,
+            deleted,
+            protocol_errors,
+            server_errors,
+        );
+    }
+
+    fn snapshot(&self) -> ServerCosts {
+        macro_rules! snap {
+            ($($f:ident),+ $(,)?) => {
+                ServerCosts { $($f: self.$f.load(Ordering::Relaxed)),+ }
+            };
+        }
+        snap!(
+            connections,
+            disconnects,
+            bytes_in,
+            bytes_out,
+            frames,
+            requests,
+            get_hits,
+            get_misses,
+            stored,
+            not_stored,
+            deleted,
+            protocol_errors,
+            server_errors,
+        )
+    }
+}
+
+/// A running server; dropping or [`stop`](ServerHandle::stop)ping shuts
+/// it down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    costs: Arc<SharedCosts>,
+    shard_tx: Vec<mpsc::Sender<ShardMsg>>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections currently open (accepted, not yet torn down). Chaos
+    /// tests poll this to know a killed client has fully drained
+    /// server-side before asserting on store state.
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Live protocol-plane counters.
+    pub fn server_costs(&self) -> ServerCosts {
+        self.costs.snapshot()
+    }
+
+    /// Merged op-cost ledger: every shard's data-plane costs (merged in
+    /// shard order, so the result is deterministic) plus the protocol
+    /// plane's [`ServerCosts`].
+    pub fn ledger(&self) -> OpLedger {
+        let mut out = OpLedger::default();
+        for tx in &self.shard_tx {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            if tx.send(ShardMsg::Ledger(reply_tx)).is_ok() {
+                if let Ok(l) = reply_rx.recv() {
+                    out.merge(&l);
+                }
+            }
+        }
+        let protocol = OpLedger {
+            server: self.costs.snapshot(),
+            ..Default::default()
+        };
+        out.merge(&protocol);
+        out
+    }
+
+    /// Stops the server: drains connections, captures the final ledger,
+    /// joins every thread.
+    pub fn stop(mut self) -> OpLedger {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        // Connections poll the flag on their read timeout; give them a
+        // bounded window to drain.
+        for _ in 0..200 {
+            if self.active.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        let ledger = self.ledger();
+        // Dropping the senders disconnects the worker channels, which is
+        // each worker's exit signal.
+        self.shard_tx.clear();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        ledger
+    }
+}
+
+impl CostSource for ServerHandle {
+    fn emit_costs(&self, out: &mut OpLedger) {
+        out.merge(&self.ledger());
+    }
+}
+
+/// Binds `addr` and starts serving.
+pub fn serve<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> io::Result<ServerHandle> {
+    assert!(cfg.shards >= 1, "need at least one shard");
+    assert!(cfg.max_batch >= 1, "need a positive batch cap");
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let active = Arc::new(AtomicUsize::new(0));
+    let costs = Arc::new(SharedCosts::default());
+    let cas = Arc::new(AtomicU64::new(0));
+
+    let mut shard_tx = Vec::with_capacity(cfg.shards);
+    let mut workers = Vec::with_capacity(cfg.shards);
+    for _ in 0..cfg.shards {
+        let (tx, rx) = mpsc::channel::<ShardMsg>();
+        shard_tx.push(tx);
+        let store = KvDirectStore::new(cfg.store.clone());
+        let cas = Arc::clone(&cas);
+        workers.push(thread::spawn(move || shard_worker(store, rx, cas)));
+    }
+
+    let acceptor = {
+        let shutdown = Arc::clone(&shutdown);
+        let active = Arc::clone(&active);
+        let costs = Arc::clone(&costs);
+        let shard_tx = shard_tx.clone();
+        let cfg = cfg.clone();
+        thread::spawn(move || {
+            while !shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        active.fetch_add(1, Ordering::SeqCst);
+                        costs.connections.fetch_add(1, Ordering::Relaxed);
+                        let shutdown = Arc::clone(&shutdown);
+                        let active = Arc::clone(&active);
+                        let costs = Arc::clone(&costs);
+                        let shard_tx = shard_tx.clone();
+                        let max_batch = cfg.max_batch;
+                        thread::spawn(move || {
+                            let _guard = ConnGuard {
+                                active,
+                                costs: Arc::clone(&costs),
+                            };
+                            let conn = Connection::new(stream, shard_tx, costs, max_batch);
+                            if let Ok(mut conn) = conn {
+                                let _ = conn.run(&shutdown);
+                            }
+                        });
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        addr: local,
+        shutdown,
+        active,
+        costs,
+        shard_tx,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+/// Decrements the active-connection gauge however the thread exits.
+struct ConnGuard {
+    active: Arc<AtomicUsize>,
+    costs: Arc<SharedCosts>,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.active.fetch_sub(1, Ordering::SeqCst);
+        self.costs.disconnects.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shard worker
+// ---------------------------------------------------------------------
+
+fn shard_worker(mut store: KvDirectStore, rx: mpsc::Receiver<ShardMsg>, cas: Arc<AtomicU64>) {
+    // Scratch response reused across conditional probes (pooled).
+    let mut probe = KvResponse {
+        status: Status::NotFound,
+        value: Vec::new(),
+    };
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Ledger(reply) => {
+                let _ = reply.send(store.ledger());
+            }
+            ShardMsg::Job(Job { mut bundle, reply }) => {
+                execute_bundle(&mut store, &mut bundle, &cas, &mut probe);
+                let _ = reply.send(bundle);
+            }
+        }
+    }
+}
+
+fn next_cas(cas: &AtomicU64) -> u64 {
+    cas.fetch_add(1, Ordering::Relaxed) + 1
+}
+
+fn execute_bundle(
+    store: &mut KvDirectStore,
+    bundle: &mut Bundle,
+    cas: &AtomicU64,
+    probe: &mut KvResponse,
+) {
+    // Connections seal conditional ops into their own single-op bundle.
+    if bundle.ops.len() == 1 && bundle.ops[0].verb.conditional() {
+        return execute_conditional(store, bundle, cas, probe);
+    }
+    // Stamp cas uniques into the value headers, then run the whole
+    // bundle through the pooled batch entry point. Destructured so the
+    // request refs (borrowing `arena`) and the response vector borrow
+    // disjoint fields.
+    let Bundle {
+        ops,
+        arena,
+        responses,
+    } = bundle;
+    for op in ops.iter() {
+        if op.verb == Verb::Set {
+            let c = next_cas(cas);
+            let at = op.val.0 as usize + 4;
+            arena[at..at + 8].copy_from_slice(&c.to_le_bytes());
+        }
+    }
+    let mut refs: Vec<KvRequestRef<'_>> = Vec::with_capacity(ops.len());
+    for op in ops.iter() {
+        let key = &arena[op.key.0 as usize..op.key.1 as usize];
+        refs.push(match op.verb {
+            Verb::Get => KvRequestRef::get(key),
+            Verb::Set => KvRequestRef::put(key, &arena[op.val.0 as usize..op.val.1 as usize]),
+            Verb::Delete => KvRequestRef::delete(key),
+            Verb::Add | Verb::Replace => unreachable!("conditional ops ship alone"),
+        });
+    }
+    store.execute_batch_refs_into(&refs, responses);
+}
+
+/// `add`/`replace`: probe-then-store, atomic because this worker is the
+/// shard's only executor. The precondition failure is surfaced as
+/// `Status::NotFound` (the connection maps it to `NOT_STORED`).
+fn execute_conditional(
+    store: &mut KvDirectStore,
+    bundle: &mut Bundle,
+    cas: &AtomicU64,
+    probe: &mut KvResponse,
+) {
+    let op = bundle.ops[0];
+    let c = next_cas(cas);
+    let at = op.val.0 as usize + 4;
+    bundle.arena[at..at + 8].copy_from_slice(&c.to_le_bytes());
+
+    store.execute_one_into(KvRequestRef::get(bundle.key(&op)), probe);
+    let proceed = match (op.verb, probe.status) {
+        (Verb::Add, Status::NotFound) => true,
+        (Verb::Replace, Status::Ok) => true,
+        (Verb::Add, Status::Ok) | (Verb::Replace, Status::NotFound) => false,
+        // Probe itself failed (device fault, shed): surface that status.
+        _ => {
+            set_response(bundle, probe.status);
+            return;
+        }
+    };
+    if !proceed {
+        set_response(bundle, Status::NotFound);
+        return;
+    }
+    let Bundle {
+        arena, responses, ..
+    } = bundle;
+    responses.truncate(1);
+    if responses.is_empty() {
+        responses.push(KvResponse {
+            status: Status::NotFound,
+            value: Vec::new(),
+        });
+    }
+    let req = KvRequestRef::put(
+        &arena[op.key.0 as usize..op.key.1 as usize],
+        &arena[op.val.0 as usize..op.val.1 as usize],
+    );
+    store.execute_one_into(req, &mut responses[0]);
+}
+
+fn set_response(bundle: &mut Bundle, status: Status) {
+    bundle.responses.truncate(1);
+    if bundle.responses.is_empty() {
+        bundle.responses.push(KvResponse {
+            status,
+            value: Vec::new(),
+        });
+    } else {
+        bundle.responses[0].status = status;
+        bundle.responses[0].value.clear();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Connection
+// ---------------------------------------------------------------------
+
+/// What the response encoder must emit, in request order.
+enum PlanItem {
+    /// One `get`/`gets` frame: `n_keys` consecutive slots, then `END`.
+    GetFrame {
+        first_slot: u32,
+        n_keys: u32,
+        with_cas: bool,
+    },
+    /// One store/delete op's status line (suppressed by `noreply`).
+    Op {
+        slot: u32,
+        verb: Verb,
+        noreply: bool,
+    },
+    /// Immediate canned reply (errors, `VERSION`).
+    Reply(&'static [u8]),
+    /// Close after flushing.
+    Close,
+}
+
+struct Connection {
+    stream: TcpStream,
+    shard_tx: Vec<mpsc::Sender<ShardMsg>>,
+    costs: Arc<SharedCosts>,
+    max_batch: usize,
+
+    recv: Vec<u8>,
+    start: usize,
+    out: Vec<u8>,
+    /// Data-block bytes still to swallow after an oversized store.
+    swallow: usize,
+
+    /// Per-shard bundle being filled this chunk (`None` = empty).
+    staging: Vec<Option<Bundle>>,
+    pool: Vec<Bundle>,
+    reply_tx: mpsc::Sender<Bundle>,
+    reply_rx: mpsc::Receiver<Bundle>,
+    plan: Vec<PlanItem>,
+    /// slot -> (received-bundle index, op index), filled at gather.
+    slots: Vec<(u32, u32)>,
+    local: ServerCosts,
+}
+
+impl Connection {
+    fn new(
+        stream: TcpStream,
+        shard_tx: Vec<mpsc::Sender<ShardMsg>>,
+        costs: Arc<SharedCosts>,
+        max_batch: usize,
+    ) -> io::Result<Connection> {
+        stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+        stream.set_nodelay(true)?;
+        let shards = shard_tx.len();
+        let (reply_tx, reply_rx) = mpsc::channel();
+        Ok(Connection {
+            stream,
+            shard_tx,
+            costs,
+            max_batch,
+            recv: Vec::with_capacity(16 << 10),
+            start: 0,
+            out: Vec::with_capacity(16 << 10),
+            swallow: 0,
+            staging: (0..shards).map(|_| None).collect(),
+            pool: Vec::new(),
+            reply_tx,
+            reply_rx,
+            plan: Vec::new(),
+            slots: Vec::new(),
+            local: ServerCosts::default(),
+        })
+    }
+
+    fn run(&mut self, shutdown: &AtomicBool) -> io::Result<()> {
+        let mut tmp = [0u8; 16 << 10];
+        let mut closing = false;
+        // Read when the buffer is drained OR the last pass made no
+        // progress (a partial frame is waiting for the rest of its
+        // bytes) — otherwise a buffered partial frame would spin hot.
+        let mut need_read = true;
+        while !closing && !shutdown.load(Ordering::SeqCst) {
+            if need_read || self.start == self.recv.len() {
+                if self.start == self.recv.len() {
+                    self.recv.clear();
+                    self.start = 0;
+                }
+                match self.stream.read(&mut tmp) {
+                    Ok(0) => break,
+                    Ok(n) => {
+                        self.local.bytes_in += n as u64;
+                        self.recv.extend_from_slice(&tmp[..n]);
+                    }
+                    Err(e)
+                        if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+                    {
+                        self.flush_costs();
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            if self.swallow > 0 {
+                let avail = self.recv.len() - self.start;
+                let eat = self.swallow.min(avail);
+                self.start += eat;
+                self.swallow -= eat;
+                if self.swallow > 0 {
+                    continue;
+                }
+            }
+
+            closing = self.process_chunk()?;
+            // No bytes consumed = a partial frame: wait for more input.
+            need_read = self.start == 0;
+            // Compact the carried-over tail so the buffer stays bounded.
+            if self.start > 0 {
+                self.recv.drain(..self.start);
+                self.start = 0;
+            }
+        }
+        self.flush_costs();
+        Ok(())
+    }
+
+    /// Parses as many frames as are buffered (capped at `max_batch`
+    /// ops), scatters, gathers, encodes and writes. Returns `true` when
+    /// the connection should close.
+    fn process_chunk(&mut self) -> io::Result<bool> {
+        // The parsed commands borrow the receive buffer while staging
+        // mutates `self`; moving the buffer out for the duration keeps
+        // the borrows disjoint without copying a byte.
+        let recv = std::mem::take(&mut self.recv);
+        let res = self.process_buffered(&recv);
+        self.recv = recv;
+        res
+    }
+
+    fn process_buffered(&mut self, recv: &[u8]) -> io::Result<bool> {
+        let mut next_slot: u32 = 0;
+        let mut jobs_sent = 0usize;
+        let mut closing = false;
+
+        loop {
+            if next_slot as usize >= self.max_batch || closing || self.swallow > 0 {
+                break;
+            }
+            let buf = &recv[self.start..];
+            if buf.is_empty() {
+                break;
+            }
+            match parse(buf) {
+                Parsed::Incomplete => break,
+                Parsed::Frame { cmd, consumed } => {
+                    self.local.frames += 1;
+                    self.local.requests += 1;
+                    // Stage before consuming: `cmd` borrows `buf`.
+                    match cmd {
+                        Command::Get { with_cas, keys } => {
+                            let first_slot = next_slot;
+                            let mut n_keys = 0u32;
+                            for key in keys.iter() {
+                                jobs_sent += self.stage(Verb::Get, next_slot, key, 0, &[])?;
+                                next_slot += 1;
+                                n_keys += 1;
+                            }
+                            self.plan.push(PlanItem::GetFrame {
+                                first_slot,
+                                n_keys,
+                                with_cas,
+                            });
+                        }
+                        Command::Store {
+                            verb,
+                            key,
+                            flags,
+                            data,
+                            noreply,
+                            ..
+                        } => {
+                            let verb = match verb {
+                                StoreVerb::Set => Verb::Set,
+                                StoreVerb::Add => Verb::Add,
+                                StoreVerb::Replace => Verb::Replace,
+                            };
+                            jobs_sent += self.stage(verb, next_slot, key, flags, data)?;
+                            self.plan.push(PlanItem::Op {
+                                slot: next_slot,
+                                verb,
+                                noreply,
+                            });
+                            next_slot += 1;
+                        }
+                        Command::Delete { key, noreply } => {
+                            jobs_sent += self.stage(Verb::Delete, next_slot, key, 0, &[])?;
+                            self.plan.push(PlanItem::Op {
+                                slot: next_slot,
+                                verb: Verb::Delete,
+                                noreply,
+                            });
+                            next_slot += 1;
+                        }
+                        Command::Version => self.plan.push(PlanItem::Reply(VERSION_REPLY)),
+                        Command::Quit => {
+                            self.plan.push(PlanItem::Close);
+                            closing = true;
+                        }
+                    }
+                    self.start += consumed;
+                }
+                Parsed::Error { err, consumed } => {
+                    self.local.frames += 1;
+                    self.local.protocol_errors += 1;
+                    self.plan.push(PlanItem::Reply(err.reply()));
+                    if err.is_fatal() {
+                        self.plan.push(PlanItem::Close);
+                        closing = true;
+                    }
+                    self.start += consumed;
+                }
+                Parsed::TooLarge {
+                    consumed,
+                    skip,
+                    noreply,
+                } => {
+                    self.local.frames += 1;
+                    self.local.server_errors += 1;
+                    if !noreply {
+                        self.plan.push(PlanItem::Reply(TOO_LARGE_REPLY));
+                    }
+                    self.start += consumed;
+                    self.swallow = skip;
+                }
+            }
+        }
+
+        // Seal whatever is still staged.
+        for shard in 0..self.staging.len() {
+            if self.staging[shard].is_some() {
+                jobs_sent += self.seal(shard)?;
+            }
+        }
+
+        // Gather.
+        let mut received: Vec<Bundle> = Vec::with_capacity(jobs_sent);
+        for _ in 0..jobs_sent {
+            let b = self
+                .reply_rx
+                .recv()
+                .map_err(|_| io::Error::new(ErrorKind::BrokenPipe, "shard worker gone"))?;
+            received.push(b);
+        }
+        self.slots.clear();
+        self.slots.resize(next_slot as usize, (u32::MAX, u32::MAX));
+        for (bi, b) in received.iter().enumerate() {
+            for (oi, op) in b.ops.iter().enumerate() {
+                self.slots[op.slot as usize] = (bi as u32, oi as u32);
+            }
+        }
+
+        // Encode in request order.
+        self.out.clear();
+        for item in &self.plan {
+            match *item {
+                PlanItem::Reply(bytes) => self.out.extend_from_slice(bytes),
+                PlanItem::Close => {}
+                PlanItem::GetFrame {
+                    first_slot,
+                    n_keys,
+                    with_cas,
+                } => {
+                    // A key that faulted (device error, overload shed,
+                    // …) must not masquerade as a miss — a client would
+                    // read that as a lost write. Fail the whole frame.
+                    let failed = (first_slot..first_slot + n_keys).any(|slot| {
+                        let (bi, oi) = self.slots[slot as usize];
+                        let status = received[bi as usize].responses[oi as usize].status;
+                        !matches!(status, Status::Ok | Status::NotFound)
+                    });
+                    if failed {
+                        self.local.server_errors += 1;
+                        self.out
+                            .extend_from_slice(b"SERVER_ERROR backend error\r\n");
+                        continue;
+                    }
+                    for slot in first_slot..first_slot + n_keys {
+                        let (bi, oi) = self.slots[slot as usize];
+                        let b = &received[bi as usize];
+                        let op = &b.ops[oi as usize];
+                        let resp = &b.responses[oi as usize];
+                        if resp.status == Status::Ok && resp.value.len() >= VALUE_HEADER_LEN {
+                            self.local.get_hits += 1;
+                            let flags =
+                                u32::from_le_bytes(resp.value[0..4].try_into().expect("4B"));
+                            let cas = u64::from_le_bytes(resp.value[4..12].try_into().expect("8B"));
+                            crate::proto::encode_value(
+                                &mut self.out,
+                                b.key(op),
+                                flags,
+                                with_cas.then_some(cas),
+                                &resp.value[VALUE_HEADER_LEN..],
+                            );
+                        } else {
+                            self.local.get_misses += 1;
+                        }
+                    }
+                    self.out.extend_from_slice(b"END\r\n");
+                }
+                PlanItem::Op {
+                    slot,
+                    verb,
+                    noreply,
+                } => {
+                    let (bi, oi) = self.slots[slot as usize];
+                    let status = received[bi as usize].responses[oi as usize].status;
+                    let line: &[u8] = match (verb, status) {
+                        (Verb::Set | Verb::Add | Verb::Replace, Status::Ok) => b"STORED\r\n",
+                        (Verb::Add | Verb::Replace, Status::NotFound) => b"NOT_STORED\r\n",
+                        (Verb::Delete, Status::Ok) => b"DELETED\r\n",
+                        (Verb::Delete, Status::NotFound) => b"NOT_FOUND\r\n",
+                        (_, Status::OutOfMemory) => {
+                            b"SERVER_ERROR out of memory storing object\r\n"
+                        }
+                        _ => b"SERVER_ERROR backend error\r\n",
+                    };
+                    match line {
+                        b"STORED\r\n" => self.local.stored += 1,
+                        b"NOT_STORED\r\n" => self.local.not_stored += 1,
+                        b"DELETED\r\n" => self.local.deleted += 1,
+                        b"NOT_FOUND\r\n" => {}
+                        _ => self.local.server_errors += 1,
+                    }
+                    if !noreply {
+                        self.out.extend_from_slice(line);
+                    }
+                }
+            }
+        }
+        self.plan.clear();
+
+        // Return bundles (responses intact — their buffers recycle on
+        // the next execute) to the pool.
+        self.pool.extend(received.drain(..).map(|mut b| {
+            b.ops.clear();
+            b.arena.clear();
+            b
+        }));
+
+        if !self.out.is_empty() {
+            self.stream.write_all(&self.out)?;
+            self.local.bytes_out += self.out.len() as u64;
+        }
+        Ok(closing)
+    }
+
+    /// Stages one op into its shard's bundle; returns how many jobs were
+    /// sent as a side effect (conditional ops force seals).
+    fn stage(
+        &mut self,
+        verb: Verb,
+        slot: u32,
+        key: &[u8],
+        flags: u32,
+        data: &[u8],
+    ) -> io::Result<usize> {
+        debug_assert!(key.len() <= MAX_KEY_LEN);
+        let shard = shard_of(key, self.shard_tx.len());
+        let mut sent = 0;
+        if verb.conditional() && self.staging[shard].is_some() {
+            sent += self.seal(shard)?;
+        }
+        let mut bundle = self.staging[shard]
+            .take()
+            .or_else(|| self.pool.pop())
+            .unwrap_or_default();
+        let kstart = bundle.arena.len() as u32;
+        bundle.arena.extend_from_slice(key);
+        let kend = bundle.arena.len() as u32;
+        let (vstart, vend) = if matches!(verb, Verb::Set | Verb::Add | Verb::Replace) {
+            let vstart = bundle.arena.len() as u32;
+            bundle.arena.extend_from_slice(&flags.to_le_bytes());
+            bundle.arena.extend_from_slice(&[0u8; 8]); // cas, stamped by the worker
+            bundle.arena.extend_from_slice(data);
+            (vstart, bundle.arena.len() as u32)
+        } else {
+            (0, 0)
+        };
+        bundle.ops.push(Op {
+            verb,
+            slot,
+            key: (kstart, kend),
+            val: (vstart, vend),
+        });
+        self.staging[shard] = Some(bundle);
+        if verb.conditional() {
+            sent += self.seal(shard)?;
+        }
+        Ok(sent)
+    }
+
+    /// Ships shard `shard`'s staged bundle to its worker.
+    fn seal(&mut self, shard: usize) -> io::Result<usize> {
+        let Some(bundle) = self.staging[shard].take() else {
+            return Ok(0);
+        };
+        self.shard_tx[shard]
+            .send(ShardMsg::Job(Job {
+                bundle,
+                reply: self.reply_tx.clone(),
+            }))
+            .map_err(|_| io::Error::new(ErrorKind::BrokenPipe, "shard worker gone"))?;
+        Ok(1)
+    }
+
+    fn flush_costs(&mut self) {
+        if self.local != ServerCosts::default() {
+            self.costs.fold(&self.local);
+            self.local = ServerCosts::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    fn roundtrip(server: &ServerHandle, send: &[u8]) -> Vec<u8> {
+        let mut s = TcpStream::connect(server.local_addr()).expect("connect");
+        s.write_all(send).expect("send");
+        s.shutdown(std::net::Shutdown::Write).expect("half-close");
+        let mut got = Vec::new();
+        s.read_to_end(&mut got).expect("read");
+        got
+    }
+
+    #[test]
+    fn serves_set_get_delete_over_tcp() {
+        let h = serve("127.0.0.1:0", ServerConfig::loopback(2)).expect("bind");
+        let got = roundtrip(
+            &h,
+            b"set k 5 0 5\r\nhello\r\nget k\r\ndelete k\r\nget k\r\n",
+        );
+        assert_eq!(
+            got,
+            b"STORED\r\nVALUE k 5 5\r\nhello\r\nEND\r\nDELETED\r\nEND\r\n".to_vec()
+        );
+        let ledger = h.stop();
+        assert_eq!(ledger.server.requests, 4);
+        assert_eq!(ledger.server.get_hits, 1);
+        assert_eq!(ledger.server.get_misses, 1);
+        assert_eq!(ledger.server.stored, 1);
+        assert_eq!(ledger.server.deleted, 1);
+        // Data-plane attribution: the shard stores saw the traffic too.
+        assert!(ledger.core.requests > 0, "core plane unattributed");
+    }
+
+    #[test]
+    fn faulted_get_is_a_server_error_not_a_miss() {
+        // With every fault channel at 100%, retry budgets exhaust and
+        // each op fails with a device error. A GET must surface that as
+        // SERVER_ERROR — reporting it as a miss would read as data loss.
+        let mut cfg = ServerConfig::loopback(1);
+        cfg.store.fault_rates = kvd_sim::FaultRates::uniform(1.0);
+        cfg.store.fault_seed = 0xFA_17;
+        let h = serve("127.0.0.1:0", cfg).expect("bind");
+        let got = roundtrip(&h, b"get k\r\n");
+        assert_eq!(got, b"SERVER_ERROR backend error\r\n".to_vec());
+        let ledger = h.stop();
+        assert_eq!(ledger.server.server_errors, 1);
+        assert_eq!(ledger.server.get_misses, 0, "fault must not count as miss");
+        assert!(ledger.core.device_errors > 0);
+    }
+
+    #[test]
+    fn multi_get_spans_shards_in_request_order() {
+        let h = serve("127.0.0.1:0", ServerConfig::loopback(4)).expect("bind");
+        let mut send = Vec::new();
+        for i in 0..8 {
+            send.extend_from_slice(format!("set key{i} 0 0 2 noreply\r\nv{i}\r\n").as_bytes());
+        }
+        send.extend_from_slice(b"get key0 key1 key2 key3 key4 key5 key6 key7 missing\r\n");
+        let got = roundtrip(&h, &send);
+        // All nine keys belong to ONE get frame: a single END; the miss
+        // is silently absent.
+        let mut want = Vec::new();
+        for i in 0..8 {
+            want.extend_from_slice(format!("VALUE key{i} 0 2\r\nv{i}\r\n").as_bytes());
+        }
+        want.extend_from_slice(b"END\r\n");
+        assert_eq!(got, want);
+        h.stop();
+    }
+
+    #[test]
+    fn add_replace_preconditions() {
+        let h = serve("127.0.0.1:0", ServerConfig::loopback(2)).expect("bind");
+        let got = roundtrip(
+            &h,
+            b"add k 0 0 1\r\na\r\nadd k 0 0 1\r\nb\r\nreplace k 0 0 1\r\nc\r\nreplace missing 0 0 1\r\nd\r\nget k\r\n",
+        );
+        assert_eq!(
+            got,
+            b"STORED\r\nNOT_STORED\r\nSTORED\r\nNOT_STORED\r\nVALUE k 0 1\r\nc\r\nEND\r\n".to_vec()
+        );
+        h.stop();
+    }
+
+    #[test]
+    fn gets_returns_monotonic_cas() {
+        let h = serve("127.0.0.1:0", ServerConfig::loopback(1)).expect("bind");
+        let got = roundtrip(
+            &h,
+            b"set k 0 0 1\r\na\r\ngets k\r\nset k 0 0 1\r\nb\r\ngets k\r\n",
+        );
+        let text = String::from_utf8(got).expect("ascii");
+        let cas: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("VALUE"))
+            .map(|l| l.split(' ').nth(4).expect("cas").parse().expect("number"))
+            .collect();
+        assert_eq!(cas.len(), 2);
+        assert!(
+            cas[1] > cas[0],
+            "cas must be unique and increasing: {cas:?}"
+        );
+        h.stop();
+    }
+
+    #[test]
+    fn error_paths_and_quit() {
+        let h = serve("127.0.0.1:0", ServerConfig::loopback(2)).expect("bind");
+        let mut s = TcpStream::connect(h.local_addr()).expect("connect");
+        s.write_all(b"bogus\r\nget\r\nversion\r\nquit\r\n")
+            .expect("send");
+        let mut got = Vec::new();
+        s.read_to_end(&mut got).expect("read");
+        let mut want = Vec::new();
+        want.extend_from_slice(b"ERROR\r\n");
+        want.extend_from_slice(b"CLIENT_ERROR bad command line format\r\n");
+        want.extend_from_slice(VERSION_REPLY);
+        assert_eq!(got, want);
+        let ledger = h.stop();
+        assert_eq!(ledger.server.protocol_errors, 2);
+        h_assert_disconnect(&ledger);
+    }
+
+    fn h_assert_disconnect(l: &OpLedger) {
+        assert!(l.server.connections >= 1);
+        assert_eq!(l.server.connections, l.server.disconnects);
+    }
+
+    #[test]
+    fn oversized_object_swallowed_and_refused() {
+        let h = serve("127.0.0.1:0", ServerConfig::loopback(1)).expect("bind");
+        let n = crate::proto::MAX_DATA_LEN + 1;
+        let mut send = format!("set big 0 0 {n}\r\n").into_bytes();
+        send.extend(vec![b'x'; n]);
+        send.extend_from_slice(b"\r\nget ok\r\n");
+        let got = roundtrip(&h, &send);
+        let mut want = TOO_LARGE_REPLY.to_vec();
+        want.extend_from_slice(b"END\r\n");
+        assert_eq!(got, want);
+        h.stop();
+    }
+
+    #[test]
+    fn pipelined_split_segments_reassemble() {
+        // The same request bytes dribbled one byte at a time must
+        // produce the same responses as one write.
+        let h = serve("127.0.0.1:0", ServerConfig::loopback(2)).expect("bind");
+        let send = b"set k 1 0 3\r\nabc\r\nget k\r\n";
+        let mut s = TcpStream::connect(h.local_addr()).expect("connect");
+        for &b in send.iter() {
+            s.write_all(&[b]).expect("byte");
+        }
+        s.shutdown(std::net::Shutdown::Write).expect("half-close");
+        let mut got = Vec::new();
+        s.read_to_end(&mut got).expect("read");
+        assert_eq!(got, b"STORED\r\nVALUE k 1 3\r\nabc\r\nEND\r\n".to_vec());
+        h.stop();
+    }
+
+    #[test]
+    fn binary_values_roundtrip() {
+        let h = serve("127.0.0.1:0", ServerConfig::loopback(2)).expect("bind");
+        let data: Vec<u8> = (0..=255u8).collect();
+        let mut send = format!("set bin 0 0 {}\r\n", data.len()).into_bytes();
+        send.extend_from_slice(&data);
+        send.extend_from_slice(b"\r\nget bin\r\n");
+        let got = roundtrip(&h, &send);
+        let mut want = b"STORED\r\nVALUE bin 0 256\r\n".to_vec();
+        want.extend_from_slice(&data);
+        want.extend_from_slice(b"\r\nEND\r\n");
+        assert_eq!(got, want);
+        h.stop();
+    }
+
+    #[test]
+    fn reader_sees_reply_before_half_close() {
+        // Interactive (non-pipelined) use: one command, read reply.
+        let h = serve("127.0.0.1:0", ServerConfig::loopback(2)).expect("bind");
+        let s = TcpStream::connect(h.local_addr()).expect("connect");
+        let mut w = s.try_clone().expect("clone");
+        let mut r = BufReader::new(s);
+        w.write_all(b"set k 0 0 1\r\nz\r\n").expect("send");
+        let mut line = String::new();
+        r.read_line(&mut line).expect("reply");
+        assert_eq!(line, "STORED\r\n");
+        w.write_all(b"quit\r\n").expect("quit");
+        h.stop();
+    }
+}

@@ -1,0 +1,254 @@
+//! Property tests for the memcache frame parser.
+//!
+//! Two guarantees the serving front-end stands on:
+//!
+//! 1. **Never panic** — `parse` is total over arbitrary byte streams,
+//!    including streams fed through the connection's consume loop.
+//! 2. **Segmentation invariance** — a valid command stream split at
+//!    *every* possible TCP segment boundary reassembles to exactly the
+//!    same decoded frames as the unsplit stream. The parser only ever
+//!    sees the reassembled prefix, so kernel packetization can never
+//!    change what the server executes.
+
+use proptest::prelude::prop::collection;
+use proptest::prelude::*;
+
+use kvd_server::proto::{parse, Command, Parsed, StoreVerb};
+
+/// An owned mirror of [`Command`] so decoded streams can be compared
+/// after their backing buffers are gone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum OwnedCmd {
+    Get {
+        with_cas: bool,
+        keys: Vec<Vec<u8>>,
+    },
+    Store {
+        verb: StoreVerb,
+        key: Vec<u8>,
+        flags: u32,
+        data: Vec<u8>,
+        noreply: bool,
+    },
+    Delete {
+        key: Vec<u8>,
+        noreply: bool,
+    },
+    Version,
+    Quit,
+}
+
+fn own(cmd: Command<'_>) -> OwnedCmd {
+    match cmd {
+        Command::Get { with_cas, keys } => OwnedCmd::Get {
+            with_cas,
+            keys: keys.iter().map(<[u8]>::to_vec).collect(),
+        },
+        Command::Store {
+            verb,
+            key,
+            flags,
+            data,
+            noreply,
+            ..
+        } => OwnedCmd::Store {
+            verb,
+            key: key.to_vec(),
+            flags,
+            data: data.to_vec(),
+            noreply,
+        },
+        Command::Delete { key, noreply } => OwnedCmd::Delete {
+            key: key.to_vec(),
+            noreply,
+        },
+        Command::Version => OwnedCmd::Version,
+        Command::Quit => OwnedCmd::Quit,
+    }
+}
+
+/// Runs the connection's consume loop over a sequence of arriving
+/// segments, returning every decoded frame (errors are recorded as
+/// `None` markers so divergence in error *placement* is caught too).
+fn decode_segments(segments: &[&[u8]]) -> Vec<Option<OwnedCmd>> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut out = Vec::new();
+    let mut swallow = 0usize;
+    for seg in segments {
+        buf.extend_from_slice(seg);
+        loop {
+            if swallow > 0 {
+                let eat = swallow.min(buf.len());
+                buf.drain(..eat);
+                swallow -= eat;
+                if swallow > 0 {
+                    break;
+                }
+            }
+            match parse(&buf) {
+                Parsed::Incomplete => break,
+                Parsed::Frame { cmd, consumed } => {
+                    out.push(Some(own(cmd)));
+                    buf.drain(..consumed);
+                }
+                Parsed::Error { err, consumed } => {
+                    out.push(None);
+                    if err.is_fatal() {
+                        return out;
+                    }
+                    buf.drain(..consumed);
+                }
+                Parsed::TooLarge { consumed, skip, .. } => {
+                    out.push(None);
+                    buf.drain(..consumed);
+                    swallow = skip;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A legal memcache key: 1..=16 graphic ASCII chars, no space.
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    collection::vec(
+        (33u8..=126).prop_map(|b| if b == 127 { b'a' } else { b }),
+        1..=16,
+    )
+}
+
+/// One valid command, pre-encoded to wire bytes.
+fn command_strategy() -> impl Strategy<Value = Vec<u8>> {
+    let get =
+        (collection::vec(key_strategy(), 1..=4), any::<bool>()).prop_map(|(keys, with_cas)| {
+            let mut v = Vec::new();
+            v.extend_from_slice(if with_cas { b"gets" } else { b"get" });
+            for k in keys {
+                v.push(b' ');
+                v.extend_from_slice(&k);
+            }
+            v.extend_from_slice(b"\r\n");
+            v
+        });
+    let store = (
+        0u8..3,
+        key_strategy(),
+        any::<u32>(),
+        collection::vec(any::<u8>(), 0..=64),
+        any::<bool>(),
+    )
+        .prop_map(|(verb, key, flags, data, noreply)| {
+            let verb: &[u8] = match verb {
+                0 => b"set",
+                1 => b"add",
+                _ => b"replace",
+            };
+            let mut v = verb.to_vec();
+            v.push(b' ');
+            v.extend_from_slice(&key);
+            v.extend_from_slice(format!(" {flags} 0 {}", data.len()).as_bytes());
+            if noreply {
+                v.extend_from_slice(b" noreply");
+            }
+            v.extend_from_slice(b"\r\n");
+            v.extend_from_slice(&data);
+            v.extend_from_slice(b"\r\n");
+            v
+        });
+    let delete = (key_strategy(), any::<bool>()).prop_map(|(key, noreply)| {
+        let mut v = b"delete ".to_vec();
+        v.extend_from_slice(&key);
+        if noreply {
+            v.extend_from_slice(b" noreply");
+        }
+        v.extend_from_slice(b"\r\n");
+        v
+    });
+    prop_oneof![
+        4 => get,
+        4 => store,
+        1 => delete,
+        1 => Just(b"version\r\n".to_vec()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `parse` is total: arbitrary bytes, arbitrary length, no panic.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in collection::vec(any::<u8>(), 0..512)) {
+        let _ = parse(&bytes);
+    }
+
+    /// The consume loop is total too: arbitrary bytes chopped into
+    /// arbitrary segments never panic and never loop forever.
+    #[test]
+    fn arbitrary_segments_never_panic(
+        bytes in collection::vec(any::<u8>(), 0..256),
+        cut in 0usize..256,
+    ) {
+        let cut = cut.min(bytes.len());
+        let (a, b) = bytes.split_at(cut);
+        let _ = decode_segments(&[a, b]);
+    }
+
+    /// Mostly-structured noise (ASCII with embedded digits/CRLF) walks
+    /// the deeper parse paths without panicking.
+    #[test]
+    fn structured_noise_never_panics(
+        parts in collection::vec(
+            prop_oneof![
+                Just(b"set ".to_vec()),
+                Just(b"get ".to_vec()),
+                Just(b"delete ".to_vec()),
+                Just(b"\r\n".to_vec()),
+                Just(b" ".to_vec()),
+                Just(b"0".to_vec()),
+                Just(b"99999999999999999999".to_vec()),
+                Just(b"noreply".to_vec()),
+                Just(b"k".to_vec()),
+            ],
+            0..24,
+        )
+    ) {
+        let bytes: Vec<u8> = parts.concat();
+        let _ = decode_segments(&[&bytes]);
+    }
+
+    /// Segmentation invariance: a valid stream split at EVERY byte
+    /// boundary decodes to the same frames as the whole stream.
+    #[test]
+    fn every_split_reassembles_identically(
+        cmds in collection::vec(command_strategy(), 1..=4),
+    ) {
+        let stream: Vec<u8> = cmds.concat();
+        let whole = decode_segments(&[&stream]);
+        prop_assert_eq!(whole.len(), cmds.len());
+        prop_assert!(whole.iter().all(Option::is_some), "valid stream misparsed");
+        for cut in 0..=stream.len() {
+            let (a, b) = stream.split_at(cut);
+            let split = decode_segments(&[a, b]);
+            prop_assert_eq!(
+                &split, &whole,
+                "split at byte {} of {} diverged", cut, stream.len()
+            );
+        }
+    }
+
+    /// Three-way splits (two boundaries) reassemble identically as well.
+    #[test]
+    fn double_splits_reassemble_identically(
+        cmds in collection::vec(command_strategy(), 1..=3),
+        cuts in (0usize..128, 0usize..128),
+    ) {
+        let stream: Vec<u8> = cmds.concat();
+        let whole = decode_segments(&[&stream]);
+        let (mut i, mut j) = (cuts.0.min(stream.len()), cuts.1.min(stream.len()));
+        if i > j {
+            std::mem::swap(&mut i, &mut j);
+        }
+        let split = decode_segments(&[&stream[..i], &stream[i..j], &stream[j..]]);
+        prop_assert_eq!(split, whole);
+    }
+}

@@ -224,6 +224,46 @@ pub struct SlabCosts {
     pub merge_passes: u64,
 }
 
+/// Serving-front-end costs: what the memcache-protocol server layer
+/// spent translating real client traffic into KV operations. These sit
+/// *above* the network plane ([`NetCosts`] accounts the simulated wire;
+/// this section accounts the protocol boundary): frames decoded, bytes
+/// moved through real sockets, and the protocol-level outcome mix, so
+/// serving overhead is attributed exactly like every simulated
+/// component.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerCosts {
+    /// TCP connections accepted.
+    pub connections: u64,
+    /// Connections closed (client EOF, `quit`, or a fatal protocol
+    /// error).
+    pub disconnects: u64,
+    /// Bytes read off client sockets.
+    pub bytes_in: u64,
+    /// Bytes written back to client sockets.
+    pub bytes_out: u64,
+    /// Complete protocol frames (command line + any data block) decoded.
+    pub frames: u64,
+    /// KV operations those frames produced (a multi-key `get` is one
+    /// frame, many operations).
+    pub requests: u64,
+    /// GET operations answered with a value.
+    pub get_hits: u64,
+    /// GET operations answered with a miss.
+    pub get_misses: u64,
+    /// Storage commands acknowledged `STORED`.
+    pub stored: u64,
+    /// Storage commands answered `NOT_STORED` (failed `add`/`replace`
+    /// precondition).
+    pub not_stored: u64,
+    /// `delete` commands acknowledged `DELETED`.
+    pub deleted: u64,
+    /// Client mistakes answered `ERROR`/`CLIENT_ERROR`.
+    pub protocol_errors: u64,
+    /// Store-side failures answered `SERVER_ERROR`.
+    pub server_errors: u64,
+}
+
 /// KV-processor costs: request mix, retire outcomes and overload-plane
 /// decisions.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -562,6 +602,50 @@ impl SlabCosts {
     }
 }
 
+impl ServerCosts {
+    fn merge(&mut self, other: &ServerCosts) {
+        sum_fields!(
+            self,
+            other,
+            connections,
+            disconnects,
+            bytes_in,
+            bytes_out,
+            frames,
+            requests,
+            get_hits,
+            get_misses,
+            stored,
+            not_stored,
+            deleted,
+            protocol_errors,
+            server_errors
+        );
+    }
+
+    fn since(&self, earlier: &ServerCosts) -> ServerCosts {
+        let mut out = *self;
+        sub_fields!(
+            out,
+            earlier,
+            connections,
+            disconnects,
+            bytes_in,
+            bytes_out,
+            frames,
+            requests,
+            get_hits,
+            get_misses,
+            stored,
+            not_stored,
+            deleted,
+            protocol_errors,
+            server_errors
+        );
+        out
+    }
+}
+
 impl CoreCosts {
     fn merge(&mut self, other: &CoreCosts) {
         sum_fields!(
@@ -636,6 +720,9 @@ pub struct OpLedger {
     pub slab: SlabCosts,
     /// KV-processor costs (request mix, retire outcomes, overload plane).
     pub core: CoreCosts,
+    /// Serving-front-end costs (protocol frames, socket bytes, outcome
+    /// mix) — zero unless a real server fronts the store.
+    pub server: ServerCosts,
     /// Per-class, per-component latency attribution.
     pub latency: LatencyCosts,
     /// Raw backpressure terms (gauges, merged by maximum).
@@ -654,6 +741,7 @@ impl OpLedger {
         self.station.merge(&other.station);
         self.slab.merge(&other.slab);
         self.core.merge(&other.core);
+        self.server.merge(&other.server);
         self.latency.merge(&other.latency);
         self.pressure.merge(&other.pressure);
     }
@@ -670,6 +758,7 @@ impl OpLedger {
             station: self.station.since(&earlier.station),
             slab: self.slab.since(&earlier.slab),
             core: self.core.since(&earlier.core),
+            server: self.server.since(&earlier.server),
             latency: self.latency.since(&earlier.latency),
             pressure: self.pressure,
         }
@@ -802,6 +891,21 @@ mod tests {
                 retired_not_found: r(),
                 retired_failed: r(),
             },
+            server: ServerCosts {
+                connections: r(),
+                disconnects: r(),
+                bytes_in: r(),
+                bytes_out: r(),
+                frames: r(),
+                requests: r(),
+                get_hits: r(),
+                get_misses: r(),
+                stored: r(),
+                not_stored: r(),
+                deleted: r(),
+                protocol_errors: r(),
+                server_errors: r(),
+            },
             latency: LatencyCosts {
                 ps: [
                     [r(), r(), r(), r()],
@@ -859,6 +963,7 @@ mod tests {
         assert_eq!(got.dram, delta.dram);
         assert_eq!(got.slab, delta.slab);
         assert_eq!(got.core, delta.core);
+        assert_eq!(got.server, delta.server);
         assert_eq!(got.latency, delta.latency);
         // Gauges keep their merged (max) value.
         assert_eq!(got.pressure, total.pressure);

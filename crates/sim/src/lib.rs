@@ -56,7 +56,7 @@ pub use fault::{
 };
 pub use ledger::{
     Component, CoreCosts, CostSource, DramCosts, LatencyCosts, NetCosts, OpClass, OpLedger,
-    PcieCosts, PressureTerms, SlabCosts, StationCosts,
+    PcieCosts, PressureTerms, ServerCosts, SlabCosts, StationCosts,
 };
 pub use pressure::PressureGauge;
 pub use queue::EventQueue;

@@ -10,10 +10,12 @@
 //! [`YcsbWorkload`] produces request streams for the functional store and
 //! key traces for the pipeline timing models.
 
+pub mod memcache;
 pub mod presets;
 pub mod sizes;
 pub mod ycsb;
 
+pub use memcache::{memcache_key, memcache_key_id, MemOp, MemcacheWorkload};
 pub use presets::{PresetWorkload, YcsbPreset};
 pub use sizes::{inline_kv_sizes, noninline_kv_sizes, paper_kv_sizes};
 pub use ycsb::{Dist, YcsbSpec, YcsbWorkload};

@@ -21,6 +21,8 @@
 //!    bit-identical across worker counts for a fixed seed.
 
 use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
 
 use kv_direct::net::shard_of;
 use kv_direct::parallel::{ParallelSimConfig, ParallelSimReport, ParallelSystemSim};
@@ -29,6 +31,7 @@ use kv_direct::{
     ChaosConfig, ChaosSchedule, FaultRates, KvDirectConfig, KvRequest, OpCode, OverloadConfig,
     Status,
 };
+use kvd_server::{serve, ServerConfig};
 
 const SHARDS: usize = 4;
 const KEYS: u64 = 1_500;
@@ -258,4 +261,238 @@ fn chaos_soak_is_bit_identical_across_worker_counts() {
     assert_eq!(o1, o2, "outcomes diverged between 1 and 2 workers");
     assert_eq!(o1, o8, "outcomes diverged between 1 and 8 workers");
     assert!(r1.ops == OPS as u64 && r1.goodput_ops > 0);
+}
+
+// ---------------------------------------------------------------------
+// TCP front-end churn: the same chaos regime (1% fault rates on every
+// store channel) applied through the real memcache server, with clients
+// abruptly killed mid-run — some mid-frame — and reconnected. Keys are
+// partitioned per client, so each client's synchronous request/reply
+// stream is a total order per key and a HashMap replay is an exact
+// sequential-consistency check: every VALUE must be the latest
+// acknowledged STORED, every miss must follow a DELETED or precede any
+// store, and faulted ops (SERVER_ERROR) must have no visible effect.
+// ---------------------------------------------------------------------
+
+const TCP_CLIENTS: usize = 4;
+const TCP_OPS_PER_CLIENT: usize = 1_500;
+const TCP_KEYS_PER_CLIENT: u64 = 64;
+/// Abruptly drop and re-dial the connection every this many ops.
+const TCP_KILL_EVERY: usize = 300;
+
+/// One synchronous memcache client with an exact per-key model.
+struct SoakClient {
+    addr: SocketAddr,
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    /// Latest acknowledged data block per owned key id.
+    model: HashMap<u64, Vec<u8>>,
+    /// Ops the fault plane visibly refused (`SERVER_ERROR`).
+    faulted: u64,
+    reconnects: u64,
+}
+
+fn dial(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("soak client connect");
+    stream.set_nodelay(true).ok();
+    let reader = BufReader::new(stream.try_clone().expect("clone soak stream"));
+    (stream, reader)
+}
+
+impl SoakClient {
+    fn new(addr: SocketAddr) -> Self {
+        let (stream, reader) = dial(addr);
+        SoakClient {
+            addr,
+            stream,
+            reader,
+            model: HashMap::new(),
+            faulted: 0,
+            reconnects: 0,
+        }
+    }
+
+    fn read_line(&mut self) -> Vec<u8> {
+        let mut line = Vec::new();
+        self.reader
+            .read_until(b'\n', &mut line)
+            .expect("soak reply line");
+        assert!(line.ends_with(b"\r\n"), "truncated reply: {line:?}");
+        line.truncate(line.len() - 2);
+        line
+    }
+
+    /// Kills the connection abruptly — optionally mid-frame, leaving the
+    /// server holding an incomplete command — then re-dials.
+    fn kill_and_reconnect(&mut self, mid_frame: bool) {
+        if mid_frame {
+            // A declared 64-byte data block, cut off after 3 bytes. The
+            // server must discard it on EOF with no state change.
+            self.stream.write_all(b"set torn 0 0 64\r\nab").ok();
+        }
+        let (stream, reader) = dial(self.addr);
+        self.stream = stream;
+        self.reader = reader;
+        self.reconnects += 1;
+    }
+
+    fn set(&mut self, key: u64, data: Vec<u8>) {
+        let mut req = format!("set sk{key} 0 0 {}\r\n", data.len()).into_bytes();
+        req.extend_from_slice(&data);
+        req.extend_from_slice(b"\r\n");
+        self.stream.write_all(&req).expect("soak set");
+        let line = self.read_line();
+        match line.as_slice() {
+            b"STORED" => {
+                self.model.insert(key, data);
+            }
+            l if l.starts_with(b"SERVER_ERROR") => self.faulted += 1,
+            l => panic!("unexpected set reply: {:?}", String::from_utf8_lossy(l)),
+        }
+    }
+
+    fn delete(&mut self, key: u64) {
+        self.stream
+            .write_all(format!("delete sk{key}\r\n").as_bytes())
+            .expect("soak delete");
+        let line = self.read_line();
+        match line.as_slice() {
+            b"DELETED" => {
+                assert!(
+                    self.model.remove(&key).is_some(),
+                    "key sk{key}: DELETED acknowledged for a key never stored"
+                );
+            }
+            b"NOT_FOUND" => {
+                assert!(
+                    !self.model.contains_key(&key),
+                    "key sk{key}: DELETE missed an acknowledged store"
+                );
+            }
+            l if l.starts_with(b"SERVER_ERROR") => self.faulted += 1,
+            l => panic!("unexpected delete reply: {:?}", String::from_utf8_lossy(l)),
+        }
+    }
+
+    fn get(&mut self, key: u64) {
+        self.stream
+            .write_all(format!("get sk{key}\r\n").as_bytes())
+            .expect("soak get");
+        let line = self.read_line();
+        if line == b"END" {
+            assert!(
+                !self.model.contains_key(&key),
+                "key sk{key}: GET lost an acknowledged write"
+            );
+            return;
+        }
+        if line.starts_with(b"SERVER_ERROR") {
+            self.faulted += 1;
+            return;
+        }
+        let text = String::from_utf8_lossy(&line);
+        let mut parts = text.split(' ');
+        assert_eq!(
+            parts.next(),
+            Some("VALUE"),
+            "unexpected get reply: {text:?}"
+        );
+        assert_eq!(parts.next(), Some(format!("sk{key}").as_str()));
+        let _flags = parts.next().expect("flags token");
+        let len: usize = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .expect("length token");
+        let mut data = vec![0u8; len + 2];
+        self.reader.read_exact(&mut data).expect("soak value block");
+        assert_eq!(&data[len..], b"\r\n");
+        data.truncate(len);
+        assert_eq!(self.read_line(), b"END");
+        let expect = self
+            .model
+            .get(&key)
+            .unwrap_or_else(|| panic!("key sk{key}: GET returned a value for a key never stored"));
+        assert_eq!(
+            &data, expect,
+            "key sk{key}: GET diverged from the acknowledged history"
+        );
+    }
+}
+
+/// One client's soak: synchronous ops over its own key range with
+/// periodic abrupt kills. Returns `(faulted, reconnects)`.
+fn tcp_soak_client(addr: SocketAddr, client: usize) -> (u64, u64) {
+    let mut rng = kv_direct::sim::DetRng::seed(0x7C9_50AC ^ client as u64);
+    let mut c = SoakClient::new(addr);
+    let base = client as u64 * TCP_KEYS_PER_CLIENT;
+    for i in 0..TCP_OPS_PER_CLIENT {
+        if i > 0 && i % TCP_KILL_EVERY == 0 {
+            // Alternate clean kills with mid-frame tears.
+            c.kill_and_reconnect(i % (2 * TCP_KILL_EVERY) == 0);
+        }
+        let key = base + rng.u64_below(TCP_KEYS_PER_CLIENT);
+        let roll = rng.u64_below(100);
+        if roll < 60 {
+            c.get(key);
+        } else if roll < 90 {
+            let data = format!("c{client}k{key}v{i}").into_bytes();
+            c.set(key, data);
+        } else {
+            c.delete(key);
+        }
+    }
+    // Final sweep: every owned key must read back exactly the model.
+    for key in base..base + TCP_KEYS_PER_CLIENT {
+        c.get(key);
+    }
+    (c.faulted, c.reconnects)
+}
+
+#[test]
+fn chaos_soak_survives_tcp_client_churn() {
+    let mut cfg = ServerConfig::loopback(2);
+    cfg.store.fault_rates = FaultRates::uniform(0.01);
+    cfg.store.fault_seed = 0xC_4A05;
+    let server = serve("127.0.0.1:0", cfg).expect("bind churn server");
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = (0..TCP_CLIENTS)
+        .map(|client| std::thread::spawn(move || tcp_soak_client(addr, client)))
+        .collect();
+    let mut faulted = 0u64;
+    let mut reconnects = 0u64;
+    for h in handles {
+        let (f, r) = h.join().expect("soak client panicked");
+        faulted += f;
+        reconnects += r;
+    }
+
+    let expected_kills = (TCP_OPS_PER_CLIENT - 1) / TCP_KILL_EVERY;
+    assert_eq!(
+        reconnects,
+        (TCP_CLIENTS * expected_kills) as u64,
+        "every scheduled kill reconnected"
+    );
+
+    let ledger = server.stop();
+    let conns = (TCP_CLIENTS * (expected_kills + 1)) as u64;
+    assert_eq!(ledger.server.connections, conns, "dials = initial + kills");
+    assert_eq!(
+        ledger.server.disconnects, conns,
+        "every connection (torn frames included) tore down cleanly"
+    );
+    assert!(
+        ledger.server.requests >= (TCP_CLIENTS * TCP_OPS_PER_CLIENT) as u64,
+        "every surviving op reached the data plane"
+    );
+    assert!(
+        ledger.fault_view().total_faults() > 0,
+        "the 1% fault plane must actually fire under TCP traffic"
+    );
+    // Retries absorb most injected faults; the ones that exhaust their
+    // budget surface as SERVER_ERROR and are counted by the clients.
+    assert_eq!(
+        ledger.core.device_errors, faulted,
+        "visible SERVER_ERRORs match the store's exhausted-retry count"
+    );
 }
