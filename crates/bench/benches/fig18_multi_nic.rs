@@ -17,7 +17,7 @@ use kvd_bench::{banner, fmt_f, shape_check, Table, SCALED_MEMORY, SCALED_MEMORY_
 use kvd_core::parallel::{ParallelSimConfig, ParallelSystemSim};
 use kvd_core::{KvDirectConfig, MultiNicStore};
 use kvd_net::KvRequest;
-use kvd_sim::DetRng;
+use kvd_sim::{DetRng, SimTime};
 
 /// Corpus per NIC: the population scales with the shard count so every
 /// NIC sees the same per-shard key-space density regardless of how many
@@ -37,14 +37,69 @@ fn workload(total: usize, population: u64, seed: u64) -> Vec<KvRequest> {
         .collect()
 }
 
-fn engine(shards: usize, workers: usize) -> ParallelSystemSim {
+/// Harness overrides from the command line. `--workers N` picks the
+/// worker-thread count (default: the machine's parallelism), `--quantum-us Q`
+/// the arbiter window, `--lookahead D` the credit depth. Workers and
+/// lookahead never change simulated results (the determinism suite pins
+/// that); a non-default quantum does, so the shape gates below assume
+/// the paper's.
+#[derive(Default, Clone, Copy)]
+struct Cli {
+    workers: Option<usize>,
+    quantum_us: Option<u64>,
+    lookahead: Option<u32>,
+}
+
+fn parse_cli() -> Cli {
+    fn value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+        args.next()
+            .unwrap_or_else(|| panic!("{flag} requires a value"))
+    }
+    let mut cli = Cli::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--workers" => {
+                cli.workers = Some(value(&mut args, "--workers").parse().expect("--workers: N"))
+            }
+            "--quantum-us" => {
+                cli.quantum_us = Some(
+                    value(&mut args, "--quantum-us")
+                        .parse()
+                        .expect("--quantum-us: microseconds"),
+                )
+            }
+            "--lookahead" => {
+                cli.lookahead = Some(
+                    value(&mut args, "--lookahead")
+                        .parse()
+                        .expect("--lookahead: depth >= 1"),
+                )
+            }
+            // Cargo's bench runner forwards its own flags (`--bench`,
+            // filter strings); only this harness's flags are consumed.
+            other => eprintln!("fig18: ignoring argument {other}"),
+        }
+    }
+    cli
+}
+
+/// Builds the simulation. `forced_workers` pins the worker count for the
+/// wall-clock comparison; `None` defers to `--workers` (or auto).
+fn engine(shards: usize, forced_workers: Option<usize>, cli: Cli) -> ParallelSystemSim {
     let mut cfg = ParallelSimConfig::paper(
         KvDirectConfig::with_memory(SCALED_MEMORY_BIG),
         BATCH,
         shards,
     );
     cfg.shard.windows = WINDOWS;
-    cfg.workers = workers;
+    cfg.workers = forced_workers.unwrap_or_else(|| cli.workers.unwrap_or(0));
+    if let Some(q) = cli.quantum_us {
+        cfg.arbiter.quantum = SimTime::from_us(q);
+    }
+    if let Some(d) = cli.lookahead {
+        cfg.arbiter.lookahead = d.max(1);
+    }
     let mut sim = ParallelSystemSim::new(cfg);
     for id in 0..POPULATION_PER_NIC * shards as u64 {
         sim.preload_put(&id.to_le_bytes(), &[id as u8; 8])
@@ -54,11 +109,18 @@ fn engine(shards: usize, workers: usize) -> ParallelSystemSim {
 }
 
 fn main() {
+    let cli = parse_cli();
     banner(
         "Multi-NIC scaling (paper §5.2): 10 NICs → 1.22 Gops",
         "throughput scales near-linearly with NICs until the server's \
          aggregate host memory bandwidth caps it just above 1.2 Gops",
     );
+    if cli.workers.is_some() || cli.quantum_us.is_some() || cli.lookahead.is_some() {
+        println!(
+            "overrides: workers {:?}, quantum {:?} us, lookahead {:?}\n",
+            cli.workers, cli.quantum_us, cli.lookahead
+        );
+    }
 
     let mut t = Table::new(
         "simulated throughput vs number of NICs",
@@ -76,7 +138,7 @@ fn main() {
     let mut mops_10 = 0.0;
     let mut stalled_10 = false;
     for &n in &[1usize, 2, 3, 4, 5, 6, 8, 10] {
-        let mut sim = engine(n, 0);
+        let mut sim = engine(n, None, cli);
         let r = sim.run(&workload(
             OPS_PER_NIC * n,
             POPULATION_PER_NIC * n as u64,
@@ -116,10 +178,10 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     let started = Instant::now();
-    let seq = engine(10, 1).run(&reqs);
+    let seq = engine(10, Some(1), cli).run(&reqs);
     let t_seq = started.elapsed();
     let started = Instant::now();
-    let par = engine(10, 0).run(&reqs);
+    let par = engine(10, None, cli).run(&reqs);
     let t_par = started.elapsed();
     let speedup = t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-9);
     println!(

@@ -243,8 +243,12 @@ fn main() {
     };
 
     let presets = [YcsbPreset::A, YcsbPreset::B, YcsbPreset::C];
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut seq = Vec::new();
     let mut par4 = Vec::new();
+    let mut par8 = Vec::new();
     let mut t = Table::new(
         "wall-clock engine throughput (simulated Mops per real second)",
         &[
@@ -276,6 +280,19 @@ fn main() {
             format!("{sim:.1}"),
         ]);
         par4.push((wall, sim));
+    }
+    // The 8-shard curve has no pre-rework baseline: the lockstep engine
+    // was retired before it first ran. Its committed result is the gate.
+    for &p in presets.iter() {
+        let (wall, sim) = best_of(2, &|| par_run(p, 8));
+        t.row(&[
+            format!("par8 {p:?}"),
+            "-".to_string(),
+            format!("{wall:.3}"),
+            "-".to_string(),
+            format!("{sim:.1}"),
+        ]);
+        par8.push((wall, sim));
     }
     let micro = best_of(2, &|| (micro_b(), 0.0)).0;
     t.row(&[
@@ -319,7 +336,7 @@ fn main() {
     println!();
 
     let json = format!(
-        "{{\n  \"config\": {{\"population\": {POP}, \"ops_seq\": {OPS_SEQ}, \"ops_micro\": {OPS_MICRO}, \"value_len\": {VALUE_LEN}}},\n  \"before\": {{\n    \"seq_a_wall_mops\": {:.3}, \"seq_b_wall_mops\": {:.3}, \"seq_c_wall_mops\": {:.3},\n    \"par4_a_wall_mops\": {:.3}, \"par4_b_wall_mops\": {:.3}, \"par4_c_wall_mops\": {:.3},\n    \"micro_b_wall_mops\": {:.3}, \"allocs_per_get\": {:.2},\n    \"seq_a_sim_mops\": {:.1}, \"seq_b_sim_mops\": {:.1}, \"seq_c_sim_mops\": {:.1},\n    \"par4_a_sim_mops\": {:.1}, \"par4_b_sim_mops\": {:.1}, \"par4_c_sim_mops\": {:.1}\n  }},\n  \"after\": {{\n    \"seq_a_wall_mops\": {:.3}, \"seq_b_wall_mops\": {:.3}, \"seq_c_wall_mops\": {:.3},\n    \"par4_a_wall_mops\": {:.3}, \"par4_b_wall_mops\": {:.3}, \"par4_c_wall_mops\": {:.3},\n    \"micro_b_wall_mops\": {:.3}, \"allocs_per_get\": {:.2},\n    \"micro_b_speedup\": {:.2},\n    \"seq_a_sim_mops\": {:.1}, \"seq_b_sim_mops\": {:.1}, \"seq_c_sim_mops\": {:.1},\n    \"par4_a_sim_mops\": {:.1}, \"par4_b_sim_mops\": {:.1}, \"par4_c_sim_mops\": {:.1},\n    \"server_rps\": {:.0}, \"server_goodput_rps\": {:.0}\n  }}\n}}\n",
+        "{{\n  \"config\": {{\"population\": {POP}, \"ops_seq\": {OPS_SEQ}, \"ops_micro\": {OPS_MICRO}, \"value_len\": {VALUE_LEN}}},\n  \"before\": {{\n    \"seq_a_wall_mops\": {:.3}, \"seq_b_wall_mops\": {:.3}, \"seq_c_wall_mops\": {:.3},\n    \"par4_a_wall_mops\": {:.3}, \"par4_b_wall_mops\": {:.3}, \"par4_c_wall_mops\": {:.3},\n    \"micro_b_wall_mops\": {:.3}, \"allocs_per_get\": {:.2},\n    \"seq_a_sim_mops\": {:.1}, \"seq_b_sim_mops\": {:.1}, \"seq_c_sim_mops\": {:.1},\n    \"par4_a_sim_mops\": {:.1}, \"par4_b_sim_mops\": {:.1}, \"par4_c_sim_mops\": {:.1}\n  }},\n  \"after\": {{\n    \"seq_a_wall_mops\": {:.3}, \"seq_b_wall_mops\": {:.3}, \"seq_c_wall_mops\": {:.3},\n    \"par4_a_wall_mops\": {:.3}, \"par4_b_wall_mops\": {:.3}, \"par4_c_wall_mops\": {:.3},\n    \"par8_a_wall_mops\": {:.3}, \"par8_b_wall_mops\": {:.3}, \"par8_c_wall_mops\": {:.3},\n    \"micro_b_wall_mops\": {:.3}, \"allocs_per_get\": {:.2},\n    \"micro_b_speedup\": {:.2},\n    \"seq_a_sim_mops\": {:.1}, \"seq_b_sim_mops\": {:.1}, \"seq_c_sim_mops\": {:.1},\n    \"par4_a_sim_mops\": {:.1}, \"par4_b_sim_mops\": {:.1}, \"par4_c_sim_mops\": {:.1},\n    \"par8_a_sim_mops\": {:.1}, \"par8_b_sim_mops\": {:.1}, \"par8_c_sim_mops\": {:.1},\n    \"server_rps\": {:.0}, \"server_goodput_rps\": {:.0},\n    \"cores\": {cores}\n  }}\n}}\n",
         BEFORE_SEQ[0].1, BEFORE_SEQ[1].1, BEFORE_SEQ[2].1,
         BEFORE_PAR4[0].1, BEFORE_PAR4[1].1, BEFORE_PAR4[2].1,
         BEFORE_MICRO_B, BEFORE_ALLOCS_PER_GET,
@@ -327,10 +344,12 @@ fn main() {
         BEFORE_SIM_PAR4[0], BEFORE_SIM_PAR4[1], BEFORE_SIM_PAR4[2],
         seq[0].0, seq[1].0, seq[2].0,
         par4[0].0, par4[1].0, par4[2].0,
+        par8[0].0, par8[1].0, par8[2].0,
         micro, allocs,
         micro / BEFORE_MICRO_B,
         seq[0].1, seq[1].1, seq[2].1,
         par4[0].1, par4[1].1, par4[2].1,
+        par8[0].1, par8[1].1, par8[2].1,
         srv_rps, srv_goodput,
     );
     match std::fs::write(json_path, &json) {
@@ -364,6 +383,19 @@ fn main() {
         &format!(
             "seq [{:.1}, {:.1}, {:.1}] par4 [{:.1}, {:.1}, {:.1}] vs recorded baseline",
             seq[0].1, seq[1].1, seq[2].1, par4[0].1, par4[1].1, par4[2].1
+        ),
+    );
+    // Scaling gate for the asynchronous credit arbiter: driving 4 shards
+    // with worker threads must cost no more wall-clock per op than the
+    // sequential engine. Meaningless on a single-core box (the workers
+    // time-slice one CPU), so the guard mirrors fig18's.
+    let scaling_ok = cores == 1 || seq.iter().zip(&par4).all(|(s, p)| p.0 >= 0.9 * s.0);
+    shape_check(
+        "par4 wall-clock >= 0.9x sequential on A/B/C",
+        scaling_ok,
+        &format!(
+            "par4 [{:.3}, {:.3}, {:.3}] vs seq [{:.3}, {:.3}, {:.3}] Mops/wall-s ({cores} cores)",
+            par4[0].0, par4[1].0, par4[2].0, seq[0].0, seq[1].0, seq[2].0
         ),
     );
     match committed

@@ -41,6 +41,6 @@ pub use parallel::{ParallelSimConfig, ParallelSimReport, ParallelSystemSim};
 pub use processor::{KvProcessor, ProcessorStats};
 pub use store::{KvDirectConfig, KvDirectStore, MultiNicStore, StoreError};
 pub use system::{
-    Percentile, RunSummary, StepOutcome, SystemSim, SystemSimConfig, SystemSimReport,
+    Percentile, RunSummary, StepOutcome, SystemSim, SystemSimConfig, SystemSimReport, WindowStep,
 };
 pub use timing::{SystemModel, ThroughputBreakdown, WorkloadSpec};

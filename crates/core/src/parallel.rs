@@ -12,35 +12,49 @@
 //!
 //! # Synchronization scheme
 //!
-//! Shards advance in lockstep *lookahead windows* of one arbiter quantum.
-//! Window `k` spans `[h_k, h_k + q)`: every shard simulates all request
-//! batches that issue inside the window (issue times floored at `h_k`),
-//! counting the host cache lines its DMA engines touched. At the barrier
-//! the aggregate is charged to the arbiter; an oversubscribed window
-//! stretches the next window's start, `h_{k+1} = h_k + q + stall`, so
-//! every shard's subsequent requests are pushed out and aggregate
-//! throughput degrades exactly to the host's random-access capacity —
-//! the Figure 18 knee emerges from contention, not from a formula.
+//! Simulated time advances in *arbiter windows* of one quantum. Window
+//! `k` spans `[f_k, f_k + q)`: a shard simulates all request batches that
+//! issue inside the window (issue times floored at `f_k`), counting the
+//! host cache lines its DMA engines touched. When every shard's window-k
+//! traffic is in, the aggregate is charged to the arbiter; an
+//! oversubscribed window stretches the next window's floor,
+//! `f_{k+1} = f_k + q + stall`, so every shard's subsequent requests are
+//! pushed out and aggregate throughput degrades exactly to the host's
+//! random-access capacity — the Figure 18 knee emerges from contention,
+//! not from a formula.
+//!
+//! Coordination is *asynchronous*: instead of a global barrier (spawn
+//! threads, step every shard, merge every window ledger, repeat each
+//! 8 µs quantum), persistent workers draw credit from a
+//! [`CreditArbiter`]. A shard publishes its window as three `u64`s
+//! through its own atomic cell; whichever publication closes the window
+//! settles it and releases the next; shards that cannot touch a window
+//! (drained, or next event beyond the horizon) are settled by
+//! Chandy–Misra null messages without their threads waking. Per-window
+//! `OpLedger` merges are gone from the hot path entirely — each shard's
+//! ledger accumulates in place and is folded once per report.
 //!
 //! # Determinism
 //!
 //! Within a window each shard's evolution depends only on its own state
 //! and the `(horizon, floor)` pair, which is itself a pure function of
-//! per-window aggregate traffic — a sum of `u64`s accumulated in shard
-//! order, independent of which OS thread stepped which shard. Worker
-//! threads only partition the shard vector; they exchange no other
-//! state. A run is therefore bit-identical for any worker count, which
-//! `tests/parallel_determinism.rs` enforces.
+//! per-window aggregate traffic — a commutative sum of `u64`s,
+//! independent of which OS thread stepped which shard and of how far any
+//! worker ran ahead. Worker threads only partition the shard vector;
+//! they exchange no other state. A run is therefore bit-identical for
+//! any worker count and any lookahead depth, which
+//! `tests/parallel_determinism.rs` enforces over a depth × worker ×
+//! quantum matrix.
 
 use kvd_net::{shard_of, KvRequest, Status};
 use kvd_sim::{
-    ArbiterStats, FaultCounters, Histogram, HostArbiter, HostArbiterConfig, OpLedger, RunSummary,
-    SimTime,
+    ArbiterStats, Credit, CreditArbiter, FaultCounters, Histogram, HostArbiterConfig, OpLedger,
+    RunSummary, SimTime,
 };
 
 use crate::overload::OverloadCounters;
 use crate::store::{KvDirectConfig, KvDirectStore, StoreError};
-use crate::system::{StepOutcome, SystemSim, SystemSimConfig, SystemSimReport};
+use crate::system::{SystemSim, SystemSimConfig, SystemSimReport};
 
 /// Decorrelates shard fault schedules: shard `i`'s store fault seed is
 /// xored with `i * SHARD_FAULT_SALT` so ten NICs never fault in lockstep.
@@ -63,6 +77,13 @@ pub struct ParallelSimConfig {
     /// Master seed; each shard's rng/jitter forks deterministically from
     /// it, so shard `i` behaves identically regardless of shard count.
     pub seed: u64,
+    /// Retain each shard's full individual report in
+    /// [`ParallelSimReport::per_shard`]. Off by default: every shard's
+    /// report carries its histograms and full op-cost ledger, so a
+    /// large-shard-count run would pay O(shards) payload on every
+    /// report (and every report clone/compare) for data most callers
+    /// never read.
+    pub per_shard_reports: bool,
 }
 
 impl ParallelSimConfig {
@@ -75,7 +96,15 @@ impl ParallelSimConfig {
             workers: 0,
             arbiter: HostArbiterConfig::paper(),
             seed: 0xF1_618,
+            per_shard_reports: false,
         }
+    }
+
+    /// Builder flag: retain per-shard reports (see
+    /// [`Self::per_shard_reports`]).
+    pub fn with_per_shard_reports(mut self) -> Self {
+        self.per_shard_reports = true;
+        self
     }
 }
 
@@ -95,7 +124,8 @@ pub struct ParallelSimReport {
     /// The op-cost ledger merged across shards in shard order
     /// (deterministic: bit-identical for any worker count).
     pub ledger: OpLedger,
-    /// Each shard's individual report, in shard order.
+    /// Each shard's individual report, in shard order. Empty unless
+    /// [`ParallelSimConfig::per_shard_reports`] is set.
     pub per_shard: Vec<SystemSimReport>,
     /// Host-memory arbiter activity (windows, oversubscription, stall).
     pub arbiter: ArbiterStats,
@@ -136,7 +166,7 @@ impl std::ops::Deref for ParallelSimReport {
 pub struct ParallelSystemSim {
     cfg: ParallelSimConfig,
     sims: Vec<SystemSim>,
-    arbiter: HostArbiter,
+    credit: CreditArbiter,
 }
 
 impl ParallelSystemSim {
@@ -144,7 +174,8 @@ impl ParallelSystemSim {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg.shards == 0`.
+    /// Panics if `cfg.shards == 0`, the arbiter quantum is zero, or the
+    /// lookahead depth is zero.
     pub fn new(cfg: ParallelSimConfig) -> Self {
         assert!(cfg.shards > 0, "need at least one shard");
         let sims = (0..cfg.shards)
@@ -156,7 +187,7 @@ impl ParallelSystemSim {
             })
             .collect();
         ParallelSystemSim {
-            arbiter: HostArbiter::new(cfg.arbiter.clone()),
+            credit: CreditArbiter::new(cfg.arbiter.clone(), cfg.shards),
             sims,
             cfg,
         }
@@ -208,19 +239,36 @@ impl ParallelSystemSim {
     /// Routes the stream to its owning shards, simulates to completion,
     /// and merges the per-shard reports.
     pub fn run(&mut self, reqs: &[KvRequest]) -> ParallelSimReport {
+        self.stage(reqs);
+        self.drive_staged();
+        self.merged_report()
+    }
+
+    /// Routes and stages a closed-loop stream without driving it —
+    /// [`Self::run`] is `stage` + [`Self::drive_staged`] +
+    /// [`Self::merged_report`], split so callers can separate routing
+    /// allocations from the allocation-free drive (and time them
+    /// independently).
+    pub fn stage(&mut self, reqs: &[KvRequest]) {
         // Client-side routing: each key's shard is a pure hash, so the
         // partition is independent of worker count and request order
-        // within a shard is preserved.
+        // within a shard is preserved. The routed buffers are handed to
+        // the shards whole — one clone per request, not two.
         let n = self.sims.len();
         let mut routed: Vec<Vec<KvRequest>> = vec![Vec::new(); n];
         for r in reqs {
             routed[shard_of(&r.key, n)].push(r.clone());
         }
-        for (sim, shard_reqs) in self.sims.iter_mut().zip(&routed) {
-            sim.load(shard_reqs);
+        for (sim, shard_reqs) in self.sims.iter_mut().zip(routed) {
+            sim.load_owned(shard_reqs);
         }
+    }
+
+    /// Drives the staged streams to completion (see [`Self::stage`]).
+    /// Steady-state allocation-free with one worker; multi-worker runs
+    /// allocate only the scoped worker threads.
+    pub fn drive_staged(&mut self) {
         self.drive();
-        self.merged_report()
     }
 
     /// Open-loop variant of [`Self::run`]: each request carries its
@@ -228,101 +276,168 @@ impl ParallelSystemSim {
     /// arrival order, so every shard sees a sorted sub-schedule.
     pub fn run_open(&mut self, reqs: &[(SimTime, KvRequest)]) -> ParallelSimReport {
         let n = self.sims.len();
-        let mut routed: Vec<Vec<(SimTime, KvRequest)>> = vec![Vec::new(); n];
+        let mut routed: Vec<Vec<KvRequest>> = vec![Vec::new(); n];
+        let mut arrivals: Vec<Vec<SimTime>> = vec![Vec::new(); n];
         for (t, r) in reqs {
-            routed[shard_of(&r.key, n)].push((*t, r.clone()));
+            let s = shard_of(&r.key, n);
+            routed[s].push(r.clone());
+            arrivals[s].push(*t);
         }
-        for (sim, shard_reqs) in self.sims.iter_mut().zip(&routed) {
-            sim.load_open(shard_reqs);
+        for ((sim, shard_reqs), shard_arrivals) in self.sims.iter_mut().zip(routed).zip(arrivals) {
+            sim.load_open_owned(shard_reqs, shard_arrivals);
         }
         self.drive();
         self.merged_report()
     }
 
-    /// Steps every shard through lockstep arbiter windows until all
-    /// staged streams drain; at each barrier the aggregate host traffic
-    /// is charged to the arbiter and the resulting stall is both applied
-    /// as the next window's issue floor and fed back to every shard as
-    /// backpressure (`stall / quantum` host stretch).
+    /// Drives every shard's staged stream to completion through the
+    /// asynchronous credit arbiter: persistent workers draw `(window,
+    /// floor, horizon, stall)` credit per shard, publish the three
+    /// scalars each window produced, and the arbiter settles windows as
+    /// they close (by real publications or by null messages for idle
+    /// shards). The settled stall feeds back into each shard as
+    /// backpressure (`stall / quantum` host stretch) exactly when the
+    /// shard next executes — the only time the gauge is read — so the
+    /// per-shard `(absorb, advance)` sequence is bit-identical to the
+    /// lockstep barrier's.
     fn drive(&mut self) {
-        let n = self.sims.len();
-        let quantum = self.arbiter.quantum();
-        let workers = self.worker_count();
-        let chunk = n.div_ceil(workers);
-        let mut outcomes = vec![
-            StepOutcome {
-                window: OpLedger::default(),
-                done: true,
-            };
-            n
-        ];
-        let mut floor = SimTime::ZERO;
-        loop {
-            let horizon = floor + quantum;
+        let quantum = self.credit.quantum();
+        let lookahead = u64::from(self.credit.lookahead().max(1));
+        self.credit.begin();
+        // Shards whose routed stream is empty publish a terminal null up
+        // front; the settlement cascade carries them from there.
+        for (i, sim) in self.sims.iter().enumerate() {
+            if sim.staged_done() {
+                self.credit.publish(i, 0, SimTime::MAX, true);
+            }
+        }
+        if !self.credit.all_done() {
+            let workers = self.worker_count();
+            let credit = &self.credit;
             if workers == 1 {
-                for (sim, out) in self.sims.iter_mut().zip(outcomes.iter_mut()) {
-                    *out = sim.step(horizon, floor);
-                }
+                Self::work(credit, 0, &mut self.sims, quantum, lookahead);
             } else {
+                let chunk = self.sims.len().div_ceil(workers);
                 crossbeam::thread::scope(|s| {
-                    for (sims, outs) in self.sims.chunks_mut(chunk).zip(outcomes.chunks_mut(chunk))
-                    {
-                        s.spawn(move |_| {
-                            for (sim, out) in sims.iter_mut().zip(outs.iter_mut()) {
-                                *out = sim.step(horizon, floor);
-                            }
-                        });
+                    for (ci, sims) in self.sims.chunks_mut(chunk).enumerate() {
+                        s.spawn(move |_| Self::work(credit, ci * chunk, sims, quantum, lookahead));
                     }
                 })
                 .expect("shard worker panicked");
             }
-            // Barrier: merge the window ledgers in shard order (counter
-            // sums and gauge maxes — independent of which worker produced
-            // which outcome) and charge the host traffic they carry.
-            let mut window = OpLedger::default();
-            for o in &outcomes {
-                window.merge(&o.window);
-            }
-            let stall = self.arbiter.charge(window.host_lines());
-            for sim in self.sims.iter_mut() {
-                sim.absorb_host_stall(stall, quantum);
-            }
-            floor = horizon + stall;
-            if outcomes.iter().all(|o| o.done) {
-                break;
-            }
+        }
+        // Leave every shard's pressure gauge holding the final window's
+        // verdict, as the barrier engine did.
+        let stall = self.credit.last_stall();
+        for sim in self.sims.iter_mut() {
+            sim.absorb_host_stall(stall, quantum);
         }
     }
 
-    fn merged_report(&self) -> ParallelSimReport {
+    /// One worker's loop over its owned shard slice (`base..base +
+    /// sims.len()` in global shard indices). Bursts up to `lookahead`
+    /// consecutive windows on a shard before servicing the next, and
+    /// sleeps on the arbiter only when every owned shard is blocked on
+    /// settlement — which, with a single worker, never happens (the
+    /// publication closing a window settles it synchronously).
+    fn work(
+        credit: &CreditArbiter,
+        base: usize,
+        sims: &mut [SystemSim],
+        quantum: SimTime,
+        lookahead: u64,
+    ) {
+        let mut seen = credit.settled();
+        loop {
+            let mut progressed = false;
+            let mut live = false;
+            for (off, sim) in sims.iter_mut().enumerate() {
+                let shard = base + off;
+                let mut burst = 0u64;
+                loop {
+                    match credit.credit(shard) {
+                        Credit::Step {
+                            window,
+                            floor,
+                            horizon,
+                            stall,
+                        } => {
+                            // Fold the settled stall of the previous
+                            // window into the shard's backpressure gauge
+                            // before stepping (window 0 has no previous
+                            // window: its gauge keeps the load-time
+                            // zeros, as under the barrier).
+                            if window > 0 {
+                                sim.absorb_host_stall(stall, quantum);
+                            }
+                            let w = sim.step_window(horizon, floor);
+                            credit.publish(shard, w.host_lines, w.next_event, w.done);
+                            progressed = true;
+                            if w.done {
+                                break;
+                            }
+                            burst += 1;
+                            if burst >= lookahead {
+                                live = true;
+                                break;
+                            }
+                        }
+                        Credit::Blocked => {
+                            live = true;
+                            break;
+                        }
+                        Credit::ShardDone => break,
+                    }
+                }
+            }
+            if !live || credit.all_done() {
+                return;
+            }
+            seen = if progressed {
+                credit.settled()
+            } else {
+                credit.wait_progress(seen)
+            };
+        }
+    }
+
+    /// Folds the per-shard state into one report. Shard-order fold:
+    /// ledger merge is associative and commutative, but folding in shard
+    /// order keeps the invariant trivially auditable (and bit-identical
+    /// for any worker count). Per-shard reports are retained only when
+    /// [`ParallelSimConfig::per_shard_reports`] is set.
+    pub fn merged_report(&self) -> ParallelSimReport {
         let n = self.sims.len();
-        let per_shard: Vec<SystemSimReport> = self.sims.iter().map(|s| s.report()).collect();
-        let ops: u64 = per_shard.iter().map(|r| r.ops).sum();
-        let elapsed = per_shard
-            .iter()
-            .map(|r| r.elapsed)
-            .max()
-            .unwrap_or(SimTime::ZERO);
+        let mut ops = 0u64;
+        let mut elapsed = SimTime::ZERO;
+        let mut goodput_ops = 0u64;
+        let mut shed_ops = 0u64;
+        let mut expired_ops = 0u64;
         let mut get_hist = Histogram::new();
         let mut put_hist = Histogram::new();
-        // Shard-order fold: ledger merge is associative and commutative,
-        // but folding in shard order keeps the invariant trivially
-        // auditable (and bit-identical for any worker count).
         let mut ledger = OpLedger::default();
+        let mut overload = OverloadCounters::default();
+        let mut faults = FaultCounters::default();
+        let mut per_shard = Vec::new();
+        if self.cfg.per_shard_reports {
+            per_shard.reserve_exact(n);
+        }
         for sim in &self.sims {
+            let r = sim.report();
+            ops += r.ops;
+            elapsed = elapsed.max(r.elapsed);
+            goodput_ops += r.goodput_ops;
+            shed_ops += r.shed_ops;
+            expired_ops += r.expired_ops;
             let (g, p) = sim.histograms();
             get_hist.merge(g);
             put_hist.merge(p);
-            ledger.merge(&sim.ledger());
-        }
-        let goodput_ops: u64 = per_shard.iter().map(|r| r.goodput_ops).sum();
-        let shed_ops: u64 = per_shard.iter().map(|r| r.shed_ops).sum();
-        let expired_ops: u64 = per_shard.iter().map(|r| r.expired_ops).sum();
-        let mut overload = OverloadCounters::default();
-        let mut faults = FaultCounters::default();
-        for r in &per_shard {
+            ledger.merge(&r.ledger);
             overload.merge(&r.overload);
             faults.merge(&r.faults);
+            if self.cfg.per_shard_reports {
+                per_shard.push(r);
+            }
         }
         ParallelSimReport {
             shards: n,
@@ -339,7 +454,7 @@ impl ParallelSystemSim {
             faults,
             ledger,
             per_shard,
-            arbiter: self.arbiter.stats(),
+            arbiter: self.credit.stats(),
         }
     }
 }
@@ -374,7 +489,8 @@ mod tests {
 
     #[test]
     fn all_ops_complete_and_land_in_one_histogram() {
-        let cfg = ParallelSimConfig::paper(KvDirectConfig::with_memory(1 << 20), 8, 4);
+        let cfg = ParallelSimConfig::paper(KvDirectConfig::with_memory(1 << 20), 8, 4)
+            .with_per_shard_reports();
         let mut sim = preloaded(cfg, 2_000);
         let r = sim.run(&workload(4_000, 2_000, 11));
         assert_eq!(r.ops, 4_000);
@@ -420,7 +536,8 @@ mod tests {
         // With faults on, each shard must fault on its own schedule: a
         // lockstep schedule would make every NIC retry the same ops at
         // the same time, which no real deployment does.
-        let mut cfg = ParallelSimConfig::paper(KvDirectConfig::with_memory(1 << 20), 8, 4);
+        let mut cfg = ParallelSimConfig::paper(KvDirectConfig::with_memory(1 << 20), 8, 4)
+            .with_per_shard_reports();
         cfg.shard.store.fault_rates = kvd_sim::FaultRates::uniform(0.02);
         cfg.shard.store.fault_seed = 9;
         let mut sim = preloaded(cfg, 2_000);

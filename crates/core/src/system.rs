@@ -165,6 +165,11 @@ pub struct SystemSim {
     open_loop: bool,
     record_outcomes: bool,
     outcomes: Vec<(Status, Vec<u8>)>,
+    /// The one response buffer the functional pass decodes into,
+    /// persisted across batches (and runs) so its value buffer keeps
+    /// circulating through the processor's pool instead of leaking one
+    /// pooled buffer per batch.
+    resp: KvResponse,
     goodput_ops: u64,
     shed_ops: u64,
     expired_ops: u64,
@@ -219,6 +224,24 @@ impl StepOutcome {
     }
 }
 
+/// The lean window summary returned by [`SystemSim::step_window`]: just
+/// the three scalars the credit arbiter settles on, no ledger
+/// materialization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowStep {
+    /// Host-memory cache lines (PCIe DMA reads + writes) issued inside
+    /// the window — identical to [`StepOutcome::host_lines`] for the
+    /// same window (the simulator's PCIe DMA ledger entries are sourced
+    /// solely from the memory engine's access counters).
+    pub host_lines: u64,
+    /// The shard's next natural event time (see [`SystemSim::next_event`]):
+    /// the earliest instant at which its next batch could cut, before any
+    /// floor is applied. [`SimTime::MAX`] once the stream is drained.
+    pub next_event: SimTime,
+    /// True once every staged request has completed.
+    pub done: bool,
+}
+
 impl SystemSim {
     /// Builds the simulator with the default seed.
     pub fn new(cfg: SystemSimConfig) -> Self {
@@ -267,6 +290,10 @@ impl SystemSim {
             open_loop: false,
             record_outcomes: false,
             outcomes: Vec::new(),
+            resp: KvResponse {
+                status: Status::Ok,
+                value: Vec::new(),
+            },
             goodput_ops: 0,
             shed_ops: 0,
             expired_ops: 0,
@@ -321,6 +348,38 @@ impl SystemSim {
         self.load(&[]);
         self.pending.extend(reqs.iter().map(|(_, r)| r.clone()));
         self.arrivals.extend(reqs.iter().map(|(t, _)| *t));
+        self.open_loop = true;
+    }
+
+    /// [`Self::load`] taking ownership of the stream: the staged buffer
+    /// is moved in rather than deep-copied (each [`KvRequest`] owns its
+    /// key and value bytes, so `extend_from_slice` clones every one).
+    /// The parallel router stages its per-shard streams this way.
+    pub fn load_owned(&mut self, reqs: Vec<KvRequest>) {
+        self.load(&[]);
+        self.pending = reqs;
+    }
+
+    /// [`Self::load_open`] taking ownership of the split schedule.
+    /// `arrivals[i]` is request `i`'s issue instant; the two vectors must
+    /// be equal length and the arrivals non-decreasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ or arrivals are not sorted.
+    pub fn load_open_owned(&mut self, reqs: Vec<KvRequest>, arrivals: Vec<SimTime>) {
+        assert_eq!(
+            reqs.len(),
+            arrivals.len(),
+            "one arrival instant per request"
+        );
+        assert!(
+            arrivals.windows(2).all(|w| w[0] <= w[1]),
+            "open-loop arrivals must be sorted by time"
+        );
+        self.load(&[]);
+        self.pending = reqs;
+        self.arrivals = arrivals;
         self.open_loop = true;
     }
 
@@ -385,9 +444,65 @@ impl SystemSim {
     /// the batch *issues* (a conservative approximation: completion may
     /// spill past the horizon by at most one batch's service time).
     pub fn step(&mut self, horizon: SimTime, floor: SimTime) -> StepOutcome {
+        let base = self.ledger();
+        self.advance(horizon, floor);
+        StepOutcome {
+            window: self.ledger().since(&base),
+            done: self.staged_done(),
+        }
+    }
+
+    /// [`Self::step`] without the ledger materialization: advances the
+    /// window and returns only the scalars the parallel engine's credit
+    /// arbiter settles on. Two full-ledger clones per window per shard
+    /// (entry baseline + exit delta) become three `u64` loads, which is
+    /// what lets the asynchronous engine's publication path stay off the
+    /// allocator entirely.
+    pub fn step_window(&mut self, horizon: SimTime, floor: SimTime) -> WindowStep {
+        let before = self.store.processor().table().mem().stats();
+        self.advance(horizon, floor);
+        let after = self.store.processor().table().mem().stats();
+        WindowStep {
+            host_lines: after.since(&before).dma_ops(),
+            next_event: self.next_event(),
+            done: self.staged_done(),
+        }
+    }
+
+    /// True once every staged request has completed.
+    pub fn staged_done(&self) -> bool {
+        self.cursor >= self.pending.len()
+    }
+
+    /// The earliest instant the next staged batch could cut, before any
+    /// issue floor: the next batch's last arrival in open-loop mode, the
+    /// earliest free client window in closed-loop mode, [`SimTime::MAX`]
+    /// when drained. A window `[floor, horizon)` with `next_event() >=
+    /// horizon` processes nothing (batch issue times are floored at
+    /// `floor < horizon` but start no earlier than this), which is what
+    /// lets the credit arbiter settle idle windows with null messages
+    /// instead of waking the shard.
+    pub fn next_event(&self) -> SimTime {
+        if self.staged_done() {
+            return SimTime::MAX;
+        }
+        if self.open_loop {
+            let end = (self.cursor + self.cfg.batch.max(1)).min(self.pending.len());
+            self.arrivals[end - 1]
+        } else {
+            self.window_free
+                .iter()
+                .copied()
+                .min()
+                .expect("at least one window")
+        }
+    }
+
+    /// The staged batch loop shared by [`Self::step`] and
+    /// [`Self::step_window`].
+    fn advance(&mut self, horizon: SimTime, floor: SimTime) {
         let batch = self.cfg.batch.max(1);
         let cycle = self.cfg.clock.cycle();
-        let base = self.ledger();
 
         while self.cursor < self.pending.len() {
             let end = (self.cursor + batch).min(self.pending.len());
@@ -477,13 +592,18 @@ impl SystemSim {
                 // and feeds the processor so server-side deadline expiry
                 // sees simulated time.
                 let mut decoded = 0u64;
-                // One response reused across the whole batch: its value
-                // buffer circulates through the processor's pool, so the
-                // steady-state GET path allocates nothing per op.
+                // One response reused across every batch of every run:
+                // its value buffer circulates through the processor's
+                // pool, so the steady-state GET path allocates nothing
+                // per op — and nothing per batch either (dropping a
+                // batch-local response here would leak one pooled buffer
+                // per batch, which the parallel engine's zero-alloc
+                // guard would catch).
                 let mut resp = KvResponse {
                     status: Status::Ok,
                     value: Vec::new(),
                 };
+                std::mem::swap(&mut resp, &mut self.resp);
                 for i in self.cursor..end {
                     let req = &self.pending[i];
                     if dead_at_client(req) {
@@ -517,6 +637,7 @@ impl SystemSim {
                         dram_ps: 0,
                     });
                 }
+                std::mem::swap(&mut resp, &mut self.resp);
                 self.server_free = decode_start + cycle * decoded;
                 self.ledger.net.batches += 1;
                 self.ledger.net.batch_ops += decoded;
@@ -641,11 +762,6 @@ impl SystemSim {
                 }
             }
             self.cursor = end;
-        }
-
-        StepOutcome {
-            window: self.ledger().since(&base),
-            done: self.cursor >= self.pending.len(),
         }
     }
 

@@ -1,0 +1,129 @@
+//! Differential oracle for the lean window path.
+//!
+//! The asynchronous parallel engine settles windows on
+//! [`SystemSim::step_window`]'s three scalars instead of
+//! [`SystemSim::step`]'s full ledger delta. That is only sound if, for
+//! the same window sequence, (a) the scalar `host_lines` equals the
+//! ledger delta's (the simulator's PCIe DMA ledger entries are sourced
+//! solely from the memory engine's access counters), (b) the simulator
+//! state evolves identically (the two paths share `advance`), and (c)
+//! `next_event` really is the idle-skip oracle: a window whose horizon
+//! it clears processes nothing. This file pins all three against twin
+//! simulators driven window-by-window.
+
+use kvd_core::system::{SystemSim, SystemSimConfig};
+use kvd_core::KvDirectConfig;
+use kvd_net::KvRequest;
+use kvd_sim::SimTime;
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn preloaded(pop: u64, batch: usize) -> SystemSim {
+    let mut sim = SystemSim::new(SystemSimConfig::paper(
+        KvDirectConfig::with_memory(1 << 20),
+        batch,
+    ));
+    for id in 0..pop {
+        sim.store_mut()
+            .put(&id.to_le_bytes(), &[id as u8; 8])
+            .expect("preload fits");
+    }
+    sim
+}
+
+fn stream(pop: u64, n: usize, seed: u64) -> Vec<KvRequest> {
+    (0..n as u64)
+        .map(|i| {
+            let id = splitmix(seed ^ i) % pop;
+            if splitmix(i).is_multiple_of(10) {
+                KvRequest::put(&id.to_le_bytes(), &[7u8; 8])
+            } else {
+                KvRequest::get(&id.to_le_bytes())
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn step_window_matches_step_per_window_and_at_the_end() {
+    const POP: u64 = 2_000;
+    let reqs = stream(POP, 6_000, 0x5EED);
+    let mut heavy = preloaded(POP, 24);
+    let mut lean = preloaded(POP, 24);
+    heavy.load(&reqs);
+    lean.load(&reqs);
+
+    let quantum = SimTime::from_us(8);
+    let mut floor = SimTime::ZERO;
+    let mut windows = 0u32;
+    loop {
+        let horizon = floor + quantum;
+        let skip = lean.next_event() >= horizon;
+        let h = heavy.step(horizon, floor);
+        let l = lean.step_window(horizon, floor);
+        assert_eq!(
+            h.host_lines(),
+            l.host_lines,
+            "window {windows}: ledger-delta vs memory-stats host lines"
+        );
+        assert_eq!(h.done, l.done, "window {windows}: done flags");
+        if skip {
+            assert_eq!(
+                l.host_lines, 0,
+                "window {windows}: next_event cleared the horizon, yet the window issued traffic"
+            );
+        }
+        // Inject a stall every third window so the floored path is
+        // exercised, not just back-to-back quanta.
+        let stall = if windows % 3 == 2 {
+            SimTime::from_us(5)
+        } else {
+            SimTime::ZERO
+        };
+        heavy.absorb_host_stall(stall, quantum);
+        lean.absorb_host_stall(stall, quantum);
+        floor = horizon + stall;
+        windows += 1;
+        if l.done {
+            break;
+        }
+        assert!(windows < 1_000_000, "stream failed to drain");
+    }
+    assert!(windows > 3, "stream should span several windows");
+    assert_eq!(
+        heavy.report(),
+        lean.report(),
+        "the two stepping paths must leave identical simulators"
+    );
+}
+
+#[test]
+fn next_event_is_max_once_drained_and_skipped_windows_are_free() {
+    const POP: u64 = 500;
+    let mut sim = preloaded(POP, 8);
+    sim.load(&stream(POP, 400, 0xA11));
+    let mut floor = SimTime::ZERO;
+    let quantum = SimTime::from_us(8);
+    loop {
+        let out = sim.step_window(floor + quantum, floor);
+        floor += quantum;
+        if out.done {
+            assert_eq!(
+                out.next_event,
+                SimTime::MAX,
+                "drained shard must report MAX"
+            );
+            break;
+        }
+    }
+    assert_eq!(sim.next_event(), SimTime::MAX);
+    // Stepping a drained simulator is a no-op window.
+    let extra = sim.step_window(floor + quantum, floor);
+    assert_eq!(extra.host_lines, 0);
+    assert!(extra.done);
+}

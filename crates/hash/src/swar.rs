@@ -60,6 +60,39 @@ pub fn sec_matches(raw: u64, sec: u16) -> bool {
     ((raw >> 31) ^ sec as u64) & 0x1FF == 0
 }
 
+/// Bitmap over all ten slots whose 9-bit secondary-hash field equals
+/// `sec` — the widened form of [`sec_matches`], two slots per compare.
+///
+/// Adjacent slots `2p` and `2p+1` occupy ten consecutive bytes starting
+/// at byte `10p`, so one unaligned 16-byte load covers both: slot `2p`'s
+/// secondary hash sits at bits `31..40` of the little-endian word and
+/// slot `2p+1`'s at bits `71..80` (40 bits further along). XORing a
+/// needle with `sec` replicated at both positions turns the pair probe
+/// into two mask tests on a single `u128`. The last pair starts at byte
+/// 40, so the furthest load ends at byte 56 — inside the 64-byte bucket.
+///
+/// The mask is liveness-blind: free slots are all-zero words, so their
+/// bit is set whenever `sec == 0`. Callers intersect with the bitmaps
+/// ([`probe_candidates`]) or only consult bits of live pointer slots.
+#[inline]
+pub fn sec_match_mask(bytes: &[u8; BUCKET_BYTES], sec: u16) -> u16 {
+    const LO: u128 = 0x1FF << 31;
+    const HI: u128 = 0x1FF << 71;
+    let needle = ((sec as u128) << 31) | ((sec as u128) << 71);
+    let mut mask = 0u16;
+    let mut p = 0;
+    while p < SLOTS_PER_BUCKET / 2 {
+        let off = p * 2 * SLOT_BYTES;
+        let mut w16 = [0u8; 16];
+        w16.copy_from_slice(&bytes[off..off + 16]);
+        let x = u128::from_le_bytes(w16) ^ needle;
+        mask |= u16::from(x & LO == 0) << (2 * p);
+        mask |= u16::from(x & HI == 0) << (2 * p + 1);
+        p += 1;
+    }
+    mask
+}
+
 /// The 4-bit slab-type field of `slot`.
 #[inline]
 pub fn slot_type(bytes: &[u8; BUCKET_BYTES], slot: usize) -> u8 {
@@ -122,16 +155,7 @@ pub fn pointer_type_bits(bytes: &[u8; BUCKET_BYTES]) -> u16 {
 /// touching slab data.
 #[inline]
 pub fn probe_candidates(bytes: &[u8; BUCKET_BYTES], sec: u16) -> u16 {
-    let mut live = used_bits(bytes) & start_bits(bytes) & pointer_type_bits(bytes);
-    let mut out = 0u16;
-    while live != 0 {
-        let slot = live.trailing_zeros() as usize;
-        if sec_matches(slot_raw(bytes, slot), sec) {
-            out |= 1 << slot;
-        }
-        live &= live - 1;
-    }
-    out
+    used_bits(bytes) & start_bits(bytes) & pointer_type_bits(bytes) & sec_match_mask(bytes, sec)
 }
 
 /// One entry of a raw bucket, borrowing from the 64-byte buffer.
@@ -296,6 +320,36 @@ mod tests {
         assert_eq!(hits, expect);
         assert_eq!(probe_candidates(&bytes, 7).count_ones(), 1);
         assert_eq!(probe_candidates(&bytes, 8), 0);
+    }
+
+    #[test]
+    fn sec_match_mask_equals_per_slot_compares() {
+        // Pseudo-random bucket images: the pair probe must agree with
+        // ten independent `sec_matches` calls for every slot, including
+        // free slots (all-zero words match `sec == 0` by design).
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        for round in 0..64 {
+            let mut bytes = [0u8; BUCKET_BYTES];
+            for b in bytes.iter_mut() {
+                x = x
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                *b = (x >> 56) as u8;
+            }
+            for sec in [0u16, 1, 0x0FF, 0x100, 0x1FF, (x >> 40) as u16 & 0x1FF] {
+                let mut expect = 0u16;
+                for slot in 0..SLOTS_PER_BUCKET {
+                    if sec_matches(slot_raw(&bytes, slot), sec) {
+                        expect |= 1 << slot;
+                    }
+                }
+                assert_eq!(
+                    sec_match_mask(&bytes, sec),
+                    expect,
+                    "round {round}, sec {sec:#x}"
+                );
+            }
+        }
     }
 
     #[test]

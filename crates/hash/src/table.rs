@@ -277,6 +277,8 @@ impl<M: MemoryEngine> HashTable<M> {
         let mut bytes = [0u8; BUCKET_BYTES];
         loop {
             self.read_bucket_raw(addr, &mut bytes, &mut cost);
+            // All ten tag compares at once; entries below test their bit.
+            let secmask = swar::sec_match_mask(&bytes, sec);
             for e in RawEntries::new(&bytes) {
                 match e {
                     RawEntry::Inline {
@@ -294,8 +296,8 @@ impl<M: MemoryEngine> HashTable<M> {
                             );
                         }
                     }
-                    RawEntry::Pointer { raw, class, .. } => {
-                        if swar::sec_matches(raw, sec) {
+                    RawEntry::Pointer { slot, raw, class } => {
+                        if secmask & (1 << slot) != 0 {
                             // The key is always checked for correctness
                             // (secondary hash can false-positive).
                             let (klen, vlen) =
@@ -383,6 +385,7 @@ impl<M: MemoryEngine> HashTable<M> {
         let mut bytes = [0u8; BUCKET_BYTES];
         let (last_addr, last_raw) = loop {
             self.read_bucket_raw(addr, &mut bytes, &mut cost);
+            let secmask = swar::sec_match_mask(&bytes, sec);
             let mut found = None;
             for e in RawEntries::new(&bytes) {
                 match e {
@@ -401,7 +404,7 @@ impl<M: MemoryEngine> HashTable<M> {
                         }
                     }
                     RawEntry::Pointer { slot, raw, class } => {
-                        if swar::sec_matches(raw, sec) {
+                        if secmask & (1 << slot) != 0 {
                             let ptr = swar::slot_ptr(raw);
                             let (klen, vlen) = self.read_kv_scratch(ptr, class, &mut cost);
                             if self.scratch_key(klen) == key {
@@ -619,6 +622,7 @@ impl<M: MemoryEngine> HashTable<M> {
         let mut bytes = [0u8; BUCKET_BYTES];
         loop {
             self.read_bucket_raw(addr, &mut bytes, &mut cost);
+            let secmask = swar::sec_match_mask(&bytes, sec);
             // slot, slab backing to free (if any), logical KV bytes.
             type Found = (usize, Option<(u32, SlabClass)>, usize);
             let mut found: Option<Found> = None;
@@ -636,7 +640,7 @@ impl<M: MemoryEngine> HashTable<M> {
                         }
                     }
                     RawEntry::Pointer { slot, raw, class } => {
-                        if swar::sec_matches(raw, sec) {
+                        if secmask & (1 << slot) != 0 {
                             let ptr = swar::slot_ptr(raw);
                             let (klen, vlen) = self.read_kv_scratch(ptr, class, &mut cost);
                             if self.scratch_key(klen) == key {

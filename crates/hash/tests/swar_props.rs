@@ -129,6 +129,24 @@ proptest! {
         prop_assert_eq!(swar::probe_candidates(&bytes, sec), expect);
     }
 
+    /// The widened pair probe (five 16-byte loads covering two slots
+    /// each) agrees with ten independent one-word tag compares, for
+    /// arbitrary bucket contents and every 9-bit tag.
+    #[test]
+    fn pair_probe_matches_per_slot_compares(
+        ops in prop::collection::vec(bucket_op(), 0..40),
+        sec in 0u16..512,
+    ) {
+        let bytes = build(ops).encode();
+        let mut expect = 0u16;
+        for slot in 0..10 {
+            if swar::sec_matches(swar::slot_raw(&bytes, slot), sec) {
+                expect |= 1 << slot;
+            }
+        }
+        prop_assert_eq!(swar::sec_match_mask(&bytes, sec), expect);
+    }
+
     /// A single-bucket index forces every key through chained buckets;
     /// the SWAR-walking table must still match a reference map, via both
     /// the owned and the scratch-buffer read paths.

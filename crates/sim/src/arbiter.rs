@@ -31,6 +31,16 @@ pub struct HostArbiterConfig {
     /// (traffic is charged at the window granularity); smaller quanta
     /// track the knee more closely.
     pub quantum: SimTime,
+    /// Bounded-lookahead depth of the asynchronous credit scheme (see
+    /// [`crate::credit::CreditArbiter`]): how many windows a shard's
+    /// execution frontier may run ahead of the globally settled frontier.
+    /// Purely a scheduling knob — the conservative stall oracle caps the
+    /// *semantic* lookahead at one window (a shard cannot know window
+    /// `k`'s issue floor before every peer's window `k-1` traffic is
+    /// settled), so results are bit-identical for every depth; depths
+    /// above 1 only bound the settlement bookkeeping a shard may commit
+    /// ahead of its slowest peer. Must be at least 1.
+    pub lookahead: u32,
 }
 
 impl HostArbiterConfig {
@@ -45,6 +55,7 @@ impl HostArbiterConfig {
         HostArbiterConfig {
             bandwidth: Bandwidth::from_gbytes_per_sec(57.6),
             quantum: SimTime::from_us(8),
+            lookahead: 1,
         }
     }
 }
@@ -72,6 +83,7 @@ pub struct ArbiterStats {
 /// let mut arb = HostArbiter::new(HostArbiterConfig {
 ///     bandwidth: Bandwidth::from_gbytes_per_sec(6.4), // 100 Mlines/s
 ///     quantum: SimTime::from_us(10),
+///     lookahead: 1,
 /// });
 /// // 500 lines in 10us is 50 Mlines/s: under capacity, no stall.
 /// assert_eq!(arb.charge(500), SimTime::ZERO);
@@ -130,6 +142,7 @@ mod tests {
         HostArbiter::new(HostArbiterConfig {
             bandwidth: Bandwidth::from_gbytes_per_sec(gbs),
             quantum: SimTime::from_us(quantum_us),
+            lookahead: 1,
         })
     }
 

@@ -18,6 +18,10 @@
 //! * [`arbiter`] — the conservative time-quantum host-memory arbiter
 //!   ([`HostArbiter`]) that lets parallel per-shard simulations share the
 //!   server's aggregate DRAM bandwidth deterministically.
+//! * [`credit`] — the asynchronous bounded-lookahead credit issuer
+//!   ([`CreditArbiter`]) wrapping the arbiter: shards publish window
+//!   traffic through per-shard atomics and idle windows settle by
+//!   Chandy–Misra null messages instead of a global barrier.
 //! * [`fault`] — deterministic, seed-driven fault injection
 //!   ([`FaultPlane`]) consulted by the PCIe, DRAM and network models.
 //! * [`pressure`] — the [`PressureGauge`] backpressure snapshot shared by
@@ -38,6 +42,7 @@
 
 pub mod arbiter;
 pub mod chaos;
+pub mod credit;
 pub mod fault;
 pub mod ledger;
 pub mod pressure;
@@ -51,6 +56,7 @@ pub mod time;
 
 pub use arbiter::{ArbiterStats, HostArbiter, HostArbiterConfig};
 pub use chaos::{ChaosConfig, ChaosPhase, ChaosSchedule};
+pub use credit::{Credit, CreditArbiter};
 pub use fault::{
     DramFault, FaultCounters, FaultPlane, FaultRates, NetFault, PcieFault, TxnOutcome,
 };

@@ -1,17 +1,18 @@
 //! Determinism regression for the parallel sharded engine.
 //!
-//! The multi-NIC simulation fans shards out across OS worker threads,
-//! but its results must be a pure function of (config, seed, request
-//! stream): each shard's evolution depends only on its own state and the
-//! per-window `(horizon, floor)` pair, and the arbiter's stall depends
-//! only on the aggregate line count — a sum of `u64`s accumulated in
-//! shard order. These tests pin that contract: a run is bit-identical
-//! for any worker count, for repeated runs, and regardless of the test
+//! The multi-NIC simulation fans shards out across OS worker threads
+//! drawing windows from an asynchronous credit arbiter, but its results
+//! must be a pure function of (config, seed, request stream): each
+//! shard's evolution depends only on its own state and the per-window
+//! `(horizon, floor)` pair, and the arbiter's stall depends only on the
+//! aggregate line count — a commutative sum of `u64`s. These tests pin
+//! that contract: a run is bit-identical for any worker count, any
+//! lookahead depth, for repeated runs, and regardless of the test
 //! harness's own thread scheduling (CI runs this suite under different
 //! `--test-threads` values).
 
 use kv_direct::parallel::{ParallelSimConfig, ParallelSimReport, ParallelSystemSim};
-use kv_direct::sim::DetRng;
+use kv_direct::sim::{Bandwidth, DetRng, SimTime};
 use kv_direct::workloads::presets::{PresetWorkload, YcsbPreset};
 use kv_direct::{KvDirectConfig, KvRequest, OpClass, OpLedger};
 use proptest::prelude::*;
@@ -21,15 +22,29 @@ fn workload(n: usize, seed: u64) -> Vec<KvRequest> {
     w.batch(n)
 }
 
-fn run_with_workers(workers: usize, reqs: &[KvRequest]) -> ParallelSimReport {
+/// A 10-shard run with explicit scheduling knobs: worker count,
+/// lookahead depth, quantum. None of the three may change any bit of
+/// the report.
+fn run_scheduled(
+    workers: usize,
+    lookahead: u32,
+    quantum: SimTime,
+    reqs: &[KvRequest],
+) -> ParallelSimReport {
     let mut cfg = ParallelSimConfig::paper(KvDirectConfig::with_memory(1 << 20), 24, 10);
     cfg.workers = workers;
+    cfg.arbiter.lookahead = lookahead;
+    cfg.arbiter.quantum = quantum;
     let mut sim = ParallelSystemSim::new(cfg);
     for id in 0..5_000u64 {
         sim.preload_put(&id.to_le_bytes(), &[id as u8; 16])
             .expect("preload fits");
     }
     sim.run(reqs)
+}
+
+fn run_with_workers(workers: usize, reqs: &[KvRequest]) -> ParallelSimReport {
+    run_scheduled(workers, 1, SimTime::from_us(8), reqs)
 }
 
 #[test]
@@ -39,10 +54,69 @@ fn worker_count_does_not_change_results() {
     let r2 = run_with_workers(2, &reqs);
     let r8 = run_with_workers(8, &reqs);
     assert_eq!(r1.ops, 12_000);
-    // Bit-identical: every field, including merged latency summaries,
-    // per-shard reports and arbiter counters.
+    // Bit-identical: every field, including merged latency summaries
+    // and arbiter counters.
     assert_eq!(r1, r2, "1 worker vs 2 workers diverged");
     assert_eq!(r1, r8, "1 worker vs 8 workers diverged");
+}
+
+#[test]
+fn lookahead_worker_quantum_matrix_is_bit_identical() {
+    // The ISSUE 7 oracle: merged ledgers and `RunSummary` bit-identical
+    // to the single-worker run for any worker count and any lookahead
+    // depth, at more than one quantum. The depth axis is guaranteed by
+    // construction (the conservative stall oracle caps the semantic
+    // lookahead at one window; deeper credit only reorders wall-clock
+    // scheduling), and this matrix is the executable proof.
+    let reqs = workload(9_000, 0xD377);
+    for quantum in [SimTime::from_us(4), SimTime::from_us(8)] {
+        let baseline = run_scheduled(1, 1, quantum, &reqs);
+        assert_eq!(baseline.ops, 9_000);
+        for lookahead in [1u32, 4, 16] {
+            for workers in [1usize, 2, 8] {
+                let r = run_scheduled(workers, lookahead, quantum, &reqs);
+                assert_eq!(
+                    baseline, r,
+                    "diverged at workers={workers} lookahead={lookahead} \
+                     quantum={quantum:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn stalling_runs_are_schedule_invariant() {
+    // Starve the host arbiter so windows oversubscribe and every floor
+    // carries a stall: the stall feedback path (charge → floor → next
+    // window's issue times → backpressure gauge) must itself be
+    // schedule-independent, not just the zero-stall fast path.
+    let reqs = workload(9_000, 0xD378);
+    let starve = |workers, lookahead| {
+        let mut cfg = ParallelSimConfig::paper(KvDirectConfig::with_memory(1 << 20), 24, 10);
+        cfg.workers = workers;
+        cfg.arbiter.lookahead = lookahead;
+        cfg.arbiter.bandwidth = Bandwidth::from_gbytes_per_sec(0.4);
+        let mut sim = ParallelSystemSim::new(cfg);
+        for id in 0..5_000u64 {
+            sim.preload_put(&id.to_le_bytes(), &[id as u8; 16])
+                .expect("preload fits");
+        }
+        sim.run(&reqs)
+    };
+    let base = starve(1, 1);
+    assert!(
+        base.arbiter.oversubscribed > 0 && base.arbiter.stall > SimTime::ZERO,
+        "a 0.4 GB/s host must oversubscribe: {:?}",
+        base.arbiter
+    );
+    for (workers, lookahead) in [(2usize, 1u32), (8, 4), (2, 16)] {
+        let r = starve(workers, lookahead);
+        assert_eq!(
+            base, r,
+            "stalling run diverged at workers={workers} lookahead={lookahead}"
+        );
+    }
 }
 
 #[test]
@@ -54,7 +128,8 @@ fn repeated_runs_are_bit_identical() {
 }
 
 fn run_faulty(workers: usize, reqs: &[KvRequest]) -> ParallelSimReport {
-    let mut cfg = ParallelSimConfig::paper(KvDirectConfig::with_memory(1 << 20), 24, 6);
+    let mut cfg = ParallelSimConfig::paper(KvDirectConfig::with_memory(1 << 20), 24, 6)
+        .with_per_shard_reports();
     cfg.workers = workers;
     cfg.shard.store.fault_rates = kv_direct::FaultRates::uniform(0.02);
     cfg.shard.store.fault_seed = 0xFA_17;
