@@ -23,7 +23,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use kvd_bench::{banner, shape_check, Table, SCALED_MEMORY_BIG};
+use kvd_bench::{banner, json_section, shape_check, with_json_section, Table, SCALED_MEMORY_BIG};
 use kvd_core::parallel::{ParallelSimConfig, ParallelSystemSim};
 use kvd_core::{KvDirectConfig, KvDirectStore, SystemSim, SystemSimConfig};
 use kvd_net::KvRequest;
@@ -189,6 +189,8 @@ fn server_rps() -> (f64, f64) {
         deadline: Duration::from_millis(100),
         seed: 0x5E_55ED,
         preload: true,
+        fallbacks: Vec::new(),
+        reconnect: kvd_server::ReconnectPolicy::default(),
     };
     let report = run_load(&cfg).expect("bench load run");
     let ledger = server.stop();
@@ -335,7 +337,7 @@ fn main() {
     );
     println!();
 
-    let json = format!(
+    let mut json = format!(
         "{{\n  \"config\": {{\"population\": {POP}, \"ops_seq\": {OPS_SEQ}, \"ops_micro\": {OPS_MICRO}, \"value_len\": {VALUE_LEN}}},\n  \"before\": {{\n    \"seq_a_wall_mops\": {:.3}, \"seq_b_wall_mops\": {:.3}, \"seq_c_wall_mops\": {:.3},\n    \"par4_a_wall_mops\": {:.3}, \"par4_b_wall_mops\": {:.3}, \"par4_c_wall_mops\": {:.3},\n    \"micro_b_wall_mops\": {:.3}, \"allocs_per_get\": {:.2},\n    \"seq_a_sim_mops\": {:.1}, \"seq_b_sim_mops\": {:.1}, \"seq_c_sim_mops\": {:.1},\n    \"par4_a_sim_mops\": {:.1}, \"par4_b_sim_mops\": {:.1}, \"par4_c_sim_mops\": {:.1}\n  }},\n  \"after\": {{\n    \"seq_a_wall_mops\": {:.3}, \"seq_b_wall_mops\": {:.3}, \"seq_c_wall_mops\": {:.3},\n    \"par4_a_wall_mops\": {:.3}, \"par4_b_wall_mops\": {:.3}, \"par4_c_wall_mops\": {:.3},\n    \"par8_a_wall_mops\": {:.3}, \"par8_b_wall_mops\": {:.3}, \"par8_c_wall_mops\": {:.3},\n    \"micro_b_wall_mops\": {:.3}, \"allocs_per_get\": {:.2},\n    \"micro_b_speedup\": {:.2},\n    \"seq_a_sim_mops\": {:.1}, \"seq_b_sim_mops\": {:.1}, \"seq_c_sim_mops\": {:.1},\n    \"par4_a_sim_mops\": {:.1}, \"par4_b_sim_mops\": {:.1}, \"par4_c_sim_mops\": {:.1},\n    \"par8_a_sim_mops\": {:.1}, \"par8_b_sim_mops\": {:.1}, \"par8_c_sim_mops\": {:.1},\n    \"server_rps\": {:.0}, \"server_goodput_rps\": {:.0},\n    \"cores\": {cores}\n  }}\n}}\n",
         BEFORE_SEQ[0].1, BEFORE_SEQ[1].1, BEFORE_SEQ[2].1,
         BEFORE_PAR4[0].1, BEFORE_PAR4[1].1, BEFORE_PAR4[2].1,
@@ -352,6 +354,14 @@ fn main() {
         par8[0].1, par8[1].1, par8[2].1,
         srv_rps, srv_goodput,
     );
+    // The fig_cluster harness owns the "cluster" section of this file;
+    // carry the committed copy over instead of clobbering it.
+    if let Some(sec) = committed
+        .as_deref()
+        .and_then(|c| json_section(c, "cluster"))
+    {
+        json = with_json_section(&json, "cluster", &sec);
+    }
     match std::fs::write(json_path, &json) {
         Ok(()) => println!("wrote {json_path}"),
         Err(e) => println!("could not write {json_path}: {e}"),

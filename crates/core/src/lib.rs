@@ -24,9 +24,13 @@
 //! * [`parallel`] — the multi-NIC server *simulated*: one timed pipeline
 //!   per shard on OS worker threads, synchronized through a host-memory
 //!   arbiter so the Figure 18 saturation knee emerges from contention.
+//! * [`cluster`] — the multi-node plane: M member hosts in window
+//!   lockstep, chain replication over consistent hashing, heartbeat
+//!   failure detection and deterministic failover.
 //! * [`timing`] — the system-level throughput/latency composition used by
 //!   the benchmark harnesses (Figures 16/17/18, Tables 3/4).
 
+pub mod cluster;
 pub mod lambda;
 pub mod overload;
 pub mod parallel;
@@ -35,6 +39,7 @@ pub mod store;
 pub mod system;
 pub mod timing;
 
+pub use cluster::{ClusterReport, ClusterSim, ClusterSimConfig, NodeKill, OpRecord};
 pub use lambda::{builtin, Lambda, LambdaRegistry};
 pub use overload::{AdmissionController, OverloadConfig, OverloadCounters, Watermarks};
 pub use parallel::{ParallelSimConfig, ParallelSimReport, ParallelSystemSim};

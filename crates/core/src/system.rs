@@ -383,6 +383,43 @@ impl SystemSim {
         self.open_loop = true;
     }
 
+    /// Extends an open-loop stream *without* resetting accounting: the
+    /// fed requests are appended behind whatever is already staged, and
+    /// histograms, op counts, recorded outcomes and the ledger keep
+    /// accumulating. This is the cluster plane's issue path — the window
+    /// coordinator feeds each member host exactly the client and
+    /// replication traffic that lands in the upcoming window, then steps
+    /// it, so a host never sees an arrival the window discipline has not
+    /// yet made visible. Start from `load_open_owned(vec![], vec![])`
+    /// for an initially idle host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host is not in open-loop mode, the vectors differ
+    /// in length, the fed arrivals are unsorted, or the first fed
+    /// arrival precedes the last already-staged one (the combined
+    /// schedule must stay non-decreasing).
+    pub fn feed_open(&mut self, reqs: Vec<KvRequest>, arrivals: Vec<SimTime>) {
+        assert!(self.open_loop, "feed_open extends an open-loop stream");
+        assert_eq!(
+            reqs.len(),
+            arrivals.len(),
+            "one arrival instant per request"
+        );
+        assert!(
+            arrivals.windows(2).all(|w| w[0] <= w[1]),
+            "fed arrivals must be sorted by time"
+        );
+        if let (Some(&first), Some(&last)) = (arrivals.first(), self.arrivals.last()) {
+            assert!(
+                first >= last,
+                "fed arrivals must not precede already-staged ones"
+            );
+        }
+        self.pending.extend(reqs);
+        self.arrivals.extend(arrivals);
+    }
+
     /// Records every staged request's `(status, value)` outcome, aligned
     /// with the request stream, for consistency checking. Off by default
     /// (response values are large).
@@ -929,6 +966,37 @@ mod tests {
                 (t, r)
             })
             .collect()
+    }
+
+    #[test]
+    fn feed_open_matches_upfront_staging() {
+        let sched = open_schedule(1_000, 2_000, 0.2, 2.0, 0, 7);
+        let mut a = preloaded(2_000, 8, 1);
+        a.set_record_outcomes(true);
+        let ra = a.run_open(&sched);
+
+        // Same stream fed incrementally: first half, a bounded step, then
+        // the rest — accounting must accumulate identically.
+        let mut b = preloaded(2_000, 8, 1);
+        b.set_record_outcomes(true);
+        b.load_open_owned(Vec::new(), Vec::new());
+        let cut = 500;
+        b.feed_open(
+            sched[..cut].iter().map(|(_, r)| r.clone()).collect(),
+            sched[..cut].iter().map(|(t, _)| *t).collect(),
+        );
+        b.step(sched[cut].0, SimTime::ZERO);
+        b.feed_open(
+            sched[cut..].iter().map(|(_, r)| r.clone()).collect(),
+            sched[cut..].iter().map(|(t, _)| *t).collect(),
+        );
+        while !b.step(SimTime::MAX, SimTime::ZERO).done {}
+        let rb = b.report();
+
+        assert_eq!(ra.ops, rb.ops);
+        assert_eq!(ra.goodput_ops, rb.goodput_ops);
+        assert_eq!(ra.elapsed, rb.elapsed);
+        assert_eq!(a.outcomes(), b.outcomes(), "per-op outcomes identical");
     }
 
     #[test]

@@ -43,13 +43,13 @@
 //! ```
 
 pub use kvd_core::{
-    builtin, AdmissionController, KvDirectConfig, KvDirectStore, KvProcessor, Lambda,
-    LambdaRegistry, MultiNicStore, OverloadConfig, OverloadCounters, ParallelSimConfig,
-    ParallelSimReport, ParallelSystemSim, StoreError, SystemModel, ThroughputBreakdown, Watermarks,
-    WorkloadSpec,
+    builtin, AdmissionController, ClusterReport, ClusterSim, ClusterSimConfig, KvDirectConfig,
+    KvDirectStore, KvProcessor, Lambda, LambdaRegistry, MultiNicStore, NodeKill, OpRecord,
+    OverloadConfig, OverloadCounters, ParallelSimConfig, ParallelSimReport, ParallelSystemSim,
+    StoreError, SystemModel, ThroughputBreakdown, Watermarks, WorkloadSpec,
 };
 pub use kvd_net::{
-    decode_packet, decode_packet_ref, encode_packet, KvRequest, KvRequestRef, KvResponse,
+    decode_packet, decode_packet_ref, encode_packet, HashRing, KvRequest, KvRequestRef, KvResponse,
     NetConfig, OpCode, Status,
 };
 pub use kvd_sim::{

@@ -18,12 +18,16 @@
 //! (the KV processor's decoder unpacks multiple KV operations from a
 //! single RDMA packet); [`link`] models the 40 GbE port;
 //! [`batch`] computes the Figure 15 throughput/latency trade-off; and
-//! [`vector`] the Table 2 strategy comparison.
+//! [`vector`] the Table 2 strategy comparison. Above the single host,
+//! [`ring`] places keys on cluster nodes by consistent hashing and
+//! [`rep`] defines the chain-replication frames members exchange.
 
 pub mod batch;
 pub mod client;
 pub mod config;
 pub mod link;
+pub mod rep;
+pub mod ring;
 pub mod route;
 pub mod vector;
 pub mod wire;
@@ -35,6 +39,8 @@ pub use client::{
 };
 pub use config::NetConfig;
 pub use link::NetLink;
+pub use rep::RepFrame;
+pub use ring::HashRing;
 pub use route::shard_of;
 pub use vector::{vector_strategies, VectorStrategy, VectorThroughput};
 pub use wire::{

@@ -1,0 +1,241 @@
+//! Chain-replication wire frames for the cluster plane.
+//!
+//! Client traffic speaks the packed KV format of [`crate::wire`]; the
+//! frames here are what cluster members exchange with **each other**:
+//! replicated writes travelling down a key's chain, the acks that climb
+//! back up it, and the heartbeats failure detection rides on. They share
+//! a one-byte tag header and fixed little-endian integer fields so that
+//! `wire_len` — which the ledger charges through the node links — is an
+//! exact function of the frame, not an estimate.
+//!
+//! ```text
+//! tag u8 (1 = Replicate, 2 = Ack, 3 = Heartbeat)
+//! Replicate: write u64, origin u32, op u8, klen u8, vlen u16, key, value
+//! Ack:       write u64, from u32
+//! Heartbeat: from u32, window u64
+//! ```
+//!
+//! `write` is the origin node's monotonically increasing write sequence
+//! number; `(origin, write)` names one client write uniquely for the
+//! whole run, which is what lets an ack from the tail be matched back to
+//! the pending client op and what the orphan-redrive path keys on.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::wire::{KvRequest, OpCode, WireError};
+
+const TAG_REPLICATE: u8 = 1;
+const TAG_ACK: u8 = 2;
+const TAG_HEARTBEAT: u8 = 3;
+
+/// One frame on an inter-node link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepFrame {
+    /// A client write forwarded down the chain (head → … → tail).
+    Replicate {
+        /// Origin-local write sequence number.
+        write: u64,
+        /// Node that accepted the write from the client (chain head).
+        origin: u32,
+        /// The mutation itself (PUT or DELETE).
+        req: KvRequest,
+    },
+    /// Tail-apply acknowledgement climbing back to the origin.
+    Ack {
+        /// The acknowledged write's sequence number.
+        write: u64,
+        /// Node sending the ack (the chain tail).
+        from: u32,
+    },
+    /// Liveness beacon, broadcast every heartbeat interval.
+    Heartbeat {
+        /// The beaconing node.
+        from: u32,
+        /// Cluster window in which the beacon was emitted.
+        window: u64,
+    },
+}
+
+impl RepFrame {
+    /// Exact encoded size in bytes (the payload charged to the link).
+    pub fn wire_len(&self) -> usize {
+        match self {
+            RepFrame::Replicate { req, .. } => {
+                1 + 8 + 4 + 1 + 1 + 2 + req.key.len() + req.value.len()
+            }
+            RepFrame::Ack { .. } => 1 + 8 + 4,
+            RepFrame::Heartbeat { .. } => 1 + 4 + 8,
+        }
+    }
+
+    /// Encodes the frame into a fresh buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_len());
+        match self {
+            RepFrame::Replicate { write, origin, req } => {
+                assert!(req.key.len() <= u8::MAX as usize, "replicated key too long");
+                assert!(
+                    req.value.len() <= u16::MAX as usize,
+                    "replicated value too long"
+                );
+                buf.put_u8(TAG_REPLICATE);
+                buf.put_u64_le(*write);
+                buf.put_u32_le(*origin);
+                buf.put_u8(req.op as u8);
+                buf.put_u8(req.key.len() as u8);
+                buf.put_u16_le(req.value.len() as u16);
+                buf.put_slice(&req.key);
+                buf.put_slice(&req.value);
+            }
+            RepFrame::Ack { write, from } => {
+                buf.put_u8(TAG_ACK);
+                buf.put_u64_le(*write);
+                buf.put_u32_le(*from);
+            }
+            RepFrame::Heartbeat { from, window } => {
+                buf.put_u8(TAG_HEARTBEAT);
+                buf.put_u32_le(*from);
+                buf.put_u64_le(*window);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes one frame, consuming exactly its bytes from the cursor.
+    pub fn decode(buf: &mut &[u8]) -> Result<RepFrame, WireError> {
+        if buf.remaining() < 1 {
+            return Err(WireError::Truncated);
+        }
+        match buf.get_u8() {
+            TAG_REPLICATE => {
+                if buf.remaining() < 8 + 4 + 1 + 1 + 2 {
+                    return Err(WireError::Truncated);
+                }
+                let write = buf.get_u64_le();
+                let origin = buf.get_u32_le();
+                let op_bits = buf.get_u8();
+                let op = match op_bits {
+                    b if b == OpCode::Put as u8 => OpCode::Put,
+                    b if b == OpCode::Delete as u8 => OpCode::Delete,
+                    _ => return Err(WireError::BadCode),
+                };
+                let klen = buf.get_u8() as usize;
+                let vlen = buf.get_u16_le() as usize;
+                if buf.remaining() < klen + vlen {
+                    return Err(WireError::Truncated);
+                }
+                let key = buf[..klen].to_vec();
+                buf.advance(klen);
+                let value = buf[..vlen].to_vec();
+                buf.advance(vlen);
+                Ok(RepFrame::Replicate {
+                    write,
+                    origin,
+                    req: KvRequest {
+                        op,
+                        key,
+                        value,
+                        lambda: 0,
+                        deadline_us: 0,
+                    },
+                })
+            }
+            TAG_ACK => {
+                if buf.remaining() < 8 + 4 {
+                    return Err(WireError::Truncated);
+                }
+                Ok(RepFrame::Ack {
+                    write: buf.get_u64_le(),
+                    from: buf.get_u32_le(),
+                })
+            }
+            TAG_HEARTBEAT => {
+                if buf.remaining() < 4 + 8 {
+                    return Err(WireError::Truncated);
+                }
+                Ok(RepFrame::Heartbeat {
+                    from: buf.get_u32_le(),
+                    window: buf.get_u64_le(),
+                })
+            }
+            _ => Err(WireError::BadCode),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let frames = vec![
+            RepFrame::Replicate {
+                write: 42,
+                origin: 3,
+                req: KvRequest::put(b"user:17", b"hello world"),
+            },
+            RepFrame::Replicate {
+                write: 43,
+                origin: 3,
+                req: KvRequest::delete(b"user:17"),
+            },
+            RepFrame::Ack { write: 42, from: 5 },
+            RepFrame::Heartbeat {
+                from: 1,
+                window: 900,
+            },
+        ];
+        for f in frames {
+            let wire = f.encode();
+            assert_eq!(wire.len(), f.wire_len(), "wire_len is exact for {f:?}");
+            let mut buf: &[u8] = &wire;
+            assert_eq!(RepFrame::decode(&mut buf).unwrap(), f);
+            assert_eq!(buf.remaining(), 0, "decode consumed exactly one frame");
+        }
+    }
+
+    #[test]
+    fn truncated_frames_error() {
+        let full = RepFrame::Replicate {
+            write: 7,
+            origin: 0,
+            req: KvRequest::put(b"k", b"v"),
+        }
+        .encode();
+        for cut in 0..full.len() {
+            let mut buf: &[u8] = &full[..cut];
+            assert!(
+                RepFrame::decode(&mut buf).is_err(),
+                "decode accepted a {cut}-byte prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn only_mutations_replicate() {
+        let mut wire = BytesMut::new();
+        wire.put_u8(TAG_REPLICATE);
+        wire.put_u64_le(1);
+        wire.put_u32_le(0);
+        wire.put_u8(OpCode::Get as u8);
+        wire.put_u8(1);
+        wire.put_u16_le(0);
+        wire.put_u8(b'k');
+        let frozen = wire.freeze();
+        let mut buf: &[u8] = &frozen;
+        assert!(matches!(
+            RepFrame::decode(&mut buf),
+            Err(WireError::BadCode)
+        ));
+    }
+
+    #[test]
+    fn bad_tag_errors() {
+        let mut buf: &[u8] = &[9, 0, 0, 0];
+        assert!(matches!(
+            RepFrame::decode(&mut buf),
+            Err(WireError::BadCode)
+        ));
+    }
+}

@@ -5,6 +5,7 @@
 //! kvd-load --addr 127.0.0.1:11211 [--ops N] [--rate OPS_PER_SEC]
 //!          [--conns N] [--population N] [--value-len B]
 //!          [--deadline-ms MS] [--preset a|b|c|d|f] [--seed S] [--no-preload]
+//!          [--fallback HOST:PORT]...
 //! ```
 //!
 //! Offers `--rate` ops/sec on a seeded bursty schedule regardless of
@@ -16,14 +17,15 @@ use std::net::ToSocketAddrs;
 use std::process::exit;
 use std::time::Duration;
 
-use kvd_server::{run_load, LoadConfig};
+use kvd_server::{run_load, LoadConfig, ReconnectPolicy};
 use kvd_workloads::YcsbPreset;
 
 fn usage() -> ! {
     eprintln!(
         "usage: kvd-load --addr HOST:PORT [--ops N] [--rate R] [--conns N] \
          [--population N] [--value-len B] [--deadline-ms MS] \
-         [--preset a|b|c|d|f] [--seed S] [--no-preload]"
+         [--preset a|b|c|d|f] [--seed S] [--no-preload] \
+         [--fallback HOST:PORT]..."
     );
     exit(2)
 }
@@ -39,6 +41,7 @@ fn main() {
     let mut preset = YcsbPreset::B;
     let mut seed: u64 = 0x10AD;
     let mut preload = true;
+    let mut fallbacks: Vec<String> = Vec::new();
 
     let mut args = env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -56,6 +59,7 @@ fn main() {
             "--value-len" => value_len = val.parse().unwrap_or_else(|_| usage()),
             "--deadline-ms" => deadline_ms = val.parse().unwrap_or_else(|_| usage()),
             "--seed" => seed = val.parse().unwrap_or_else(|_| usage()),
+            "--fallback" => fallbacks.push(val),
             "--preset" => {
                 preset = match val.as_str() {
                     "a" => YcsbPreset::A,
@@ -77,6 +81,18 @@ fn main() {
             exit(1);
         }
     };
+    let fallbacks = fallbacks
+        .iter()
+        .map(
+            |f| match f.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+                Some(a) => a,
+                None => {
+                    eprintln!("kvd-load: cannot resolve fallback {f}");
+                    exit(1);
+                }
+            },
+        )
+        .collect();
 
     let cfg = LoadConfig {
         addr: sockaddr,
@@ -89,6 +105,8 @@ fn main() {
         deadline: Duration::from_millis(deadline_ms),
         seed,
         preload,
+        fallbacks,
+        reconnect: ReconnectPolicy::default(),
     };
     let report = match run_load(&cfg) {
         Ok(r) => r,
@@ -111,8 +129,8 @@ fn main() {
         report.goodput_rps()
     );
     println!(
-        "  hits {} / misses {} / stored {} / errors {}",
-        report.hits, report.misses, report.stored, report.errors
+        "  hits {} / misses {} / stored {} / errors {} / reconnects {}",
+        report.hits, report.misses, report.stored, report.errors, report.reconnects
     );
     println!(
         "  open-loop latency p50 {} us, p95 {} us, p99 {} us",

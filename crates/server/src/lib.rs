@@ -25,6 +25,6 @@ pub mod loadgen;
 pub mod proto;
 pub mod server;
 
-pub use loadgen::{run_load, LoadConfig, LoadReport};
+pub use loadgen::{run_load, LoadConfig, LoadReport, ReconnectPolicy};
 pub use proto::{parse, Command, KeyList, Parsed, ProtoError, StoreVerb};
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use server::{serve, ClusterMembership, ServerConfig, ServerHandle};

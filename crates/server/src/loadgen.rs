@@ -17,8 +17,45 @@ use std::sync::mpsc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use kvd_sim::{ChaosConfig, ChaosSchedule, Histogram};
+use kvd_sim::{ChaosConfig, ChaosSchedule, DetRng, Histogram};
 use kvd_workloads::{MemOp, MemcacheWorkload, YcsbPreset};
+
+/// Jittered exponential backoff for TCP (re)connection attempts.
+///
+/// A refused dial retries after `min(cap, base·2^attempt)` scaled by a
+/// seeded jitter in `[0.5, 1.0)` — exponential so a down server is not
+/// hammered, jittered so concurrent clients de-correlate instead of
+/// stampeding the listener in lockstep when it comes back.
+#[derive(Debug, Clone)]
+pub struct ReconnectPolicy {
+    /// Backoff scale for the first retry.
+    pub base: Duration,
+    /// Ceiling the exponential curve saturates at.
+    pub cap: Duration,
+    /// Dial attempts before the connection is abandoned.
+    pub max_attempts: u32,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(2),
+            max_attempts: 8,
+        }
+    }
+}
+
+impl ReconnectPolicy {
+    /// The sleep before retry `attempt` (0-based), drawn from `rng`.
+    pub fn delay(&self, attempt: u32, rng: &mut DetRng) -> Duration {
+        let ideal = self
+            .base
+            .saturating_mul(1u32 << attempt.min(20))
+            .min(self.cap);
+        ideal.mul_f64(0.5 + 0.5 * rng.f64())
+    }
+}
 
 /// Open-loop load configuration.
 #[derive(Debug, Clone)]
@@ -43,6 +80,10 @@ pub struct LoadConfig {
     pub seed: u64,
     /// SET the whole population first (warm start) over one connection.
     pub preload: bool,
+    /// Fallback addresses tried in rotation after `addr` refuses.
+    pub fallbacks: Vec<SocketAddr>,
+    /// Backoff between dial attempts.
+    pub reconnect: ReconnectPolicy,
 }
 
 impl LoadConfig {
@@ -59,6 +100,8 @@ impl LoadConfig {
             deadline: Duration::from_millis(100),
             seed: 0x10AD,
             preload: true,
+            fallbacks: Vec::new(),
+            reconnect: ReconnectPolicy::default(),
         }
     }
 }
@@ -80,6 +123,8 @@ pub struct LoadReport {
     pub stored: u64,
     /// `ERROR`/`CLIENT_ERROR`/`SERVER_ERROR` replies.
     pub errors: u64,
+    /// Dial attempts that failed before a connection was established.
+    pub reconnects: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Open-loop latency (scheduled instant → reply), microseconds.
@@ -106,8 +151,10 @@ struct Pending {
 
 /// Runs the configured load and blocks until every reply is scored.
 pub fn run_load(cfg: &LoadConfig) -> io::Result<LoadReport> {
+    assert!(cfg.reconnect.max_attempts >= 1, "need one dial attempt");
+    let mut preload_reconnects = 0;
     if cfg.preload {
-        preload(cfg)?;
+        preload_reconnects = preload(cfg)?;
     }
     let t0 = Instant::now();
     let mut handles = Vec::with_capacity(cfg.connections);
@@ -127,17 +174,48 @@ pub fn run_load(cfg: &LoadConfig) -> io::Result<LoadReport> {
         report.misses += part.misses;
         report.stored += part.stored;
         report.errors += part.errors;
+        report.reconnects += part.reconnects;
         report.latency_us.merge(&part.latency_us);
     }
+    report.reconnects += preload_reconnects;
     report.elapsed = t0.elapsed();
     Ok(report)
 }
 
+/// Dials the primary address, rotating through the fallbacks on
+/// failure, sleeping the policy's jittered backoff between attempts.
+/// Returns the stream plus how many dials failed before it connected.
+fn connect(cfg: &LoadConfig, salt: u64) -> io::Result<(TcpStream, u64)> {
+    let mut rng = DetRng::seed(cfg.seed ^ 0x7EC0_77EC ^ salt.wrapping_mul(0x9E37_79B9));
+    let n_addrs = 1 + cfg.fallbacks.len();
+    let mut failed = 0u64;
+    loop {
+        let attempt = failed as u32;
+        let pick = attempt as usize % n_addrs;
+        let addr = if pick == 0 {
+            cfg.addr
+        } else {
+            cfg.fallbacks[pick - 1]
+        };
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok((s, failed)),
+            Err(e) => {
+                failed += 1;
+                if attempt + 1 >= cfg.reconnect.max_attempts {
+                    return Err(e);
+                }
+                thread::sleep(cfg.reconnect.delay(attempt, &mut rng));
+            }
+        }
+    }
+}
+
 /// Warm start: SET the whole population with `noreply`, then a
 /// `version` round trip to confirm the stream was fully applied.
-fn preload(cfg: &LoadConfig) -> io::Result<()> {
+/// Returns the failed-dial count.
+fn preload(cfg: &LoadConfig) -> io::Result<u64> {
     let mut w = MemcacheWorkload::new(cfg.preset, cfg.population, cfg.value_len, cfg.seed);
-    let mut stream = TcpStream::connect(cfg.addr)?;
+    let (mut stream, reconnects) = connect(cfg, u64::MAX)?;
     let mut buf = Vec::with_capacity(64 << 10);
     for op in w.preload() {
         let MemOp::Set { key, value } = op else {
@@ -160,7 +238,7 @@ fn preload(cfg: &LoadConfig) -> io::Result<()> {
         ));
     }
     stream.shutdown(Shutdown::Both)?;
-    Ok(())
+    Ok(reconnects)
 }
 
 fn run_conn(cfg: &LoadConfig, conn: usize, t0: Instant) -> io::Result<LoadReport> {
@@ -179,7 +257,7 @@ fn run_conn(cfg: &LoadConfig, conn: usize, t0: Instant) -> io::Result<LoadReport
         cfg.seed ^ 0xC0FF_EE00 ^ conn as u64,
     );
 
-    let stream = TcpStream::connect(cfg.addr)?;
+    let (stream, reconnects) = connect(cfg, conn as u64)?;
     stream.set_nodelay(true)?;
     let mut wstream = stream.try_clone()?;
     let rstream = stream;
@@ -224,6 +302,7 @@ fn run_conn(cfg: &LoadConfig, conn: usize, t0: Instant) -> io::Result<LoadReport
         .map_err(|_| io::Error::other("reader panicked"))??;
     wstream.shutdown(Shutdown::Both)?;
     report.offered = offered;
+    report.reconnects = reconnects;
     Ok(report)
 }
 
@@ -376,6 +455,59 @@ impl RespReader {
 mod tests {
     use super::*;
     use crate::server::{serve, ServerConfig};
+
+    #[test]
+    fn backoff_sequence_is_jittered_exponential() {
+        let p = ReconnectPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(160),
+            max_attempts: 8,
+        };
+        let mut rng = DetRng::seed(7);
+        for attempt in 0..8u32 {
+            let ideal = p.base.saturating_mul(1 << attempt).min(p.cap);
+            let d = p.delay(attempt, &mut rng);
+            assert!(
+                d >= ideal / 2 && d <= ideal,
+                "attempt {attempt}: {d:?} outside [{:?}, {:?}]",
+                ideal / 2,
+                ideal
+            );
+        }
+        // Attempts 4+ saturate at the cap.
+        let mut rng = DetRng::seed(11);
+        assert!(p.delay(30, &mut rng) <= p.cap);
+        // Same seed, same jitter: the schedule is deterministic.
+        let (mut a, mut b) = (DetRng::seed(9), DetRng::seed(9));
+        assert_eq!(p.delay(3, &mut a), p.delay(3, &mut b));
+    }
+
+    #[test]
+    fn refused_primary_rotates_to_fallback() {
+        // Reserve a port, then free it: the primary dial is refused and
+        // every connection must back off and rotate to the live server.
+        let dead = std::net::TcpListener::bind("127.0.0.1:0")
+            .expect("reserve")
+            .local_addr()
+            .expect("addr");
+        let h = serve("127.0.0.1:0", ServerConfig::loopback(1)).expect("bind");
+        let mut cfg = LoadConfig::smoke(dead);
+        cfg.fallbacks = vec![h.local_addr()];
+        cfg.reconnect = ReconnectPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(4),
+            max_attempts: 4,
+        };
+        cfg.connections = 2;
+        cfg.ops_per_conn = 50;
+        cfg.rate = 20_000.0;
+        cfg.population = 50;
+        let report = run_load(&cfg).expect("load reached the fallback");
+        assert_eq!(report.answered, 100, "errors: {}", report.errors);
+        // Preload + both connections each failed the primary dial once.
+        assert_eq!(report.reconnects, 3);
+        h.stop();
+    }
 
     #[test]
     fn open_loop_load_reports_goodput_and_ledger_attribution() {

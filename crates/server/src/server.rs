@@ -30,7 +30,7 @@ use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 use kvd_core::{KvDirectConfig, KvDirectStore};
-use kvd_net::{shard_of, KvRequestRef, KvResponse, Status};
+use kvd_net::{shard_of, HashRing, KvRequestRef, KvResponse, Status};
 use kvd_sim::{CostSource, OpLedger, ServerCosts};
 
 use crate::proto::{
@@ -39,6 +39,31 @@ use crate::proto::{
 
 /// Bytes of `flags | cas` prepended to every stored value.
 pub const VALUE_HEADER_LEN: usize = 12;
+
+/// Reply for a key this node does not own under the cluster ring.
+pub const NOT_PRIMARY_REPLY: &[u8] = b"SERVER_ERROR not_primary\r\n";
+
+/// This node's place in a cluster: requests for keys whose replica set
+/// (under the ring, at the configured replication factor) does not
+/// include `node` are refused with [`NOT_PRIMARY_REPLY`] instead of
+/// being served from a store that was never written to — a stale read
+/// masquerading as a miss is worse than an explicit redirect.
+#[derive(Debug, Clone)]
+pub struct ClusterMembership {
+    /// This node's id on the ring.
+    pub node: u32,
+    /// The cluster's placement ring (shared by every member).
+    pub ring: HashRing,
+    /// Replication factor: keys are owned by their first `rf` replicas.
+    pub rf: usize,
+}
+
+impl ClusterMembership {
+    /// Whether this node serves `key`.
+    pub fn owns(&self, key: &[u8]) -> bool {
+        self.ring.replicas(key, self.rf).contains(&self.node)
+    }
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -50,6 +75,8 @@ pub struct ServerConfig {
     /// Max operations gathered from one connection's buffered frames
     /// before a scatter/gather round trip.
     pub max_batch: usize,
+    /// Cluster membership; `None` (standalone) serves every key.
+    pub cluster: Option<ClusterMembership>,
 }
 
 impl ServerConfig {
@@ -63,7 +90,14 @@ impl ServerConfig {
             shards,
             store,
             max_batch: 64,
+            cluster: None,
         }
+    }
+
+    /// Joins a cluster: refuse keys outside this node's replica sets.
+    pub fn with_cluster(mut self, membership: ClusterMembership) -> Self {
+        self.cluster = Some(membership);
+        self
     }
 }
 
@@ -139,6 +173,7 @@ struct SharedCosts {
     deleted: AtomicU64,
     protocol_errors: AtomicU64,
     server_errors: AtomicU64,
+    not_primary: AtomicU64,
 }
 
 impl SharedCosts {
@@ -160,6 +195,7 @@ impl SharedCosts {
             deleted,
             protocol_errors,
             server_errors,
+            not_primary,
         );
     }
 
@@ -183,6 +219,7 @@ impl SharedCosts {
             deleted,
             protocol_errors,
             server_errors,
+            not_primary,
         )
     }
 }
@@ -310,12 +347,13 @@ pub fn serve<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> io::Result<ServerH
                         let costs = Arc::clone(&costs);
                         let shard_tx = shard_tx.clone();
                         let max_batch = cfg.max_batch;
+                        let cluster = cfg.cluster.clone();
                         thread::spawn(move || {
                             let _guard = ConnGuard {
                                 active,
                                 costs: Arc::clone(&costs),
                             };
-                            let conn = Connection::new(stream, shard_tx, costs, max_batch);
+                            let conn = Connection::new(stream, shard_tx, costs, max_batch, cluster);
                             if let Ok(mut conn) = conn {
                                 let _ = conn.run(&shutdown);
                             }
@@ -466,6 +504,18 @@ fn execute_conditional(
     store.execute_one_into(req, &mut responses[0]);
 }
 
+/// Maps a failed op status to its `SERVER_ERROR` taxonomy line: shed or
+/// expired work is `overloaded` (retry after backoff), allocation
+/// failure keeps memcached's canonical string, and everything else is a
+/// `device_error` (retry against another replica).
+fn taxonomy_reply(status: Status) -> &'static [u8] {
+    match status {
+        Status::OutOfMemory => b"SERVER_ERROR out of memory storing object\r\n",
+        Status::Overloaded | Status::Expired => b"SERVER_ERROR overloaded\r\n",
+        _ => b"SERVER_ERROR device_error\r\n",
+    }
+}
+
 fn set_response(bundle: &mut Bundle, status: Status) {
     bundle.responses.truncate(1);
     if bundle.responses.is_empty() {
@@ -524,6 +574,7 @@ struct Connection {
     /// slot -> (received-bundle index, op index), filled at gather.
     slots: Vec<(u32, u32)>,
     local: ServerCosts,
+    cluster: Option<ClusterMembership>,
 }
 
 impl Connection {
@@ -532,6 +583,7 @@ impl Connection {
         shard_tx: Vec<mpsc::Sender<ShardMsg>>,
         costs: Arc<SharedCosts>,
         max_batch: usize,
+        cluster: Option<ClusterMembership>,
     ) -> io::Result<Connection> {
         stream.set_read_timeout(Some(Duration::from_millis(50)))?;
         stream.set_nodelay(true)?;
@@ -553,7 +605,13 @@ impl Connection {
             plan: Vec::new(),
             slots: Vec::new(),
             local: ServerCosts::default(),
+            cluster,
         })
+    }
+
+    /// Whether this node serves `key` (standalone servers serve all).
+    fn owns(&self, key: &[u8]) -> bool {
+        self.cluster.as_ref().is_none_or(|m| m.owns(key))
     }
 
     fn run(&mut self, shutdown: &AtomicBool) -> io::Result<()> {
@@ -641,6 +699,16 @@ impl Connection {
                     // Stage before consuming: `cmd` borrows `buf`.
                     match cmd {
                         Command::Get { with_cas, keys } => {
+                            // A frame touching any key this node does not
+                            // own is refused whole — partial answers
+                            // would read as misses on the foreign keys.
+                            if keys.iter().any(|key| !self.owns(key)) {
+                                self.local.server_errors += 1;
+                                self.local.not_primary += 1;
+                                self.plan.push(PlanItem::Reply(NOT_PRIMARY_REPLY));
+                                self.start += consumed;
+                                continue;
+                            }
                             let first_slot = next_slot;
                             let mut n_keys = 0u32;
                             for key in keys.iter() {
@@ -667,6 +735,15 @@ impl Connection {
                                 StoreVerb::Add => Verb::Add,
                                 StoreVerb::Replace => Verb::Replace,
                             };
+                            if !self.owns(key) {
+                                self.local.server_errors += 1;
+                                self.local.not_primary += 1;
+                                if !noreply {
+                                    self.plan.push(PlanItem::Reply(NOT_PRIMARY_REPLY));
+                                }
+                                self.start += consumed;
+                                continue;
+                            }
                             jobs_sent += self.stage(verb, next_slot, key, flags, data)?;
                             self.plan.push(PlanItem::Op {
                                 slot: next_slot,
@@ -676,6 +753,15 @@ impl Connection {
                             next_slot += 1;
                         }
                         Command::Delete { key, noreply } => {
+                            if !self.owns(key) {
+                                self.local.server_errors += 1;
+                                self.local.not_primary += 1;
+                                if !noreply {
+                                    self.plan.push(PlanItem::Reply(NOT_PRIMARY_REPLY));
+                                }
+                                self.start += consumed;
+                                continue;
+                            }
                             jobs_sent += self.stage(Verb::Delete, next_slot, key, 0, &[])?;
                             self.plan.push(PlanItem::Op {
                                 slot: next_slot,
@@ -755,16 +841,16 @@ impl Connection {
                 } => {
                     // A key that faulted (device error, overload shed,
                     // …) must not masquerade as a miss — a client would
-                    // read that as a lost write. Fail the whole frame.
-                    let failed = (first_slot..first_slot + n_keys).any(|slot| {
+                    // read that as a lost write. Fail the whole frame
+                    // with the first fault's taxonomy class.
+                    let failed = (first_slot..first_slot + n_keys).find_map(|slot| {
                         let (bi, oi) = self.slots[slot as usize];
                         let status = received[bi as usize].responses[oi as usize].status;
-                        !matches!(status, Status::Ok | Status::NotFound)
+                        (!matches!(status, Status::Ok | Status::NotFound)).then_some(status)
                     });
-                    if failed {
+                    if let Some(status) = failed {
                         self.local.server_errors += 1;
-                        self.out
-                            .extend_from_slice(b"SERVER_ERROR backend error\r\n");
+                        self.out.extend_from_slice(taxonomy_reply(status));
                         continue;
                     }
                     for slot in first_slot..first_slot + n_keys {
@@ -802,10 +888,7 @@ impl Connection {
                         (Verb::Add | Verb::Replace, Status::NotFound) => b"NOT_STORED\r\n",
                         (Verb::Delete, Status::Ok) => b"DELETED\r\n",
                         (Verb::Delete, Status::NotFound) => b"NOT_FOUND\r\n",
-                        (_, Status::OutOfMemory) => {
-                            b"SERVER_ERROR out of memory storing object\r\n"
-                        }
-                        _ => b"SERVER_ERROR backend error\r\n",
+                        (_, status) => taxonomy_reply(status),
                     };
                     match line {
                         b"STORED\r\n" => self.local.stored += 1,
@@ -949,11 +1032,44 @@ mod tests {
         cfg.store.fault_seed = 0xFA_17;
         let h = serve("127.0.0.1:0", cfg).expect("bind");
         let got = roundtrip(&h, b"get k\r\n");
-        assert_eq!(got, b"SERVER_ERROR backend error\r\n".to_vec());
+        assert_eq!(got, b"SERVER_ERROR device_error\r\n".to_vec());
         let ledger = h.stop();
         assert_eq!(ledger.server.server_errors, 1);
         assert_eq!(ledger.server.get_misses, 0, "fault must not count as miss");
         assert!(ledger.core.device_errors > 0);
+    }
+
+    #[test]
+    fn non_owned_keys_refused_not_primary() {
+        // Node 0 of a 2-node ring at RF=1: keys placed on node 1 must
+        // be refused with the `not_primary` taxonomy line, not served
+        // from a store the cluster never writes through this member.
+        let ring = HashRing::with_nodes(2, 64);
+        let owned = (0u32..)
+            .find(|i| ring.primary(format!("k{i}").as_bytes()) == 0)
+            .expect("owned key");
+        let foreign = (0u32..)
+            .find(|i| ring.primary(format!("k{i}").as_bytes()) == 1)
+            .expect("foreign key");
+        let cfg = ServerConfig::loopback(1).with_cluster(ClusterMembership {
+            node: 0,
+            ring,
+            rf: 1,
+        });
+        let h = serve("127.0.0.1:0", cfg).expect("bind");
+        let send = format!(
+            "set k{owned} 0 0 1\r\na\r\nset k{foreign} 0 0 1\r\nb\r\nget k{foreign}\r\ndelete k{foreign}\r\nget k{owned}\r\n"
+        );
+        let got = roundtrip(&h, send.as_bytes());
+        let mut want = b"STORED\r\n".to_vec();
+        want.extend_from_slice(NOT_PRIMARY_REPLY);
+        want.extend_from_slice(NOT_PRIMARY_REPLY);
+        want.extend_from_slice(NOT_PRIMARY_REPLY);
+        want.extend_from_slice(format!("VALUE k{owned} 0 1\r\na\r\nEND\r\n").as_bytes());
+        assert_eq!(got, want);
+        let ledger = h.stop();
+        assert_eq!(ledger.server.not_primary, 3);
+        assert_eq!(ledger.server.server_errors, 3);
     }
 
     #[test]

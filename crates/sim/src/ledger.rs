@@ -260,8 +260,54 @@ pub struct ServerCosts {
     pub deleted: u64,
     /// Client mistakes answered `ERROR`/`CLIENT_ERROR`.
     pub protocol_errors: u64,
-    /// Store-side failures answered `SERVER_ERROR`.
+    /// Store-side failures answered `SERVER_ERROR` (every taxonomy
+    /// class: `device_error`, `overloaded`, `not_primary`, allocation).
     pub server_errors: u64,
+    /// Requests refused with `SERVER_ERROR not_primary` because this
+    /// node does not own the key under the cluster ring (also counted in
+    /// [`Self::server_errors`]).
+    pub not_primary: u64,
+}
+
+/// Cluster-plane costs: replication and heartbeat traffic between
+/// simulated hosts, plus failover-protocol events. Replication frames
+/// ride the inter-node links (`kvd_sim::cluster::NodeLink`), so the
+/// throughput cost of RF=2/3 shows up here as measured bytes rather
+/// than a modeling assumption.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterCosts {
+    /// Replicate frames forwarded down a chain (head → … → tail).
+    pub rep_frames: u64,
+    /// Payload bytes carried by those frames.
+    pub rep_bytes: u64,
+    /// Chain acknowledgements (tail apply → head/client).
+    pub rep_acks: u64,
+    /// Backup applies re-staged after a device fault.
+    pub rep_retries: u64,
+    /// Heartbeat frames broadcast between nodes.
+    pub heartbeats: u64,
+    /// Heartbeat payload bytes.
+    pub hb_bytes: u64,
+    /// Whole-node kills injected by the cluster fault plane.
+    pub node_kills: u64,
+    /// Dead nodes detected via missed heartbeats.
+    pub failovers: u64,
+    /// Chain promotions performed after a detection.
+    pub promotions: u64,
+    /// In-flight writes re-driven past a dead chain member.
+    pub orphan_redrives: u64,
+    /// Client-side retries against a survivor after failover.
+    pub client_retries: u64,
+    /// Reads hedged to another replica during the failover window.
+    pub hedged_reads: u64,
+    /// Writes acknowledged after the tail applied them.
+    pub writes_acked: u64,
+    /// Writes that failed without an acknowledgement (retry budget or
+    /// unavailability).
+    pub writes_failed: u64,
+    /// Gauge: cluster windows between a node kill and its detection (the
+    /// failover-window depth; merged by maximum).
+    pub failover_depth_windows: u64,
 }
 
 /// KV-processor costs: request mix, retire outcomes and overload-plane
@@ -619,7 +665,8 @@ impl ServerCosts {
             not_stored,
             deleted,
             protocol_errors,
-            server_errors
+            server_errors,
+            not_primary
         );
     }
 
@@ -640,8 +687,59 @@ impl ServerCosts {
             not_stored,
             deleted,
             protocol_errors,
-            server_errors
+            server_errors,
+            not_primary
         );
+        out
+    }
+}
+
+impl ClusterCosts {
+    fn merge(&mut self, other: &ClusterCosts) {
+        sum_fields!(
+            self,
+            other,
+            rep_frames,
+            rep_bytes,
+            rep_acks,
+            rep_retries,
+            heartbeats,
+            hb_bytes,
+            node_kills,
+            failovers,
+            promotions,
+            orphan_redrives,
+            client_retries,
+            hedged_reads,
+            writes_acked,
+            writes_failed
+        );
+        self.failover_depth_windows = self
+            .failover_depth_windows
+            .max(other.failover_depth_windows);
+    }
+
+    fn since(&self, earlier: &ClusterCosts) -> ClusterCosts {
+        let mut out = *self;
+        sub_fields!(
+            out,
+            earlier,
+            rep_frames,
+            rep_bytes,
+            rep_acks,
+            rep_retries,
+            heartbeats,
+            hb_bytes,
+            node_kills,
+            failovers,
+            promotions,
+            orphan_redrives,
+            client_retries,
+            hedged_reads,
+            writes_acked,
+            writes_failed
+        );
+        // `failover_depth_windows` is a gauge: the delta keeps the mark.
         out
     }
 }
@@ -723,6 +821,9 @@ pub struct OpLedger {
     /// Serving-front-end costs (protocol frames, socket bytes, outcome
     /// mix) — zero unless a real server fronts the store.
     pub server: ServerCosts,
+    /// Cluster-plane costs (replication, heartbeats, failover events) —
+    /// zero unless the run spans multiple simulated hosts.
+    pub cluster: ClusterCosts,
     /// Per-class, per-component latency attribution.
     pub latency: LatencyCosts,
     /// Raw backpressure terms (gauges, merged by maximum).
@@ -742,6 +843,7 @@ impl OpLedger {
         self.slab.merge(&other.slab);
         self.core.merge(&other.core);
         self.server.merge(&other.server);
+        self.cluster.merge(&other.cluster);
         self.latency.merge(&other.latency);
         self.pressure.merge(&other.pressure);
     }
@@ -759,6 +861,7 @@ impl OpLedger {
             slab: self.slab.since(&earlier.slab),
             core: self.core.since(&earlier.core),
             server: self.server.since(&earlier.server),
+            cluster: self.cluster.since(&earlier.cluster),
             latency: self.latency.since(&earlier.latency),
             pressure: self.pressure,
         }
@@ -905,6 +1008,24 @@ mod tests {
                 deleted: r(),
                 protocol_errors: r(),
                 server_errors: r(),
+                not_primary: r(),
+            },
+            cluster: ClusterCosts {
+                rep_frames: r(),
+                rep_bytes: r(),
+                rep_acks: r(),
+                rep_retries: r(),
+                heartbeats: r(),
+                hb_bytes: r(),
+                node_kills: r(),
+                failovers: r(),
+                promotions: r(),
+                orphan_redrives: r(),
+                client_retries: r(),
+                hedged_reads: r(),
+                writes_acked: r(),
+                writes_failed: r(),
+                failover_depth_windows: r(),
             },
             latency: LatencyCosts {
                 ps: [
@@ -968,6 +1089,12 @@ mod tests {
         // Gauges keep their merged (max) value.
         assert_eq!(got.pressure, total.pressure);
         assert_eq!(got.station.high_water, total.station.high_water);
+        assert_eq!(
+            got.cluster.failover_depth_windows,
+            total.cluster.failover_depth_windows
+        );
+        assert_eq!(got.cluster.rep_frames, delta.cluster.rep_frames);
+        assert_eq!(got.cluster.writes_acked, delta.cluster.writes_acked);
     }
 
     #[test]

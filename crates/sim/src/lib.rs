@@ -29,6 +29,10 @@
 //!   admission layer.
 //! * [`chaos`] — seeded bursty open-loop arrival schedules
 //!   ([`ChaosSchedule`]) for overload/chaos soak testing.
+//! * [`cluster`] — inter-node fabric primitives ([`NodeLink`],
+//!   [`ClusterClock`]) for the multi-host replication plane: timed
+//!   host-to-host links and the fixed-quantum window discipline that
+//!   keeps cross-node delivery deterministic.
 //! * [`ledger`] — the typed, mergeable op-cost ledger ([`OpLedger`])
 //!   every plane emits into through [`CostSource`]; the legacy counter
 //!   structs are views over it.
@@ -42,6 +46,7 @@
 
 pub mod arbiter;
 pub mod chaos;
+pub mod cluster;
 pub mod credit;
 pub mod fault;
 pub mod ledger;
@@ -56,13 +61,14 @@ pub mod time;
 
 pub use arbiter::{ArbiterStats, HostArbiter, HostArbiterConfig};
 pub use chaos::{ChaosConfig, ChaosPhase, ChaosSchedule};
+pub use cluster::{ClusterClock, NodeLink, NodeLinkConfig};
 pub use credit::{Credit, CreditArbiter};
 pub use fault::{
     DramFault, FaultCounters, FaultPlane, FaultRates, NetFault, PcieFault, TxnOutcome,
 };
 pub use ledger::{
-    Component, CoreCosts, CostSource, DramCosts, LatencyCosts, NetCosts, OpClass, OpLedger,
-    PcieCosts, PressureTerms, ServerCosts, SlabCosts, StationCosts,
+    ClusterCosts, Component, CoreCosts, CostSource, DramCosts, LatencyCosts, NetCosts, OpClass,
+    OpLedger, PcieCosts, PressureTerms, ServerCosts, SlabCosts, StationCosts,
 };
 pub use pressure::PressureGauge;
 pub use queue::EventQueue;

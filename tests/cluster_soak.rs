@@ -1,0 +1,255 @@
+//! Cluster chaos soak: kill a whole member mid-run and check the
+//! survivors against a per-key linearizability model.
+//!
+//! The fault plane one level up from `chaos_soak.rs`: instead of DMA
+//! faults inside one host, an entire member of an M-node cluster loses
+//! power mid-run ([`NodeKill`]). The soak drives a seeded mixed
+//! PUT/GET/DELETE workload across the failover window and then replays
+//! every read against a HashMap model of the per-key mutation history:
+//!
+//! * **Zero acked writes lost** — a write the cluster acknowledged must
+//!   be visible to every read that starts after the ack, including the
+//!   trailing read-back pass after the failover settles.
+//! * **Linearizability per key** — each read must observe the state of
+//!   some prefix of that key's client-ordered mutation history, where
+//!   the admissible prefix range is bounded below by what had committed
+//!   before the read was issued and above by what had been issued when
+//!   the read resolved.
+//! * **Monotonic versions** — reads of one key in issue order never
+//!   observe a version going backwards across the failover window
+//!   (tails apply in order; promotion moves the tail strictly up-chain).
+//!
+//! The companion determinism test re-runs one soak on 1/2/4 OS workers
+//! and requires the merged ledgers to be bit-identical — the window
+//! lockstep discipline, restated as an end-to-end assertion.
+
+use kvd_core::{ClusterSim, ClusterSimConfig, NodeKill, OpRecord};
+use kvd_net::{KvRequest, OpCode, Status};
+use kvd_sim::{DetRng, SimTime};
+
+const KEYS: u64 = 40;
+const OPS: usize = 360;
+
+/// 16 LE bytes of (key id, version) — the soak's value encoding.
+fn val(id: u64, version: u64) -> Vec<u8> {
+    let mut v = id.to_le_bytes().to_vec();
+    v.extend_from_slice(&version.to_le_bytes());
+    v
+}
+
+fn version_of(v: &[u8]) -> u64 {
+    u64::from_le_bytes(v[8..16].try_into().expect("16-byte value"))
+}
+
+fn key_of(req: &KvRequest) -> u64 {
+    u64::from_le_bytes(req.key[..8].try_into().expect("8-byte key"))
+}
+
+/// A seeded mixed workload spanning the kill: writes and reads
+/// interleave from before the kill window until well after detection,
+/// then a quiet gap and one trailing GET per key reads the final state
+/// back.
+fn soak_schedule(seed: u64) -> Vec<(SimTime, KvRequest)> {
+    let mut rng = DetRng::seed(seed);
+    let mut versions = vec![0u64; KEYS as usize];
+    let mut next_version = 1u64;
+    let mut sched = Vec::with_capacity(OPS + KEYS as usize);
+    let mut t = SimTime::ZERO;
+    for _ in 0..OPS {
+        // ~140 us of traffic: the kill at window 40 (80 us) and the
+        // detection window land mid-stream.
+        t += SimTime::from_ns(300 + rng.u64_below(200));
+        let id = rng.u64_below(KEYS);
+        let roll = rng.f64();
+        let req = if roll < 0.50 {
+            KvRequest::get(&id.to_le_bytes())
+        } else if roll < 0.92 || versions[id as usize] == 0 {
+            versions[id as usize] = next_version;
+            next_version += 1;
+            KvRequest::put(&id.to_le_bytes(), &val(id, versions[id as usize]))
+        } else {
+            versions[id as usize] = 0;
+            KvRequest::delete(&id.to_le_bytes())
+        };
+        sched.push((t, req));
+    }
+    // Quiet period, then read back every key.
+    let mut late = t + SimTime::from_us(300);
+    for id in 0..KEYS {
+        sched.push((late, KvRequest::get(&id.to_le_bytes())));
+        late += SimTime::from_ns(400);
+    }
+    sched
+}
+
+/// One key's mutation, reconstructed from the schedule + records.
+struct Mutation {
+    /// `Some(version)` for a PUT, `None` for a DELETE.
+    put: Option<u64>,
+    acked: bool,
+    issue_window: u64,
+    done_window: u64,
+}
+
+/// What the model says a read observes after `p` mutations applied.
+fn model_state(muts: &[Mutation], p: usize) -> Option<u64> {
+    muts[..p].last().and_then(|m| m.put)
+}
+
+/// Replays every read against the per-key model; panics with context on
+/// the first linearizability violation.
+fn check_linearizable(
+    sched: &[(SimTime, KvRequest)],
+    records: &[OpRecord],
+    quantum: SimTime,
+    label: &str,
+) {
+    let win = |t: SimTime| t.as_ps() / quantum.as_ps();
+    // Client-ordered mutation history per key.
+    let mut history: Vec<Vec<Mutation>> = (0..KEYS).map(|_| Vec::new()).collect();
+    for ((t, req), rec) in sched.iter().zip(records) {
+        if matches!(req.op, OpCode::Put | OpCode::Delete) {
+            assert!(
+                rec.acked && rec.status == Status::Ok,
+                "{label}: write to key {} at {t:?} not acked (status {:?}) — \
+                 a single node kill at RF>=2 must not fail writes",
+                key_of(req),
+                rec.status
+            );
+            history[key_of(req) as usize].push(Mutation {
+                put: (req.op == OpCode::Put).then(|| version_of(&req.value)),
+                acked: rec.acked,
+                issue_window: win(*t),
+                done_window: rec.done_window,
+            });
+        }
+    }
+    let mut last_seen: Vec<Option<u64>> = vec![None; KEYS as usize];
+    for ((t, req), rec) in sched.iter().zip(records) {
+        if req.op != OpCode::Get {
+            continue;
+        }
+        let id = key_of(req);
+        let muts = &history[id as usize];
+        let observed = match rec.status {
+            Status::Ok => Some(version_of(&rec.value)),
+            Status::NotFound => None,
+            other => panic!("{label}: read of key {id} failed with {other:?}"),
+        };
+        // Admissible prefix range: everything committed before the read
+        // was issued must be visible; nothing issued after the read
+        // resolved can be.
+        let issue_w = win(*t);
+        let p_min = muts
+            .iter()
+            .filter(|m| m.acked && m.done_window < issue_w)
+            .count();
+        let p_max = muts
+            .iter()
+            .filter(|m| m.issue_window <= rec.done_window)
+            .count();
+        let admissible = (p_min..=p_max).any(|p| model_state(muts, p) == observed);
+        assert!(
+            admissible,
+            "{label}: read of key {id} at {t:?} observed {observed:?}, but \
+             admissible prefixes {p_min}..={p_max} of {} mutations allow {:?}",
+            muts.len(),
+            (p_min..=p_max)
+                .map(|p| model_state(muts, p))
+                .collect::<Vec<_>>()
+        );
+        // Monotonic per-key versions across the failover window.
+        if let (Some(prev), Some(now)) = (last_seen[id as usize], observed) {
+            assert!(
+                now >= prev,
+                "{label}: key {id} version went backwards {prev} -> {now}"
+            );
+        }
+        if observed.is_some() {
+            last_seen[id as usize] = observed;
+        }
+    }
+}
+
+fn soak(
+    seed: u64,
+    rf: usize,
+    workers: usize,
+) -> (Vec<(SimTime, KvRequest)>, kvd_core::ClusterReport) {
+    let mut cfg = ClusterSimConfig::smoke(4, rf);
+    cfg.workers = workers;
+    cfg.kill = Some(NodeKill {
+        node: 1,
+        window: 40,
+    });
+    let quantum = cfg.quantum;
+    let sched = soak_schedule(seed);
+    let mut cluster = ClusterSim::new(cfg);
+    let report = cluster.run(&sched);
+    assert_eq!(
+        report.kill_window,
+        Some(40),
+        "seed {seed:#x}: kill must fire"
+    );
+    let detect = report
+        .detect_window
+        .expect("survivors must detect the dead member");
+    assert!(detect > 40, "detection strictly after the kill");
+    assert_eq!(report.ledger.cluster.node_kills, 1);
+    assert_eq!(report.ledger.cluster.failovers, 1);
+    assert_eq!(
+        report.ledger.cluster.writes_failed, 0,
+        "seed {seed:#x}: no write may fail under a single kill at RF {rf}"
+    );
+    check_linearizable(
+        &sched,
+        &report.records,
+        quantum,
+        &format!("seed {seed:#x} rf {rf}"),
+    );
+    (sched, report)
+}
+
+#[test]
+fn rf2_node_kill_soak_is_linearizable() {
+    for seed in [0xC1A0_5001u64, 0xC1A0_5002, 0xC1A0_5003] {
+        let (_, report) = soak(seed, 2, 1);
+        // The failover left its footprint in the ledger.
+        assert!(report.ledger.cluster.rep_frames > 0);
+        assert!(report.ledger.cluster.heartbeats > 0);
+        assert!(report.ledger.cluster.failover_depth_windows > 0);
+    }
+}
+
+#[test]
+fn rf3_node_kill_soak_is_linearizable() {
+    for seed in [0xC1A0_5001u64, 0xC1A0_5004] {
+        let (_, report) = soak(seed, 3, 1);
+        // RF=3 pushes strictly more replication traffic than the same
+        // schedule at RF=2 — the cost the EXPERIMENTS table measures.
+        assert!(report.ledger.cluster.rep_frames > 0);
+    }
+}
+
+#[test]
+fn soak_ledger_bit_identical_across_worker_counts() {
+    let mut reports = Vec::new();
+    for workers in [1usize, 2, 4] {
+        reports.push(soak(0xC1A0_5001, 2, workers).1);
+    }
+    let base = &reports[0];
+    for r in &reports[1..] {
+        assert_eq!(
+            format!("{:?}", base.ledger),
+            format!("{:?}", r.ledger),
+            "merged cluster ledger must be bit-identical across worker counts"
+        );
+        assert_eq!(base.windows, r.windows);
+        assert_eq!(base.detect_window, r.detect_window);
+        for (a, b) in base.records.iter().zip(&r.records) {
+            assert_eq!(a.status, b.status);
+            assert_eq!(a.value, b.value);
+            assert_eq!(a.done_window, b.done_window);
+        }
+    }
+}
