@@ -125,9 +125,11 @@ fn main() {
                 }
                 // The paper's network-bound claim is for the long-tail
                 // series ("able to ... reach the network throughput bound
-                // for 62B KV sizes"); uniform dips below it.
+                // for 62B KV sizes"); uniform dips below it, and our
+                // 57 B point sits under 62 B (7-byte record header), so
+                // the claim starts at the next non-inline size.
                 if dist == KeyDist::Zipf
-                    && kv >= 61
+                    && kv >= 62
                     && (tp.mops - tp.network_bound_mops).abs() > 1e-9
                 {
                     big_bound_net = false;
@@ -154,9 +156,9 @@ fn main() {
         &format!("10B/100%GET/long-tail = {tiny_zipf_read:.1} Mops (paper: 180)"),
     );
     shape_check(
-        "61B+ long-tail KVs are network-bound",
+        "62B+ long-tail KVs are network-bound",
         big_bound_net,
-        "all ≥61B long-tail cells bound by the network",
+        "all ≥62B long-tail cells bound by the network",
     );
     shape_check(
         "long-tail peak ≥ uniform peak",

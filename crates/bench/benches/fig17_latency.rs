@@ -30,7 +30,7 @@ fn main() {
                 "PUT skewed",
             ],
         );
-        for kv in [10u64, 30, 61, 125, 253] {
+        for kv in [10u64, 30, 57, 121, 249] {
             let mut cells = vec![kv.to_string()];
             for (is_put, dist) in [
                 (false, KeyDist::Uniform),

@@ -354,13 +354,13 @@ fn main() {
         par8[0].1, par8[1].1, par8[2].1,
         srv_rps, srv_goodput,
     );
-    // The fig_cluster harness owns the "cluster" section of this file;
-    // carry the committed copy over instead of clobbering it.
-    if let Some(sec) = committed
-        .as_deref()
-        .and_then(|c| json_section(c, "cluster"))
-    {
-        json = with_json_section(&json, "cluster", &sec);
+    // The fig_cluster and fig_expiry harnesses own the "cluster" and
+    // "expiry" sections of this file; carry the committed copies over
+    // instead of clobbering them.
+    for owned in ["cluster", "expiry"] {
+        if let Some(sec) = committed.as_deref().and_then(|c| json_section(c, owned)) {
+            json = with_json_section(&json, owned, &sec);
+        }
     }
     match std::fs::write(json_path, &json) {
         Ok(()) => println!("wrote {json_path}"),

@@ -40,6 +40,7 @@ pub mod system;
 pub mod timing;
 
 pub use cluster::{ClusterReport, ClusterSim, ClusterSimConfig, NodeKill, OpRecord};
+pub use kvd_hash::{tick_of_us, EXPIRY_TICK_US};
 pub use lambda::{builtin, Lambda, LambdaRegistry};
 pub use overload::{AdmissionController, OverloadConfig, OverloadCounters, Watermarks};
 pub use parallel::{ParallelSimConfig, ParallelSimReport, ParallelSystemSim};

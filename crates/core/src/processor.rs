@@ -7,7 +7,7 @@
 //! operations sit in an in-flight FIFO (memory latency) so dependent
 //! requests really do queue and forward, exactly as on the FPGA.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use kvd_hash::{HashError, HashTable, HashTableConfig};
@@ -60,6 +60,9 @@ struct RespCtx {
     op: OpCode,
     lambda: u16,
     param: Vec<u8>,
+    /// Absolute lifecycle stamp the request carried (0 = never expires);
+    /// read back when the op's PUT retires against the table.
+    expiry_tick: u32,
 }
 
 /// The KV processor: hash table + slab allocator + reservation station.
@@ -104,6 +107,15 @@ pub struct KvProcessor<M: MemoryEngine> {
     /// The simulation clock the deadline gate compares against.
     now: SimTime,
     read_only: bool,
+    /// Lifecycle stamps of this batch's TTL'd PUTs, keyed by request key,
+    /// so a station write-back re-installs the stamp the merged PUT
+    /// carried. Cleared at every batch boundary; empty (and untouched)
+    /// for workloads that never stamp anything.
+    pending_ttl: HashMap<Vec<u8>, u32>,
+    /// Set once any request carries a lifecycle stamp (PUT with TTL, or
+    /// touch). Gates the clock-advance cache invalidation so stampless
+    /// workloads keep bit-identical forwarding behaviour.
+    ttl_seen: bool,
     /// The processor's own slice of the op-cost ledger: request mix,
     /// retire outcomes and overload-plane decisions. Station, slab,
     /// memory and fault costs stay in their components and are folded in
@@ -147,6 +159,8 @@ impl<M: MemoryEngine> KvProcessor<M> {
             external_pressure: 0.0,
             now: SimTime::ZERO,
             read_only: false,
+            pending_ttl: HashMap::new(),
+            ttl_seen: false,
             ledger: OpLedger::default(),
         }
     }
@@ -160,8 +174,21 @@ impl<M: MemoryEngine> KvProcessor<M> {
 
     /// Advances the clock the deadline gate compares request deadlines
     /// against (µs since the client epoch).
+    ///
+    /// Also drives the table's expiry clock: when the coarse lifecycle
+    /// tick advances, previously-live stamps may die, so the station's
+    /// clean forwarding caches (which hold values, not stamps) are
+    /// dropped — but only once a lifecycle stamp has actually been seen,
+    /// so stampless workloads keep bit-identical forwarding behaviour.
     pub fn set_now(&mut self, now: SimTime) {
         self.now = now;
+        let tick = kvd_hash::tick_of_us(now.as_ps() / 1_000_000);
+        if tick > self.table.now_tick() {
+            self.table.set_now_tick(tick);
+            if self.ttl_seen {
+                self.station.drop_clean_caches();
+            }
+        }
     }
 
     /// Reports pressure from layers outside the functional processor
@@ -358,6 +385,9 @@ impl<M: MemoryEngine> KvProcessor<M> {
         self.responses.resize(n, None);
         self.ctxs.clear();
         self.ctxs.reserve(n);
+        if !self.pending_ttl.is_empty() {
+            self.pending_ttl.clear();
+        }
     }
 
     fn admit_request(&mut self, i: usize, req: KvRequestRef<'_>) {
@@ -370,6 +400,7 @@ impl<M: MemoryEngine> KvProcessor<M> {
             } else {
                 Vec::new()
             },
+            expiry_tick: req.expiry_tick,
         });
         self.ledger.core.requests += 1;
         if let Some(status) = self.overload_gate(req) {
@@ -479,16 +510,44 @@ impl<M: MemoryEngine> KvProcessor<M> {
             }
             OpCode::Put => {
                 self.ledger.core.puts += 1;
-                let mut v = self.station.recycle().unwrap_or_default();
-                v.extend_from_slice(req.value);
-                KvOpKind::Put(v)
+                if self.table.stamp_dead(req.expiry_tick) {
+                    // Dead on arrival (memcache `set` with a past
+                    // exptime): the store is acknowledged but the value
+                    // must be observably absent. Run it as a delete so
+                    // the outcome holds even through the forwarding
+                    // cache; the response is still built from the PUT
+                    // context.
+                    self.ttl_seen = true;
+                    if !self.pending_ttl.is_empty() {
+                        self.pending_ttl.remove(req.key);
+                    }
+                    KvOpKind::Delete
+                } else {
+                    if req.expiry_tick != 0 {
+                        self.ttl_seen = true;
+                        self.pending_ttl.insert(req.key.to_vec(), req.expiry_tick);
+                    } else if !self.pending_ttl.is_empty() {
+                        self.pending_ttl.remove(req.key);
+                    }
+                    let mut v = self.station.recycle().unwrap_or_default();
+                    v.extend_from_slice(req.value);
+                    KvOpKind::Put(v)
+                }
             }
             OpCode::Delete => {
                 self.ledger.core.deletes += 1;
+                if !self.pending_ttl.is_empty() {
+                    self.pending_ttl.remove(req.key);
+                }
                 KvOpKind::Delete
             }
             OpCode::UpdateScalar => {
                 self.ledger.core.updates += 1;
+                // λ-updates write back unstamped: an update resets the
+                // entry's lifecycle to immortal on every path.
+                if !self.pending_ttl.is_empty() {
+                    self.pending_ttl.remove(req.key);
+                }
                 let f = match self.registry.get(req.lambda) {
                     Some(Lambda::Scalar(f)) => Arc::clone(f),
                     _ => return Err(Status::Invalid),
@@ -501,6 +560,11 @@ impl<M: MemoryEngine> KvProcessor<M> {
             }
             OpCode::UpdateScalarToVector => {
                 self.ledger.core.updates += 1;
+                // λ-updates write back unstamped: an update resets the
+                // entry's lifecycle to immortal on every path.
+                if !self.pending_ttl.is_empty() {
+                    self.pending_ttl.remove(req.key);
+                }
                 let f = match self.registry.get(req.lambda) {
                     Some(Lambda::ScalarToVector(f)) => Arc::clone(f),
                     _ => return Err(Status::Invalid),
@@ -518,6 +582,11 @@ impl<M: MemoryEngine> KvProcessor<M> {
             }
             OpCode::UpdateVector => {
                 self.ledger.core.updates += 1;
+                // λ-updates write back unstamped: an update resets the
+                // entry's lifecycle to immortal on every path.
+                if !self.pending_ttl.is_empty() {
+                    self.pending_ttl.remove(req.key);
+                }
                 let f = match self.registry.get(req.lambda) {
                     Some(Lambda::VectorToVector(f)) => Arc::clone(f),
                     _ => return Err(Status::Invalid),
@@ -636,21 +705,26 @@ impl<M: MemoryEngine> KvProcessor<M> {
                     }
                 }
             }
-            KvOpKind::Put(v) => match self.table.put(&op.key, v) {
-                // The op's value buffer moves straight into the
-                // forwarding cache; no copy.
-                Ok(_replaced) => (None, Some(std::mem::take(v)), None),
-                Err(e) => {
-                    let status = self.map_error(e);
-                    // Leave the cache coherent with the table's (old)
-                    // contents.
-                    let old = self.table.get(&op.key);
-                    (None, old, Some(status))
+            KvOpKind::Put(v) => {
+                let exp = self.ctxs[op.id as usize].expiry_tick;
+                match self.table.put_ttl(&op.key, v, exp) {
+                    // The op's value buffer moves straight into the
+                    // forwarding cache; no copy.
+                    Ok(_replaced) => (None, Some(std::mem::take(v)), None),
+                    Err(e) => {
+                        let status = self.map_error(e);
+                        // Leave the cache coherent with the table's (old)
+                        // contents.
+                        let old = self.table.get(&op.key);
+                        (None, old, Some(status))
+                    }
                 }
-            },
+            }
             KvOpKind::Delete => {
                 let existed = self.table.delete(&op.key);
-                let status = if existed {
+                // A dead-on-arrival PUT runs as a delete; its response is
+                // the PUT's Ok, not the delete's found/not-found.
+                let status = if existed || self.ctxs[op.id as usize].op == OpCode::Put {
                     Status::Ok
                 } else {
                     Status::NotFound
@@ -698,7 +772,15 @@ impl<M: MemoryEngine> KvProcessor<M> {
     fn apply_writeback(&mut self, key: &[u8], value: Option<Vec<u8>>) {
         let r = match value {
             Some(v) => {
-                let r = self.table.put(key, &v).map(|_| ());
+                // A write-back lands with the stamp of the batch's last
+                // TTL'd PUT of this key (0 — immortal — otherwise:
+                // unstamped PUTs and λ-updates both reset the lifecycle).
+                let exp = if self.pending_ttl.is_empty() {
+                    0
+                } else {
+                    self.pending_ttl.get(key).copied().unwrap_or(0)
+                };
+                let r = self.table.put_ttl(key, &v, exp).map(|_| ());
                 self.station.give(v);
                 r
             }
@@ -713,6 +795,36 @@ impl<M: MemoryEngine> KvProcessor<M> {
             // stats so benchmarks can assert it never happens.
             self.ledger.core.writeback_failures += 1;
         }
+    }
+
+    /// Rewrites `key`'s lifecycle stamp in place (memcache `touch`).
+    ///
+    /// Returns whether the key was found live. Bypasses the station —
+    /// dirty state is flushed first, and since the forwarding caches hold
+    /// values (never stamps) a surviving clean cache stays coherent. A
+    /// touch into the past kills the entry *now*, so the caches are
+    /// dropped in that case before any read can forward the corpse.
+    pub fn touch(&mut self, key: &[u8], expiry_tick: u32) -> bool {
+        self.drain_and_flush();
+        self.ttl_seen = true;
+        let found = self.table.touch(key, expiry_tick);
+        if found && self.table.stamp_dead(expiry_tick) {
+            self.station.drop_clean_caches();
+        }
+        found
+    }
+
+    /// Runs one bounded reaper pass over up to `max_buckets` bucket
+    /// chains, reclaiming dead entries through the normal free path.
+    /// Returns the sweep's cost/yield so embedders can meter it.
+    pub fn sweep_expired(&mut self, max_buckets: u64) -> kvd_hash::SweepCost {
+        self.table.sweep_expired(max_buckets)
+    }
+
+    /// The table's lifecycle counters (also folded into
+    /// [`CostSource::emit_costs`] as the ledger's expiry section).
+    pub fn expiry_stats(&self) -> kvd_hash::ExpiryStats {
+        self.table.expiry_stats()
     }
 
     /// Builds and stores the response for request `id`.
@@ -751,6 +863,15 @@ impl<M: MemoryEngine + CostSource> CostSource for KvProcessor<M> {
         self.table.allocator().emit_costs(out);
         self.faults.emit_costs(out);
         self.table.mem().emit_costs(out);
+        let e = self.table.expiry_stats();
+        out.expiry.ttl_puts += e.ttl_puts;
+        out.expiry.touches += e.touches;
+        out.expiry.lazy_expired += e.lazy_expired;
+        out.expiry.expired_overwrites += e.expired_overwrites;
+        out.expiry.reaped_entries += e.reaped_entries;
+        out.expiry.reaped_bytes += e.reaped_bytes;
+        out.expiry.sweep_passes += e.sweep_passes;
+        out.expiry.sweep_buckets += e.sweep_buckets;
     }
 }
 
@@ -888,6 +1009,7 @@ mod tests {
                 value: 1u64.to_le_bytes().to_vec(),
                 lambda: crate::lambda::builtin::ADD,
                 deadline_us: 0,
+                expiry_tick: 0,
             })
             .collect();
         let rs = p.execute_batch(&reqs);
@@ -938,6 +1060,7 @@ mod tests {
                             value: 7u64.to_le_bytes().to_vec(),
                             lambda: crate::lambda::builtin::ADD,
                             deadline_us: 0,
+                            expiry_tick: 0,
                         });
                         expected.push(Some(old.to_le_bytes().to_vec()));
                     }
@@ -1016,6 +1139,7 @@ mod tests {
                 value: 0u64.to_le_bytes().to_vec(),
                 lambda: crate::lambda::builtin::SUM,
                 deadline_us: 0,
+                expiry_tick: 0,
             },
             KvRequest {
                 op: OpCode::UpdateScalarToVector,
@@ -1023,6 +1147,7 @@ mod tests {
                 value: 10u64.to_le_bytes().to_vec(),
                 lambda: crate::lambda::builtin::VADD,
                 deadline_us: 0,
+                expiry_tick: 0,
             },
             KvRequest {
                 op: OpCode::Filter,
@@ -1030,11 +1155,166 @@ mod tests {
                 value: Vec::new(),
                 lambda: crate::lambda::builtin::NONZERO,
                 deadline_us: 0,
+                expiry_tick: 0,
             },
         ]);
         assert_eq!(decode_scalar(Some(&rs[1].value)), 6);
         assert_eq!(crate::lambda::decode_vector(&rs[2].value), vec![1, 2, 3]);
         assert_eq!(crate::lambda::decode_vector(&rs[3].value), vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn ttl_put_expires_lazily_and_reclaims() {
+        let mut p = proc();
+        let rs = p.execute_batch(&[
+            KvRequest::put(b"mortal", b"v").with_ttl(5),
+            KvRequest::put(b"immortal", b"w"),
+        ]);
+        assert!(rs.iter().all(|r| r.status == Status::Ok));
+        // Live before the stamp's tick.
+        p.set_now(SimTime::from_us(4_000));
+        let rs = p.execute_batch(&[KvRequest::get(b"mortal")]);
+        assert_eq!(rs[0].value, b"v");
+        // Dead at the stamp's tick: the GET is a miss and the slot frees.
+        p.set_now(SimTime::from_us(5_000));
+        let rs = p.execute_batch(&[KvRequest::get(b"mortal"), KvRequest::get(b"immortal")]);
+        assert_eq!(rs[0].status, Status::NotFound);
+        assert_eq!(rs[1].value, b"w");
+        assert_eq!(p.table().len(), 1, "dead entry reclaimed on the miss");
+        let e = p.expiry_stats();
+        assert_eq!(e.ttl_puts, 1);
+        assert_eq!(e.lazy_expired, 1);
+    }
+
+    #[test]
+    fn dead_on_arrival_put_is_acknowledged_but_absent() {
+        let mut p = proc();
+        p.set_now(SimTime::from_us(10_000));
+        // Stamp already in the past: memcache `set` with a past exptime.
+        let rs = p.execute_batch(&[KvRequest::put(b"k", b"v").with_ttl(3), KvRequest::get(b"k")]);
+        assert_eq!(rs[0].status, Status::Ok, "the store is acknowledged");
+        assert_eq!(rs[1].status, Status::NotFound, "but observably absent");
+        assert_eq!(p.table().len(), 0);
+        // Same when the put lands on an existing live entry.
+        p.execute_batch(&[KvRequest::put(b"k", b"live")]);
+        let rs = p.execute_batch(&[
+            KvRequest::put(b"k", b"dead").with_ttl(3),
+            KvRequest::get(b"k"),
+        ]);
+        assert_eq!(rs[0].status, Status::Ok);
+        assert_eq!(rs[1].status, Status::NotFound, "old value not resurrected");
+    }
+
+    #[test]
+    fn clock_advance_drops_forwarding_caches_only_for_ttl_workloads() {
+        // Stampless run: caches survive clock advances bit-identically.
+        let mut p = proc();
+        p.execute_batch(&[KvRequest::put(b"hot", b"v")]);
+        p.set_now(SimTime::from_us(50_000));
+        p.table_mut().mem_mut().reset_stats();
+        let rs = p.execute_batch(&[KvRequest::get(b"hot")]);
+        assert_eq!(rs[0].value, b"v");
+        assert!(
+            p.table().mem().stats().accesses() == 0,
+            "stampless workload keeps its forwarding caches across ticks"
+        );
+
+        // TTL'd run: the same advance invalidates the cache, and the
+        // re-issued GET observes the table's (expired) truth.
+        let mut p = proc();
+        p.execute_batch(&[KvRequest::put(b"hot", b"v").with_ttl(5)]);
+        p.set_now(SimTime::from_us(5_000));
+        let rs = p.execute_batch(&[KvRequest::get(b"hot")]);
+        assert_eq!(
+            rs[0].status,
+            Status::NotFound,
+            "cache must not forward a value past its stamp"
+        );
+    }
+
+    #[test]
+    fn writeback_preserves_the_batchs_last_stamp() {
+        // Two PUTs of one key in one batch: the second queues behind the
+        // first and merges in the station; the flush write-back must
+        // carry the *second* put's stamp.
+        let mut p = proc();
+        let rs = p.execute_batch(&[
+            KvRequest::put(b"k", b"v1").with_ttl(100),
+            KvRequest::put(b"k", b"v2").with_ttl(5),
+        ]);
+        assert!(rs.iter().all(|r| r.status == Status::Ok));
+        p.set_now(SimTime::from_us(5_000));
+        let rs = p.execute_batch(&[KvRequest::get(b"k")]);
+        assert_eq!(rs[0].status, Status::NotFound, "merged put's TTL honored");
+
+        // And a stampless overwrite resets the lifecycle to immortal.
+        let mut p = proc();
+        p.execute_batch(&[
+            KvRequest::put(b"k", b"v1").with_ttl(5),
+            KvRequest::put(b"k", b"v2"),
+        ]);
+        p.set_now(SimTime::from_us(60_000));
+        let rs = p.execute_batch(&[KvRequest::get(b"k")]);
+        assert_eq!(rs[0].value, b"v2", "unstamped overwrite is immortal");
+    }
+
+    #[test]
+    fn updates_reset_the_lifecycle() {
+        let mut p = proc();
+        p.execute_batch(&[KvRequest::put(b"ctr", &0u64.to_le_bytes()).with_ttl(5)]);
+        let rs = p.execute_batch(&[KvRequest {
+            op: OpCode::UpdateScalar,
+            key: b"ctr".to_vec(),
+            value: 7u64.to_le_bytes().to_vec(),
+            lambda: crate::lambda::builtin::ADD,
+            deadline_us: 0,
+            expiry_tick: 0,
+        }]);
+        assert_eq!(rs[0].status, Status::Ok);
+        // The update rewrote the entry unstamped: it outlives tick 5.
+        p.set_now(SimTime::from_us(9_000));
+        let rs = p.execute_batch(&[KvRequest::get(b"ctr")]);
+        assert_eq!(decode_scalar(Some(&rs[0].value)), 7);
+    }
+
+    #[test]
+    fn touch_extends_and_kills() {
+        let mut p = proc();
+        p.execute_batch(&[KvRequest::put(b"k", b"v").with_ttl(5)]);
+        assert!(p.touch(b"k", 100), "live key touched");
+        p.set_now(SimTime::from_us(50_000));
+        let rs = p.execute_batch(&[KvRequest::get(b"k")]);
+        assert_eq!(rs[0].value, b"v", "touch extended the lifetime");
+        // Touch into the past: dead immediately, cache dropped.
+        p.set_now(SimTime::from_us(60_000));
+        assert!(p.touch(b"k", 55));
+        let rs = p.execute_batch(&[KvRequest::get(b"k")]);
+        assert_eq!(rs[0].status, Status::NotFound);
+        // Touching a missing key reports absence.
+        assert!(!p.touch(b"nope", 10));
+        assert_eq!(p.expiry_stats().touches, 2);
+    }
+
+    #[test]
+    fn sweep_reclaims_dead_entries_in_bulk() {
+        let mut p = proc();
+        let reqs: Vec<KvRequest> = (0..200u32)
+            .map(|i| KvRequest::put(&i.to_le_bytes(), b"payload").with_ttl(1 + (i % 3)))
+            .collect();
+        p.execute_batch(&reqs);
+        assert_eq!(p.table().len(), 200);
+        p.set_now(SimTime::from_us(10_000)); // everything is dead now
+        let buckets = p.table().n_buckets();
+        let mut reclaimed = 0;
+        // Bounded passes: each sweeps a slice of the bucket space.
+        for _ in 0..buckets.div_ceil(8) {
+            reclaimed += p.sweep_expired(8).reclaimed;
+        }
+        assert_eq!(reclaimed, 200, "reaper reclaimed every dead entry");
+        assert_eq!(p.table().len(), 0);
+        let e = p.expiry_stats();
+        assert_eq!(e.reaped_entries, 200);
+        assert!(e.sweep_passes > 0 && e.sweep_buckets > 0);
     }
 
     #[test]

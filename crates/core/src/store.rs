@@ -96,6 +96,11 @@ pub struct KvDirectConfig {
     /// degradation). Defaults to fully disabled so closed-loop workloads
     /// that legitimately saturate the pipeline are untouched.
     pub overload: OverloadConfig,
+    /// Bucket chains the background reaper sweeps after each batch of a
+    /// clocked run ([`SystemSim`](crate::SystemSim)). 0 (the default)
+    /// disables the reaper: dead entries are then reclaimed lazily by
+    /// the probes that trip over them.
+    pub reap_buckets_per_batch: u64,
 }
 
 impl KvDirectConfig {
@@ -112,6 +117,7 @@ impl KvDirectConfig {
             fault_rates: FaultRates::ZERO,
             fault_seed: 0,
             overload: OverloadConfig::default(),
+            reap_buckets_per_batch: 0,
         }
     }
 }
@@ -340,6 +346,28 @@ impl KvDirectStore {
         }
     }
 
+    /// `put(k, v)` with an absolute lifecycle stamp (expiry tick;
+    /// 0 = never expires). An already-dead stamp still acknowledges the
+    /// store but leaves the key observably absent.
+    pub fn put_ttl(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        expiry_tick: u32,
+    ) -> Result<(), StoreError> {
+        let r = self.one(KvRequestRef::put_ttl(key, value, expiry_tick));
+        match r.status {
+            Status::Ok => Ok(()),
+            s => Err(status_to_err(s)),
+        }
+    }
+
+    /// Rewrites `key`'s lifecycle stamp (memcache `touch`); returns
+    /// whether the key was found live.
+    pub fn touch(&mut self, key: &[u8], expiry_tick: u32) -> bool {
+        self.proc.touch(key, expiry_tick)
+    }
+
     /// `delete(k) → bool`.
     pub fn delete(&mut self, key: &[u8]) -> bool {
         self.one(KvRequestRef::delete(key)).status == Status::Ok
@@ -364,6 +392,7 @@ impl KvDirectStore {
             value: &param,
             lambda,
             deadline_us: 0,
+            expiry_tick: 0,
         });
         match r.status {
             Status::Ok => Ok(decode_scalar(Some(&r.value))),
@@ -386,6 +415,7 @@ impl KvDirectStore {
             value: &param,
             lambda,
             deadline_us: 0,
+            expiry_tick: 0,
         });
         match r.status {
             Status::Ok => Ok(decode_vector(&r.value)),
@@ -407,6 +437,7 @@ impl KvDirectStore {
             value: &value,
             lambda,
             deadline_us: 0,
+            expiry_tick: 0,
         });
         match r.status {
             Status::Ok => Ok(decode_vector(&r.value)),
@@ -423,6 +454,7 @@ impl KvDirectStore {
             value: &init,
             lambda,
             deadline_us: 0,
+            expiry_tick: 0,
         });
         match r.status {
             Status::Ok => Ok(decode_scalar(Some(&r.value))),
@@ -438,6 +470,7 @@ impl KvDirectStore {
             value: &[],
             lambda,
             deadline_us: 0,
+            expiry_tick: 0,
         });
         match r.status {
             Status::Ok => Ok(decode_vector(&r.value)),

@@ -14,7 +14,9 @@
 //! Inline KVs re-purpose consecutive slots' bytes: a run begins at a slot
 //! whose `start` bit is set and whose type field is 0, and continues
 //! through slots whose `used` bit is set but `start` is clear. Run bytes
-//! hold `[klen u8][vlen u8][key][value]`.
+//! hold `[klen u8][vlen u8][exp u32 LE][key][value]` — `exp` is the
+//! entry's lifecycle stamp in coarse expiry ticks (see
+//! [`EXPIRY_TICK_US`]); 0 means the entry never expires.
 
 use kvd_slab::SlabClass;
 
@@ -24,10 +26,24 @@ pub const SLOTS_PER_BUCKET: usize = 10;
 pub const SLOT_BYTES: usize = 5;
 /// Bucket size in bytes, matching the PCIe DMA sweet spot.
 pub const BUCKET_BYTES: usize = 64;
-/// Header bytes of an inline KV (key length + value length).
-pub const INLINE_HEADER: usize = 2;
+/// Header bytes of an inline KV (key length + value length + expiry
+/// stamp).
+pub const INLINE_HEADER: usize = 6;
 /// Largest inline KV (key + value) a bucket can hold.
 pub const MAX_INLINE_KV: usize = SLOTS_PER_BUCKET * SLOT_BYTES - INLINE_HEADER;
+
+/// Microseconds of simulated time per expiry tick (1 ms). A u32 tick
+/// stamp spans ~49.7 days — comfortably past memcached's 30-day
+/// relative-exptime horizon — while one integer compare per probe keeps
+/// the lifecycle check free on the hot path. Stamp 0 = immortal; an
+/// entry is dead once `now_tick >= stamp`.
+pub const EXPIRY_TICK_US: u64 = 1_000;
+
+/// Converts a simulated-time microsecond count to an expiry tick.
+#[inline]
+pub fn tick_of_us(us: u64) -> u32 {
+    (us / EXPIRY_TICK_US).min(u32::MAX as u64) as u32
+}
 
 /// One decoded entry of a bucket.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +58,8 @@ pub enum BucketEntry {
         key: Vec<u8>,
         /// The value bytes.
         value: Vec<u8>,
+        /// Expiry tick; 0 = never expires.
+        expiry: u32,
     },
     /// A pointer to slab-allocated KV data.
     Pointer {
@@ -210,6 +228,7 @@ impl Bucket {
                 let run = &self.slot_bytes[slot * SLOT_BYTES..(slot + nslots) * SLOT_BYTES];
                 let klen = run[0] as usize;
                 let vlen = run[1] as usize;
+                let expiry = u32::from_le_bytes([run[2], run[3], run[4], run[5]]);
                 debug_assert!(INLINE_HEADER + klen + vlen <= nslots * SLOT_BYTES);
                 let key = run[INLINE_HEADER..INLINE_HEADER + klen].to_vec();
                 let value = run[INLINE_HEADER + klen..INLINE_HEADER + klen + vlen].to_vec();
@@ -218,6 +237,7 @@ impl Bucket {
                     nslots,
                     key,
                     value,
+                    expiry,
                 });
                 slot += nslots;
             }
@@ -260,10 +280,22 @@ impl Bucket {
         Some(slot)
     }
 
-    /// Inserts an inline KV; compacts the bucket if free slots exist but
-    /// are fragmented. Returns the starting slot, or `None` if it cannot
-    /// fit.
+    /// Inserts an inline KV that never expires; compacts the bucket if
+    /// free slots exist but are fragmented. Returns the starting slot, or
+    /// `None` if it cannot fit.
     pub fn insert_inline(&mut self, key: &[u8], value: &[u8]) -> Option<usize> {
+        self.insert_inline_expiring(key, value, 0)
+    }
+
+    /// Inserts an inline KV with a lifecycle stamp (`expiry` tick; 0 =
+    /// immortal); compacts the bucket if free slots exist but are
+    /// fragmented. Returns the starting slot, or `None` if it cannot fit.
+    pub fn insert_inline_expiring(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        expiry: u32,
+    ) -> Option<usize> {
         let kv_len = key.len() + value.len();
         if kv_len > MAX_INLINE_KV || key.len() > u8::MAX as usize || value.len() > u8::MAX as usize
         {
@@ -285,6 +317,7 @@ impl Bucket {
         let run = &mut buf[..need * SLOT_BYTES];
         run[0] = key.len() as u8;
         run[1] = value.len() as u8;
+        run[2..6].copy_from_slice(&expiry.to_le_bytes());
         run[INLINE_HEADER..INLINE_HEADER + key.len()].copy_from_slice(key);
         run[INLINE_HEADER + key.len()..INLINE_HEADER + kv_len].copy_from_slice(value);
         self.slot_bytes[slot * SLOT_BYTES..(slot + need) * SLOT_BYTES].copy_from_slice(run);
@@ -322,8 +355,10 @@ impl Bucket {
         self.chain = chain;
         for e in entries {
             match e {
-                BucketEntry::Inline { key, value, .. } => {
-                    self.insert_inline(&key, &value)
+                BucketEntry::Inline {
+                    key, value, expiry, ..
+                } => {
+                    self.insert_inline_expiring(&key, &value, expiry)
                         .expect("entries fit before compaction");
                 }
                 BucketEntry::Pointer {
@@ -409,7 +444,7 @@ mod tests {
 
     #[test]
     fn inline_roundtrip_various_sizes() {
-        for kv in [(1usize, 1usize), (3, 7), (8, 8), (16, 32), (24, 24)] {
+        for kv in [(1usize, 1usize), (3, 7), (8, 8), (16, 28), (20, 24)] {
             let key: Vec<u8> = (0..kv.0 as u8).collect();
             let value: Vec<u8> = (100..100 + kv.1 as u8).collect();
             let mut b = Bucket::empty();
@@ -442,9 +477,9 @@ mod tests {
     #[test]
     fn mixed_entries_coexist() {
         let mut b = Bucket::empty();
-        b.insert_inline(b"aa", b"1111").unwrap(); // 2 slots
+        b.insert_inline(b"aa", b"1111").unwrap(); // 3 slots
         b.insert_pointer(42, 7, class(64)).unwrap();
-        b.insert_inline(b"bb", b"2").unwrap(); // 1 slot
+        b.insert_inline(b"bb", b"2").unwrap(); // 2 slots
         let d = Bucket::decode(&b.encode());
         let es = d.entries();
         assert_eq!(es.len(), 3);
@@ -467,7 +502,7 @@ mod tests {
     #[test]
     fn remove_inline_frees_run() {
         let mut b = Bucket::empty();
-        let s = b.insert_inline(b"key1", b"0123456789").unwrap(); // 16B → 4 slots
+        let s = b.insert_inline(b"key1", b"0123456789").unwrap(); // 20B → 4 slots
         assert_eq!(b.free_slots(), 6);
         b.remove(s);
         assert_eq!(b.free_slots(), 10);
@@ -491,7 +526,7 @@ mod tests {
         // Fill with 5 two-slot inline KVs, then remove alternating ones.
         let mut starts = Vec::new();
         for i in 0..5u8 {
-            starts.push(b.insert_inline(&[i], &[i; 7]).unwrap());
+            starts.push(b.insert_inline(&[i], &[i; 3]).unwrap());
         }
         assert_eq!(b.free_slots(), 0);
         b.remove(starts[0]);
@@ -500,7 +535,7 @@ mod tests {
         // 6 free slots but fragmented in 2-slot holes; a 5-slot inline KV
         // needs compaction.
         let key = [9u8; 4];
-        let val = [8u8; 19]; // 23B + 2 header = 5 slots
+        let val = [8u8; 15]; // 19B + 6 header = 5 slots
         let s = b.insert_inline(&key, &val);
         assert!(s.is_some(), "compaction should make room");
         let es = b.entries();
@@ -523,10 +558,31 @@ mod tests {
 
     #[test]
     fn inline_slots_needed_math() {
-        assert_eq!(Bucket::inline_slots_needed(1), 1); // 3B
-        assert_eq!(Bucket::inline_slots_needed(3), 1); // 5B
-        assert_eq!(Bucket::inline_slots_needed(4), 2); // 6B
-        assert_eq!(Bucket::inline_slots_needed(48), 10);
+        assert_eq!(Bucket::inline_slots_needed(1), 2); // 7B
+        assert_eq!(Bucket::inline_slots_needed(4), 2); // 10B
+        assert_eq!(Bucket::inline_slots_needed(5), 3); // 11B
+        assert_eq!(Bucket::inline_slots_needed(MAX_INLINE_KV), 10);
+    }
+
+    #[test]
+    fn inline_expiry_stamp_roundtrips() {
+        let mut b = Bucket::empty();
+        b.insert_inline_expiring(b"k", b"v", 0xDEAD_BEEF).unwrap();
+        b.insert_inline(b"k2", b"immortal").unwrap();
+        let d = Bucket::decode(&b.encode());
+        let es = d.entries();
+        assert!(matches!(
+            &es[0],
+            BucketEntry::Inline {
+                expiry: 0xDEAD_BEEF,
+                ..
+            }
+        ));
+        assert!(matches!(&es[1], BucketEntry::Inline { expiry: 0, .. }));
+        // The stamp survives compaction.
+        let mut c = d.clone();
+        c.compact();
+        assert_eq!(c.entries(), es);
     }
 
     #[test]

@@ -32,7 +32,9 @@ pub mod swar;
 pub mod table;
 pub mod tuning;
 
-pub use layout::{Bucket, BucketEntry, BUCKET_BYTES, MAX_INLINE_KV, SLOTS_PER_BUCKET};
+pub use layout::{
+    tick_of_us, Bucket, BucketEntry, BUCKET_BYTES, EXPIRY_TICK_US, MAX_INLINE_KV, SLOTS_PER_BUCKET,
+};
 pub use swar::{RawEntries, RawEntry};
-pub use table::{HashError, HashTable, HashTableConfig, OpCost};
+pub use table::{ExpiryStats, HashError, HashTable, HashTableConfig, OpCost, SweepCost};
 pub use tuning::{fill_to_utilization, measure_costs, optimal_config, MeasuredCosts};

@@ -171,6 +171,8 @@ pub enum RawEntry<'a> {
         key: &'a [u8],
         /// The value bytes, borrowed.
         value: &'a [u8],
+        /// Expiry tick; 0 = never expires.
+        expiry: u32,
     },
     /// A pointer to slab-allocated KV data.
     Pointer {
@@ -237,12 +239,14 @@ impl<'a> Iterator for RawEntries<'a> {
             let run = &self.bytes[slot * SLOT_BYTES..(slot + nslots) * SLOT_BYTES];
             let klen = run[0] as usize;
             let vlen = run[1] as usize;
+            let expiry = u32::from_le_bytes([run[2], run[3], run[4], run[5]]);
             debug_assert!(INLINE_HEADER + klen + vlen <= nslots * SLOT_BYTES);
             return Some(RawEntry::Inline {
                 slot,
                 nslots,
                 key: &run[INLINE_HEADER..INLINE_HEADER + klen],
                 value: &run[INLINE_HEADER + klen..INLINE_HEADER + klen + vlen],
+                expiry,
             });
         }
         None
@@ -271,11 +275,13 @@ mod tests {
                     nslots,
                     key,
                     value,
+                    expiry,
                 } => BucketEntry::Inline {
                     slot,
                     nslots,
                     key: key.to_vec(),
                     value: value.to_vec(),
+                    expiry,
                 },
                 RawEntry::Pointer { slot, raw, class } => BucketEntry::Pointer {
                     slot,

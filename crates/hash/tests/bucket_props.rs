@@ -15,6 +15,7 @@ enum BucketOp {
     InsertInline {
         key: Vec<u8>,
         value: Vec<u8>,
+        expiry: u32,
     },
     InsertPointer {
         ptr: u32,
@@ -29,9 +30,10 @@ fn bucket_op() -> impl Strategy<Value = BucketOp> {
     prop_oneof![
         (
             prop::collection::vec(any::<u8>(), 1..12),
-            prop::collection::vec(any::<u8>(), 0..20)
+            prop::collection::vec(any::<u8>(), 0..20),
+            any::<u32>()
         )
-            .prop_map(|(key, value)| BucketOp::InsertInline { key, value }),
+            .prop_map(|(key, value, expiry)| BucketOp::InsertInline { key, value, expiry }),
         (any::<u32>(), any::<u16>(), 0usize..5).prop_map(|(p, s, c)| {
             BucketOp::InsertPointer {
                 ptr: p & 0x7FFF_FFFF,
@@ -47,7 +49,7 @@ fn bucket_op() -> impl Strategy<Value = BucketOp> {
 /// Reference model: an ordered list of logical entries plus a chain.
 #[derive(Debug, Clone, PartialEq)]
 enum ModelEntry {
-    Inline(Vec<u8>, Vec<u8>),
+    Inline(Vec<u8>, Vec<u8>, u32),
     Pointer(u32, u16, usize),
 }
 
@@ -63,9 +65,9 @@ proptest! {
         let mut chain: Option<u32> = None;
         for op in ops {
             match op {
-                BucketOp::InsertInline { key, value } => {
-                    if b.insert_inline(&key, &value).is_some() {
-                        model.push(ModelEntry::Inline(key, value));
+                BucketOp::InsertInline { key, value, expiry } => {
+                    if b.insert_inline_expiring(&key, &value, expiry).is_some() {
+                        model.push(ModelEntry::Inline(key, value, expiry));
                     }
                 }
                 BucketOp::InsertPointer { ptr, sec, class_idx } => {
@@ -85,8 +87,8 @@ proptest! {
                         b.remove(slot);
                         // Identify the removed logical entry in the model.
                         let target = match &entries[n] {
-                            BucketEntry::Inline { key, value, .. } => {
-                                ModelEntry::Inline(key.clone(), value.clone())
+                            BucketEntry::Inline { key, value, expiry, .. } => {
+                                ModelEntry::Inline(key.clone(), value.clone(), *expiry)
                             }
                             BucketEntry::Pointer { ptr, sec, class, .. } => {
                                 ModelEntry::Pointer(*ptr, *sec, class.index())
@@ -113,7 +115,9 @@ proptest! {
                 .entries()
                 .into_iter()
                 .map(|e| match e {
-                    BucketEntry::Inline { key, value, .. } => ModelEntry::Inline(key, value),
+                    BucketEntry::Inline { key, value, expiry, .. } => {
+                        ModelEntry::Inline(key, value, expiry)
+                    }
                     BucketEntry::Pointer { ptr, sec, class, .. } => {
                         ModelEntry::Pointer(ptr, sec, class.index())
                     }

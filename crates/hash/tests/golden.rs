@@ -36,13 +36,30 @@ fn golden_inline_kv_layout() {
     let mut b = Bucket::empty();
     b.insert_inline(b"ab", b"123").expect("fits");
     let bytes = b.encode();
-    // Run of 1 slot (2+2+3=7 bytes → 2 slots): klen, vlen, key, value.
-    assert_eq!(&bytes[0..7], &[2, 3, b'a', b'b', b'1', b'2', b'3']);
-    // 2 slots used, 1 start.
-    assert_eq!(u16::from_le_bytes([bytes[55], bytes[56]]), 0b11);
-    assert_eq!(u16::from_le_bytes([bytes[57], bytes[58]]), 0b01);
+    // 6-byte header + 2+3 payload = 11 bytes → 3 slots: klen, vlen,
+    // expiry stamp (LE u32, 0 = immortal), key, value.
+    assert_eq!(
+        &bytes[0..11],
+        &[2, 3, 0, 0, 0, 0, b'a', b'b', b'1', b'2', b'3']
+    );
+    // 3 slots used, 1 start.
+    assert_eq!(u16::from_le_bytes([bytes[55], bytes[56]]), 0b111);
+    assert_eq!(u16::from_le_bytes([bytes[57], bytes[58]]), 0b001);
     // Inline slots carry type 0.
     assert_eq!(bytes[50], 0x00);
+}
+
+#[test]
+fn golden_inline_expiry_stamp_layout() {
+    let mut b = Bucket::empty();
+    b.insert_inline_expiring(b"ab", b"123", 0x0102_0304)
+        .expect("fits");
+    let bytes = b.encode();
+    // The stamp sits at run bytes 2..6, little-endian.
+    assert_eq!(
+        &bytes[0..11],
+        &[2, 3, 0x04, 0x03, 0x02, 0x01, b'a', b'b', b'1', b'2', b'3']
+    );
 }
 
 #[test]

@@ -19,6 +19,7 @@ enum BucketOp {
     InsertInline {
         key: Vec<u8>,
         value: Vec<u8>,
+        expiry: u32,
     },
     InsertPointer {
         ptr: u32,
@@ -33,9 +34,10 @@ fn bucket_op() -> impl Strategy<Value = BucketOp> {
     prop_oneof![
         (
             prop::collection::vec(any::<u8>(), 1..12),
-            prop::collection::vec(any::<u8>(), 0..30)
+            prop::collection::vec(any::<u8>(), 0..30),
+            any::<u32>()
         )
-            .prop_map(|(key, value)| BucketOp::InsertInline { key, value }),
+            .prop_map(|(key, value, expiry)| BucketOp::InsertInline { key, value, expiry }),
         (any::<u32>(), any::<u16>(), 0usize..5).prop_map(|(p, s, c)| {
             BucketOp::InsertPointer {
                 ptr: p & 0x7FFF_FFFF,
@@ -53,8 +55,8 @@ fn build(ops: Vec<BucketOp>) -> Bucket {
     let mut b = Bucket::empty();
     for op in ops {
         match op {
-            BucketOp::InsertInline { key, value } => {
-                let _ = b.insert_inline(&key, &value);
+            BucketOp::InsertInline { key, value, expiry } => {
+                let _ = b.insert_inline_expiring(&key, &value, expiry);
             }
             BucketOp::InsertPointer {
                 ptr,
@@ -90,11 +92,12 @@ proptest! {
         let bytes = b.encode();
         let raw: Vec<BucketEntry> = RawEntries::new(&bytes)
             .map(|e| match e {
-                RawEntry::Inline { slot, nslots, key, value } => BucketEntry::Inline {
+                RawEntry::Inline { slot, nslots, key, value, expiry } => BucketEntry::Inline {
                     slot,
                     nslots,
                     key: key.to_vec(),
                     value: value.to_vec(),
+                    expiry,
                 },
                 RawEntry::Pointer { slot, raw, class } => BucketEntry::Pointer {
                     slot,

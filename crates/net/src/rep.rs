@@ -10,10 +10,15 @@
 //!
 //! ```text
 //! tag u8 (1 = Replicate, 2 = Ack, 3 = Heartbeat)
-//! Replicate: write u64, origin u32, op u8, klen u8, vlen u16, key, value
+//! Replicate: write u64, origin u32, op u8, klen u8, vlen u16,
+//!            expiry tick u32, key, value
 //! Ack:       write u64, from u32
 //! Heartbeat: from u32, window u64
 //! ```
+//!
+//! The expiry tick is the write's *absolute* lifecycle stamp (0 = never
+//! expires), forwarded verbatim so every chain member installs the same
+//! death time — replicas agree on expiry no matter when they apply.
 //!
 //! `write` is the origin node's monotonically increasing write sequence
 //! number; `(origin, write)` names one client write uniquely for the
@@ -61,7 +66,7 @@ impl RepFrame {
     pub fn wire_len(&self) -> usize {
         match self {
             RepFrame::Replicate { req, .. } => {
-                1 + 8 + 4 + 1 + 1 + 2 + req.key.len() + req.value.len()
+                1 + 8 + 4 + 1 + 1 + 2 + 4 + req.key.len() + req.value.len()
             }
             RepFrame::Ack { .. } => 1 + 8 + 4,
             RepFrame::Heartbeat { .. } => 1 + 4 + 8,
@@ -84,6 +89,7 @@ impl RepFrame {
                 buf.put_u8(req.op as u8);
                 buf.put_u8(req.key.len() as u8);
                 buf.put_u16_le(req.value.len() as u16);
+                buf.put_u32_le(req.expiry_tick);
                 buf.put_slice(&req.key);
                 buf.put_slice(&req.value);
             }
@@ -108,7 +114,7 @@ impl RepFrame {
         }
         match buf.get_u8() {
             TAG_REPLICATE => {
-                if buf.remaining() < 8 + 4 + 1 + 1 + 2 {
+                if buf.remaining() < 8 + 4 + 1 + 1 + 2 + 4 {
                     return Err(WireError::Truncated);
                 }
                 let write = buf.get_u64_le();
@@ -121,6 +127,7 @@ impl RepFrame {
                 };
                 let klen = buf.get_u8() as usize;
                 let vlen = buf.get_u16_le() as usize;
+                let expiry_tick = buf.get_u32_le();
                 if buf.remaining() < klen + vlen {
                     return Err(WireError::Truncated);
                 }
@@ -137,6 +144,7 @@ impl RepFrame {
                         value,
                         lambda: 0,
                         deadline_us: 0,
+                        expiry_tick,
                     },
                 })
             }
@@ -180,6 +188,11 @@ mod tests {
                 origin: 3,
                 req: KvRequest::delete(b"user:17"),
             },
+            RepFrame::Replicate {
+                write: 44,
+                origin: 3,
+                req: KvRequest::put(b"session:9", b"token").with_ttl(0xDEAD_BEEF),
+            },
             RepFrame::Ack { write: 42, from: 5 },
             RepFrame::Heartbeat {
                 from: 1,
@@ -221,6 +234,7 @@ mod tests {
         wire.put_u8(OpCode::Get as u8);
         wire.put_u8(1);
         wire.put_u16_le(0);
+        wire.put_u32_le(0);
         wire.put_u8(b'k');
         let frozen = wire.freeze();
         let mut buf: &[u8] = &frozen;

@@ -48,6 +48,7 @@ fn golden_update_scalar() {
         value: 7u64.to_le_bytes().to_vec(),
         lambda: 0x0102,
         deadline_us: 0,
+        expiry_tick: 0,
     }]);
     assert_eq!(
         bytes.as_ref(),

@@ -29,6 +29,7 @@ fn atomic_add(key: &[u8]) -> KvRequest {
         value: 1u64.to_le_bytes().to_vec(),
         lambda: 0,
         deadline_us: 0,
+        expiry_tick: 0,
     }
 }
 

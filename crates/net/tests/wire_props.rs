@@ -38,6 +38,7 @@ fn request() -> impl Strategy<Value = KvRequest> {
                 },
                 lambda: if op.is_func() { lambda } else { 0 },
                 deadline_us,
+                expiry_tick: 0,
             }
         })
 }

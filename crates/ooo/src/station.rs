@@ -510,6 +510,33 @@ impl ReservationStation {
         out
     }
 
+    /// Drops every **clean** forwarding cache, pooling its buffers.
+    ///
+    /// The caches hold values, not lifecycle stamps, so a TTL-aware
+    /// embedder must invalidate them whenever its expiry clock advances —
+    /// otherwise a value could keep being forwarded after its stamp died
+    /// in the table. Dirty caches are left alone: they only exist
+    /// mid-batch (every batch ends in a flush) and the embedder advances
+    /// the clock between batches, so in practice this sees clean entries
+    /// only. The debug assertion pins that contract.
+    pub fn drop_clean_caches(&mut self) {
+        for slot in &mut self.slots {
+            let Some(c) = &slot.cache else { continue };
+            debug_assert!(
+                !c.dirty,
+                "clock advanced with a dirty cache outstanding — flush first"
+            );
+            if c.dirty {
+                continue;
+            }
+            let Cached { key, value, .. } = slot.cache.take().expect("checked above");
+            give_to(&mut self.spare, self.spare_cap, key);
+            if let Some(v) = value {
+                give_to(&mut self.spare, self.spare_cap, v);
+            }
+        }
+    }
+
     /// True if no operation is busy or queued anywhere.
     pub fn idle(&self) -> bool {
         self.total_tracked == 0
@@ -918,5 +945,18 @@ mod tests {
         assert!(rs.flush().is_empty(), "clean cache needs no write-back");
         // Still forwards afterwards.
         assert!(matches!(rs.admit(get(1, b"k")), Admission::Fast(_)));
+    }
+
+    #[test]
+    fn drop_clean_caches_forces_reissue() {
+        let mut rs = ReservationStation::new(StationConfig::default());
+        assert!(matches!(rs.admit(get(0, b"k")), Admission::Issue { .. }));
+        rs.complete(b"k", Some(b"v".to_vec()));
+        assert!(matches!(rs.admit(get(1, b"k")), Admission::Fast(_)));
+        rs.drop_clean_caches();
+        // The forwarding cache is gone: the next GET must go to memory.
+        assert!(matches!(rs.admit(get(2, b"k")), Admission::Issue { .. }));
+        // Dropped buffers were pooled, not leaked.
+        assert!(rs.recycle().is_some());
     }
 }

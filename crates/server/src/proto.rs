@@ -16,6 +16,7 @@
 //! "get"|"gets" <key>+ \r\n
 //! "set"|"add"|"replace" <key> <flags> <exptime> <bytes> ["noreply"] \r\n <data[bytes]> \r\n
 //! "delete" <key> ["noreply"] \r\n
+//! "touch" <key> <exptime> ["noreply"] \r\n
 //! "version" \r\n
 //! "quit" \r\n
 //! ```
@@ -102,8 +103,10 @@ pub enum Command<'a> {
         key: &'a [u8],
         /// Client-opaque flags, stored and echoed on GET.
         flags: u32,
-        /// Expiration time (accepted and ignored; the store has no TTL
-        /// plane yet — see ROADMAP).
+        /// Expiration time, honored memcached-style: 0 = never, values
+        /// up to 30 days are relative seconds, larger values are an
+        /// absolute Unix-style timestamp (mapped onto the simulation
+        /// epoch).
         exptime: u32,
         /// The data block.
         data: &'a [u8],
@@ -114,6 +117,16 @@ pub enum Command<'a> {
     Delete {
         /// The key.
         key: &'a [u8],
+        /// Suppress the reply line.
+        noreply: bool,
+    },
+    /// `touch`: rewrite a key's expiration without sending or receiving
+    /// its data. Replies `TOUCHED` or `NOT_FOUND`.
+    Touch {
+        /// The key.
+        key: &'a [u8],
+        /// New expiration time (same encoding as a store's exptime).
+        exptime: u32,
         /// Suppress the reply line.
         noreply: bool,
     },
@@ -352,6 +365,30 @@ pub fn parse(buf: &[u8]) -> Parsed<'_> {
                 consumed: line_end,
             }
         }
+        b"touch" => {
+            let (Some(key), Some(exptime)) = (toks.next(), toks.next()) else {
+                return client_err(line_end);
+            };
+            let noreply = match toks.next() {
+                None => false,
+                Some(b"noreply") => true,
+                Some(_) => return client_err(line_end),
+            };
+            if toks.next().is_some() || !is_legal_key(key) {
+                return client_err(line_end);
+            }
+            let Some(exptime) = parse_u32(exptime) else {
+                return client_err(line_end);
+            };
+            Parsed::Frame {
+                cmd: Command::Touch {
+                    key,
+                    exptime,
+                    noreply,
+                },
+                consumed: line_end,
+            }
+        }
         b"version" => Parsed::Frame {
             cmd: Command::Version,
             consumed: line_end,
@@ -573,6 +610,40 @@ mod tests {
         ));
         let (cmd, _) = frame(b"delete k 0 noreply\r\n");
         assert!(matches!(cmd, Command::Delete { noreply: true, .. }));
+    }
+
+    #[test]
+    fn touch_variants() {
+        let (cmd, n) = frame(b"touch k 300\r\n");
+        assert_eq!(n, 13);
+        assert!(matches!(
+            cmd,
+            Command::Touch {
+                key: b"k",
+                exptime: 300,
+                noreply: false
+            }
+        ));
+        let (cmd, _) = frame(b"touch k 0 noreply\r\n");
+        assert!(matches!(
+            cmd,
+            Command::Touch {
+                exptime: 0,
+                noreply: true,
+                ..
+            }
+        ));
+        for bad in [
+            b"touch\r\n".as_slice(),
+            b"touch k\r\n",
+            b"touch k x\r\n",
+            b"touch k 1 2\r\n",
+        ] {
+            assert!(
+                matches!(parse(bad), Parsed::Error { .. }),
+                "{bad:?} accepted"
+            );
+        }
     }
 
     #[test]

@@ -27,11 +27,11 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
-use kvd_core::{KvDirectConfig, KvDirectStore};
+use kvd_core::{tick_of_us, KvDirectConfig, KvDirectStore, EXPIRY_TICK_US};
 use kvd_net::{shard_of, HashRing, KvRequestRef, KvResponse, Status};
-use kvd_sim::{CostSource, OpLedger, ServerCosts};
+use kvd_sim::{CostSource, OpLedger, ServerCosts, SimTime};
 
 use crate::proto::{
     parse, Command, Parsed, StoreVerb, MAX_KEY_LEN, TOO_LARGE_REPLY, VERSION_REPLY,
@@ -42,6 +42,67 @@ pub const VALUE_HEADER_LEN: usize = 12;
 
 /// Reply for a key this node does not own under the cluster ring.
 pub const NOT_PRIMARY_REPLY: &[u8] = b"SERVER_ERROR not_primary\r\n";
+
+/// Memcached's pivot between the two `exptime` encodings: values up to
+/// thirty days are relative seconds, anything larger is an absolute
+/// Unix timestamp.
+pub const EXPTIME_RELATIVE_MAX: u32 = 30 * 24 * 60 * 60;
+
+/// The serving clock: maps wall time onto the store's expiry-tick
+/// domain and memcached `exptime` values onto absolute stamps.
+///
+/// Tick 0 of every shard store is the instant the server started; the
+/// clock reports `now` with one tick of headroom so a stamp minted
+/// "dead on arrival" (`expiry = now_tick`) is expired from the very
+/// first job a worker executes, even within the first millisecond of
+/// uptime.
+#[derive(Debug, Clone, Copy)]
+struct ServerClock {
+    epoch: Instant,
+    /// Unix seconds at `epoch`, anchoring absolute `exptime` values.
+    unix_at_epoch: u64,
+}
+
+impl ServerClock {
+    fn start() -> ServerClock {
+        ServerClock {
+            epoch: Instant::now(),
+            unix_at_epoch: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+        }
+    }
+
+    /// Simulated-time microseconds since the server epoch (plus the
+    /// one-tick headroom described above).
+    fn now_us(&self) -> u64 {
+        (self.epoch.elapsed().as_micros() as u64).saturating_add(EXPIRY_TICK_US)
+    }
+
+    /// Maps a memcached `exptime` to an expiry stamp: `0` never
+    /// expires; values up to [`EXPTIME_RELATIVE_MAX`] are relative
+    /// seconds from now; larger values are absolute Unix timestamps
+    /// (a timestamp already in the past yields a stamp that is dead
+    /// immediately, per memcached semantics).
+    fn expiry_tick(&self, exptime: u32) -> u32 {
+        if exptime == 0 {
+            return 0;
+        }
+        let now_us = self.now_us();
+        if exptime <= EXPTIME_RELATIVE_MAX {
+            return tick_of_us(now_us + exptime as u64 * 1_000_000);
+        }
+        let unix_now = self.unix_at_epoch + now_us / 1_000_000;
+        match (exptime as u64).checked_sub(unix_now) {
+            // Future timestamp: distance from now, in ticks.
+            Some(ahead) if ahead > 0 => tick_of_us(now_us.saturating_add(ahead * 1_000_000)),
+            // Already past: the current tick is by construction >= 1,
+            // so stamping it makes the entry dead right now.
+            _ => tick_of_us(now_us),
+        }
+    }
+}
 
 /// This node's place in a cluster: requests for keys whose replica set
 /// (under the ring, at the configured replication factor) does not
@@ -109,11 +170,16 @@ enum Verb {
     Add,
     Replace,
     Delete,
+    Touch,
 }
 
 impl Verb {
-    fn conditional(self) -> bool {
-        matches!(self, Verb::Add | Verb::Replace)
+    /// Ops that must be a bundle's only occupant: conditional stores
+    /// (probe-then-store must not interleave) and `touch` (executed
+    /// through the store's dedicated re-stamp entry point rather than
+    /// the batch pipeline).
+    fn ships_alone(self) -> bool {
+        matches!(self, Verb::Add | Verb::Replace | Verb::Touch)
     }
 }
 
@@ -126,6 +192,8 @@ struct Op {
     key: (u32, u32),
     /// Framed value range (`flags|cas|data`) for store verbs.
     val: (u32, u32),
+    /// Absolute expiry stamp (0 = never) for store verbs and `touch`.
+    expiry: u32,
 }
 
 /// A pooled scatter unit: ops + their byte arena out, responses back.
@@ -171,6 +239,7 @@ struct SharedCosts {
     stored: AtomicU64,
     not_stored: AtomicU64,
     deleted: AtomicU64,
+    touched: AtomicU64,
     protocol_errors: AtomicU64,
     server_errors: AtomicU64,
     not_primary: AtomicU64,
@@ -193,6 +262,7 @@ impl SharedCosts {
             stored,
             not_stored,
             deleted,
+            touched,
             protocol_errors,
             server_errors,
             not_primary,
@@ -217,6 +287,7 @@ impl SharedCosts {
             stored,
             not_stored,
             deleted,
+            touched,
             protocol_errors,
             server_errors,
             not_primary,
@@ -319,6 +390,7 @@ pub fn serve<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> io::Result<ServerH
     let active = Arc::new(AtomicUsize::new(0));
     let costs = Arc::new(SharedCosts::default());
     let cas = Arc::new(AtomicU64::new(0));
+    let clock = ServerClock::start();
 
     let mut shard_tx = Vec::with_capacity(cfg.shards);
     let mut workers = Vec::with_capacity(cfg.shards);
@@ -327,7 +399,7 @@ pub fn serve<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> io::Result<ServerH
         shard_tx.push(tx);
         let store = KvDirectStore::new(cfg.store.clone());
         let cas = Arc::clone(&cas);
-        workers.push(thread::spawn(move || shard_worker(store, rx, cas)));
+        workers.push(thread::spawn(move || shard_worker(store, rx, cas, clock)));
     }
 
     let acceptor = {
@@ -353,7 +425,8 @@ pub fn serve<A: ToSocketAddrs>(addr: A, cfg: ServerConfig) -> io::Result<ServerH
                                 active,
                                 costs: Arc::clone(&costs),
                             };
-                            let conn = Connection::new(stream, shard_tx, costs, max_batch, cluster);
+                            let conn =
+                                Connection::new(stream, shard_tx, costs, max_batch, cluster, clock);
                             if let Ok(mut conn) = conn {
                                 let _ = conn.run(&shutdown);
                             }
@@ -396,7 +469,12 @@ impl Drop for ConnGuard {
 // Shard worker
 // ---------------------------------------------------------------------
 
-fn shard_worker(mut store: KvDirectStore, rx: mpsc::Receiver<ShardMsg>, cas: Arc<AtomicU64>) {
+fn shard_worker(
+    mut store: KvDirectStore,
+    rx: mpsc::Receiver<ShardMsg>,
+    cas: Arc<AtomicU64>,
+    clock: ServerClock,
+) {
     // Scratch response reused across conditional probes (pooled).
     let mut probe = KvResponse {
         status: Status::NotFound,
@@ -408,6 +486,12 @@ fn shard_worker(mut store: KvDirectStore, rx: mpsc::Receiver<ShardMsg>, cas: Arc
                 let _ = reply.send(store.ledger());
             }
             ShardMsg::Job(Job { mut bundle, reply }) => {
+                // Advance this shard's expiry clock to wall time before
+                // executing, so lazily-expired entries stop being
+                // served the moment their deadline passes.
+                store
+                    .processor_mut()
+                    .set_now(SimTime::from_us(clock.now_us()));
                 execute_bundle(&mut store, &mut bundle, &cas, &mut probe);
                 let _ = reply.send(bundle);
             }
@@ -425,8 +509,15 @@ fn execute_bundle(
     cas: &AtomicU64,
     probe: &mut KvResponse,
 ) {
-    // Connections seal conditional ops into their own single-op bundle.
-    if bundle.ops.len() == 1 && bundle.ops[0].verb.conditional() {
+    // Connections seal ships-alone ops into their own single-op bundle.
+    if bundle.ops.len() == 1 && bundle.ops[0].verb.ships_alone() {
+        let op = bundle.ops[0];
+        if op.verb == Verb::Touch {
+            let found = store.touch(bundle.key(&op), op.expiry);
+            let status = if found { Status::Ok } else { Status::NotFound };
+            set_response(bundle, status);
+            return;
+        }
         return execute_conditional(store, bundle, cas, probe);
     }
     // Stamp cas uniques into the value headers, then run the whole
@@ -450,9 +541,11 @@ fn execute_bundle(
         let key = &arena[op.key.0 as usize..op.key.1 as usize];
         refs.push(match op.verb {
             Verb::Get => KvRequestRef::get(key),
-            Verb::Set => KvRequestRef::put(key, &arena[op.val.0 as usize..op.val.1 as usize]),
+            Verb::Set => {
+                KvRequestRef::put_ttl(key, &arena[op.val.0 as usize..op.val.1 as usize], op.expiry)
+            }
             Verb::Delete => KvRequestRef::delete(key),
-            Verb::Add | Verb::Replace => unreachable!("conditional ops ship alone"),
+            Verb::Add | Verb::Replace | Verb::Touch => unreachable!("these ops ship alone"),
         });
     }
     store.execute_batch_refs_into(&refs, responses);
@@ -497,21 +590,33 @@ fn execute_conditional(
             value: Vec::new(),
         });
     }
-    let req = KvRequestRef::put(
+    let req = KvRequestRef::put_ttl(
         &arena[op.key.0 as usize..op.key.1 as usize],
         &arena[op.val.0 as usize..op.val.1 as usize],
+        op.expiry,
     );
     store.execute_one_into(req, &mut responses[0]);
 }
 
-/// Maps a failed op status to its `SERVER_ERROR` taxonomy line: shed or
-/// expired work is `overloaded` (retry after backoff), allocation
-/// failure keeps memcached's canonical string, and everything else is a
-/// `device_error` (retry against another replica).
+/// Maps a failed op status to its `SERVER_ERROR` taxonomy line. The
+/// three failure families clients must distinguish:
+///
+/// * `overloaded` — admission control shed the op before execution;
+///   retry after backoff, ideally against another replica.
+/// * `deadline_expired` — the op was admitted but outlived its service
+///   deadline in-queue; the client's own timeout has likely fired, so
+///   retrying immediately is reasonable.
+/// * `device_error` — the (simulated) NIC pipeline faulted; retry
+///   against another replica.
+///
+/// Allocation failure keeps memcached's canonical string. Note the
+/// third kind of "expired" — a key whose **TTL** lapsed — is not an
+/// error at all: it surfaces as `Status::NotFound`, i.e. a plain miss.
 fn taxonomy_reply(status: Status) -> &'static [u8] {
     match status {
         Status::OutOfMemory => b"SERVER_ERROR out of memory storing object\r\n",
-        Status::Overloaded | Status::Expired => b"SERVER_ERROR overloaded\r\n",
+        Status::Overloaded => b"SERVER_ERROR overloaded\r\n",
+        Status::Expired => b"SERVER_ERROR deadline_expired\r\n",
         _ => b"SERVER_ERROR device_error\r\n",
     }
 }
@@ -575,6 +680,7 @@ struct Connection {
     slots: Vec<(u32, u32)>,
     local: ServerCosts,
     cluster: Option<ClusterMembership>,
+    clock: ServerClock,
 }
 
 impl Connection {
@@ -584,6 +690,7 @@ impl Connection {
         costs: Arc<SharedCosts>,
         max_batch: usize,
         cluster: Option<ClusterMembership>,
+        clock: ServerClock,
     ) -> io::Result<Connection> {
         stream.set_read_timeout(Some(Duration::from_millis(50)))?;
         stream.set_nodelay(true)?;
@@ -606,6 +713,7 @@ impl Connection {
             slots: Vec::new(),
             local: ServerCosts::default(),
             cluster,
+            clock,
         })
     }
 
@@ -712,7 +820,7 @@ impl Connection {
                             let first_slot = next_slot;
                             let mut n_keys = 0u32;
                             for key in keys.iter() {
-                                jobs_sent += self.stage(Verb::Get, next_slot, key, 0, &[])?;
+                                jobs_sent += self.stage(Verb::Get, next_slot, key, 0, &[], 0)?;
                                 next_slot += 1;
                                 n_keys += 1;
                             }
@@ -726,9 +834,9 @@ impl Connection {
                             verb,
                             key,
                             flags,
+                            exptime,
                             data,
                             noreply,
-                            ..
                         } => {
                             let verb = match verb {
                                 StoreVerb::Set => Verb::Set,
@@ -744,10 +852,34 @@ impl Connection {
                                 self.start += consumed;
                                 continue;
                             }
-                            jobs_sent += self.stage(verb, next_slot, key, flags, data)?;
+                            let expiry = self.clock.expiry_tick(exptime);
+                            jobs_sent += self.stage(verb, next_slot, key, flags, data, expiry)?;
                             self.plan.push(PlanItem::Op {
                                 slot: next_slot,
                                 verb,
+                                noreply,
+                            });
+                            next_slot += 1;
+                        }
+                        Command::Touch {
+                            key,
+                            exptime,
+                            noreply,
+                        } => {
+                            if !self.owns(key) {
+                                self.local.server_errors += 1;
+                                self.local.not_primary += 1;
+                                if !noreply {
+                                    self.plan.push(PlanItem::Reply(NOT_PRIMARY_REPLY));
+                                }
+                                self.start += consumed;
+                                continue;
+                            }
+                            let expiry = self.clock.expiry_tick(exptime);
+                            jobs_sent += self.stage(Verb::Touch, next_slot, key, 0, &[], expiry)?;
+                            self.plan.push(PlanItem::Op {
+                                slot: next_slot,
+                                verb: Verb::Touch,
                                 noreply,
                             });
                             next_slot += 1;
@@ -762,7 +894,7 @@ impl Connection {
                                 self.start += consumed;
                                 continue;
                             }
-                            jobs_sent += self.stage(Verb::Delete, next_slot, key, 0, &[])?;
+                            jobs_sent += self.stage(Verb::Delete, next_slot, key, 0, &[], 0)?;
                             self.plan.push(PlanItem::Op {
                                 slot: next_slot,
                                 verb: Verb::Delete,
@@ -888,12 +1020,15 @@ impl Connection {
                         (Verb::Add | Verb::Replace, Status::NotFound) => b"NOT_STORED\r\n",
                         (Verb::Delete, Status::Ok) => b"DELETED\r\n",
                         (Verb::Delete, Status::NotFound) => b"NOT_FOUND\r\n",
+                        (Verb::Touch, Status::Ok) => b"TOUCHED\r\n",
+                        (Verb::Touch, Status::NotFound) => b"NOT_FOUND\r\n",
                         (_, status) => taxonomy_reply(status),
                     };
                     match line {
                         b"STORED\r\n" => self.local.stored += 1,
                         b"NOT_STORED\r\n" => self.local.not_stored += 1,
                         b"DELETED\r\n" => self.local.deleted += 1,
+                        b"TOUCHED\r\n" => self.local.touched += 1,
                         b"NOT_FOUND\r\n" => {}
                         _ => self.local.server_errors += 1,
                     }
@@ -921,7 +1056,7 @@ impl Connection {
     }
 
     /// Stages one op into its shard's bundle; returns how many jobs were
-    /// sent as a side effect (conditional ops force seals).
+    /// sent as a side effect (ships-alone ops force seals).
     fn stage(
         &mut self,
         verb: Verb,
@@ -929,11 +1064,12 @@ impl Connection {
         key: &[u8],
         flags: u32,
         data: &[u8],
+        expiry: u32,
     ) -> io::Result<usize> {
         debug_assert!(key.len() <= MAX_KEY_LEN);
         let shard = shard_of(key, self.shard_tx.len());
         let mut sent = 0;
-        if verb.conditional() && self.staging[shard].is_some() {
+        if verb.ships_alone() && self.staging[shard].is_some() {
             sent += self.seal(shard)?;
         }
         let mut bundle = self.staging[shard]
@@ -957,9 +1093,10 @@ impl Connection {
             slot,
             key: (kstart, kend),
             val: (vstart, vend),
+            expiry,
         });
         self.staging[shard] = Some(bundle);
-        if verb.conditional() {
+        if verb.ships_alone() {
             sent += self.seal(shard)?;
         }
         Ok(sent)
@@ -1193,6 +1330,59 @@ mod tests {
         want.extend_from_slice(&data);
         want.extend_from_slice(b"\r\nEND\r\n");
         assert_eq!(got, want);
+        h.stop();
+    }
+
+    #[test]
+    fn past_absolute_exptime_is_stored_then_gone() {
+        // memcached semantics: an absolute exptime in the past is
+        // accepted (STORED) but the value is dead on arrival.
+        let h = serve("127.0.0.1:0", ServerConfig::loopback(2)).expect("bind");
+        let n = EXPTIME_RELATIVE_MAX + 1; // 1970-era Unix timestamp
+        let send = format!("set k 0 {n} 1\r\na\r\nget k\r\n");
+        let got = roundtrip(&h, send.as_bytes());
+        assert_eq!(got, b"STORED\r\nEND\r\n".to_vec());
+        let ledger = h.stop();
+        assert_eq!(ledger.server.stored, 1);
+        assert_eq!(ledger.server.get_misses, 1);
+    }
+
+    #[test]
+    fn touch_restamps_and_reports_misses() {
+        let h = serve("127.0.0.1:0", ServerConfig::loopback(2)).expect("bind");
+        let past = EXPTIME_RELATIVE_MAX + 1;
+        // Immortal set; touch into the past kills it; touching a
+        // missing key is NOT_FOUND.
+        let send =
+            format!("set k 0 0 1\r\na\r\nget k\r\ntouch k {past}\r\nget k\r\ntouch missing 60\r\n");
+        let got = roundtrip(&h, send.as_bytes());
+        assert_eq!(
+            got,
+            b"STORED\r\nVALUE k 0 1\r\na\r\nEND\r\nTOUCHED\r\nEND\r\nNOT_FOUND\r\n".to_vec()
+        );
+        let ledger = h.stop();
+        assert_eq!(ledger.server.touched, 1);
+        assert_eq!(ledger.server.get_hits, 1);
+        assert_eq!(ledger.server.get_misses, 1);
+    }
+
+    #[test]
+    fn relative_exptime_expires_in_real_time() {
+        let h = serve("127.0.0.1:0", ServerConfig::loopback(1)).expect("bind");
+        let got = roundtrip(&h, b"set k 0 1 1\r\na\r\nget k\r\n");
+        assert_eq!(got, b"STORED\r\nVALUE k 0 1\r\na\r\nEND\r\n".to_vec());
+        // One-second relative TTL: generously past the deadline the
+        // same key must read as a plain miss (not an error).
+        thread::sleep(Duration::from_millis(1600));
+        let got = roundtrip(&h, b"get k\r\n");
+        assert_eq!(got, b"END\r\n".to_vec());
+        // A touch can also resurrect-protect: re-set and extend before
+        // expiry, then confirm it survives the original deadline.
+        let got = roundtrip(&h, b"set j 0 1 1\r\nb\r\ntouch j 30\r\n");
+        assert_eq!(got, b"STORED\r\nTOUCHED\r\n".to_vec());
+        thread::sleep(Duration::from_millis(1600));
+        let got = roundtrip(&h, b"get j\r\n");
+        assert_eq!(got, b"VALUE j 0 1\r\nb\r\nEND\r\n".to_vec());
         h.stop();
     }
 

@@ -27,11 +27,17 @@ enum OwnedCmd {
         verb: StoreVerb,
         key: Vec<u8>,
         flags: u32,
+        exptime: u32,
         data: Vec<u8>,
         noreply: bool,
     },
     Delete {
         key: Vec<u8>,
+        noreply: bool,
+    },
+    Touch {
+        key: Vec<u8>,
+        exptime: u32,
         noreply: bool,
     },
     Version,
@@ -48,18 +54,28 @@ fn own(cmd: Command<'_>) -> OwnedCmd {
             verb,
             key,
             flags,
+            exptime,
             data,
             noreply,
-            ..
         } => OwnedCmd::Store {
             verb,
             key: key.to_vec(),
             flags,
+            exptime,
             data: data.to_vec(),
             noreply,
         },
         Command::Delete { key, noreply } => OwnedCmd::Delete {
             key: key.to_vec(),
+            noreply,
+        },
+        Command::Touch {
+            key,
+            exptime,
+            noreply,
+        } => OwnedCmd::Touch {
+            key: key.to_vec(),
+            exptime,
             noreply,
         },
         Command::Version => OwnedCmd::Version,
@@ -134,10 +150,11 @@ fn command_strategy() -> impl Strategy<Value = Vec<u8>> {
         0u8..3,
         key_strategy(),
         any::<u32>(),
+        any::<u32>(),
         collection::vec(any::<u8>(), 0..=64),
         any::<bool>(),
     )
-        .prop_map(|(verb, key, flags, data, noreply)| {
+        .prop_map(|(verb, key, flags, exptime, data, noreply)| {
             let verb: &[u8] = match verb {
                 0 => b"set",
                 1 => b"add",
@@ -146,7 +163,7 @@ fn command_strategy() -> impl Strategy<Value = Vec<u8>> {
             let mut v = verb.to_vec();
             v.push(b' ');
             v.extend_from_slice(&key);
-            v.extend_from_slice(format!(" {flags} 0 {}", data.len()).as_bytes());
+            v.extend_from_slice(format!(" {flags} {exptime} {}", data.len()).as_bytes());
             if noreply {
                 v.extend_from_slice(b" noreply");
             }
@@ -164,10 +181,22 @@ fn command_strategy() -> impl Strategy<Value = Vec<u8>> {
         v.extend_from_slice(b"\r\n");
         v
     });
+    let touch =
+        (key_strategy(), any::<u32>(), any::<bool>()).prop_map(|(key, exptime, noreply)| {
+            let mut v = b"touch ".to_vec();
+            v.extend_from_slice(&key);
+            v.extend_from_slice(format!(" {exptime}").as_bytes());
+            if noreply {
+                v.extend_from_slice(b" noreply");
+            }
+            v.extend_from_slice(b"\r\n");
+            v
+        });
     prop_oneof![
         4 => get,
         4 => store,
         1 => delete,
+        1 => touch,
         1 => Just(b"version\r\n".to_vec()),
     ]
 }

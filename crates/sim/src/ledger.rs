@@ -258,6 +258,9 @@ pub struct ServerCosts {
     pub not_stored: u64,
     /// `delete` commands acknowledged `DELETED`.
     pub deleted: u64,
+    /// `touch` commands acknowledged `TOUCHED` (lifetime re-stamped
+    /// without moving the value).
+    pub touched: u64,
     /// Client mistakes answered `ERROR`/`CLIENT_ERROR`.
     pub protocol_errors: u64,
     /// Store-side failures answered `SERVER_ERROR` (every taxonomy
@@ -308,6 +311,31 @@ pub struct ClusterCosts {
     /// Gauge: cluster windows between a node kill and its detection (the
     /// failover-window depth; merged by maximum).
     pub failover_depth_windows: u64,
+}
+
+/// Entry-lifecycle costs: TTL-stamped writes, lazy expiry on the probe
+/// paths, and the background reaper's bounded sweeps. All counters sum
+/// on merge, so the section is bit-identical across worker counts like
+/// every other plane.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExpiryCosts {
+    /// PUTs that carried a nonzero lifecycle stamp.
+    pub ttl_puts: u64,
+    /// Successful stamp rewrites (`touch`).
+    pub touches: u64,
+    /// Dead entries discovered lazily by foreground probes
+    /// (GET/DELETE/touch): each was answered as a miss and reclaimed.
+    pub lazy_expired: u64,
+    /// Dead entries overwritten in place by a PUT of the same key.
+    pub expired_overwrites: u64,
+    /// Entries reclaimed through the free path (lazily or by the reaper).
+    pub reaped_entries: u64,
+    /// Logical KV bytes those reclaimed entries held.
+    pub reaped_bytes: u64,
+    /// Bounded reaper passes run.
+    pub sweep_passes: u64,
+    /// Bucket frames (primary + chained) the reaper scanned.
+    pub sweep_buckets: u64,
 }
 
 /// KV-processor costs: request mix, retire outcomes and overload-plane
@@ -664,6 +692,7 @@ impl ServerCosts {
             stored,
             not_stored,
             deleted,
+            touched,
             protocol_errors,
             server_errors,
             not_primary
@@ -686,6 +715,7 @@ impl ServerCosts {
             stored,
             not_stored,
             deleted,
+            touched,
             protocol_errors,
             server_errors,
             not_primary
@@ -740,6 +770,40 @@ impl ClusterCosts {
             writes_failed
         );
         // `failover_depth_windows` is a gauge: the delta keeps the mark.
+        out
+    }
+}
+
+impl ExpiryCosts {
+    fn merge(&mut self, other: &ExpiryCosts) {
+        sum_fields!(
+            self,
+            other,
+            ttl_puts,
+            touches,
+            lazy_expired,
+            expired_overwrites,
+            reaped_entries,
+            reaped_bytes,
+            sweep_passes,
+            sweep_buckets
+        );
+    }
+
+    fn since(&self, earlier: &ExpiryCosts) -> ExpiryCosts {
+        let mut out = *self;
+        sub_fields!(
+            out,
+            earlier,
+            ttl_puts,
+            touches,
+            lazy_expired,
+            expired_overwrites,
+            reaped_entries,
+            reaped_bytes,
+            sweep_passes,
+            sweep_buckets
+        );
         out
     }
 }
@@ -816,6 +880,8 @@ pub struct OpLedger {
     pub station: StationCosts,
     /// Slab-allocator costs.
     pub slab: SlabCosts,
+    /// Entry-lifecycle costs (TTL writes, lazy expiry, reaper sweeps).
+    pub expiry: ExpiryCosts,
     /// KV-processor costs (request mix, retire outcomes, overload plane).
     pub core: CoreCosts,
     /// Serving-front-end costs (protocol frames, socket bytes, outcome
@@ -841,6 +907,7 @@ impl OpLedger {
         self.dram.merge(&other.dram);
         self.station.merge(&other.station);
         self.slab.merge(&other.slab);
+        self.expiry.merge(&other.expiry);
         self.core.merge(&other.core);
         self.server.merge(&other.server);
         self.cluster.merge(&other.cluster);
@@ -859,6 +926,7 @@ impl OpLedger {
             dram: self.dram.since(&earlier.dram),
             station: self.station.since(&earlier.station),
             slab: self.slab.since(&earlier.slab),
+            expiry: self.expiry.since(&earlier.expiry),
             core: self.core.since(&earlier.core),
             server: self.server.since(&earlier.server),
             cluster: self.cluster.since(&earlier.cluster),
@@ -972,6 +1040,16 @@ mod tests {
                 merges: r(),
                 merge_passes: r(),
             },
+            expiry: ExpiryCosts {
+                ttl_puts: r(),
+                touches: r(),
+                lazy_expired: r(),
+                expired_overwrites: r(),
+                reaped_entries: r(),
+                reaped_bytes: r(),
+                sweep_passes: r(),
+                sweep_buckets: r(),
+            },
             core: CoreCosts {
                 requests: r(),
                 reads: r(),
@@ -1006,6 +1084,7 @@ mod tests {
                 stored: r(),
                 not_stored: r(),
                 deleted: r(),
+                touched: r(),
                 protocol_errors: r(),
                 server_errors: r(),
                 not_primary: r(),
@@ -1083,6 +1162,7 @@ mod tests {
         assert_eq!(got.pcie, delta.pcie);
         assert_eq!(got.dram, delta.dram);
         assert_eq!(got.slab, delta.slab);
+        assert_eq!(got.expiry, delta.expiry);
         assert_eq!(got.core, delta.core);
         assert_eq!(got.server, delta.server);
         assert_eq!(got.latency, delta.latency);

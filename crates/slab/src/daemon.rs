@@ -39,6 +39,11 @@ pub struct ConcurrentSlabConfig {
     pub sync_batch: usize,
     /// Ring capacity per class per direction.
     pub ring_capacity: usize,
+    /// Capacity of the shared expired-entry return ring the lifecycle
+    /// reaper feeds (entries carry their class, so one ring serves every
+    /// class). When the ring is full the NIC falls back to the ordinary
+    /// free path — reaped slabs are never dropped.
+    pub expired_ring_capacity: usize,
 }
 
 impl ConcurrentSlabConfig {
@@ -51,6 +56,7 @@ impl ConcurrentSlabConfig {
             nic_cache: 64,
             sync_batch: 32,
             ring_capacity: 256,
+            expired_ring_capacity: 256,
         }
     }
 }
@@ -72,6 +78,11 @@ struct Shared {
     refill: Vec<Arc<SpscRing>>,
     /// NIC → host return rings, one per class.
     returns: Vec<Arc<SpscRing>>,
+    /// NIC → host ring for slabs whose entries the reaper found dead.
+    /// Kept separate from `returns` so expired reclamation is observable
+    /// (and meterable) on its own, but the daemon drains it into the very
+    /// same host pools — the normal free path.
+    expired: Arc<SpscRing>,
     /// Set by the NIC when a class's ring ran dry; tells the daemon that
     /// splitting/merging for this class is worth real work. (Without a
     /// demand signal the daemon would eagerly shatter the whole region
@@ -93,6 +104,10 @@ pub struct DaemonStats {
     pub merges: u64,
     /// Merge passes triggered.
     pub merge_passes: u64,
+    /// Expired slabs drained from the reaper's ring back into the pools.
+    pub reaped: u64,
+    /// Daemon loop iterations that drained at least one expired slab.
+    pub reap_passes: u64,
 }
 
 /// Handle to the running host daemon.
@@ -202,6 +217,24 @@ impl NicAllocator {
         }
     }
 
+    /// Returns a slab whose entry the lifecycle reaper found expired.
+    ///
+    /// Semantically a free with provenance: the slab travels on the
+    /// dedicated expired ring so the host daemon can account reclaimed
+    /// lifecycle garbage separately, then rejoins the ordinary host
+    /// pools. Falls back to [`free`](Self::free) when the ring is full —
+    /// a reaped slab is never stranded.
+    pub fn free_expired(&mut self, slab: SlabAddr) {
+        assert!(slab.addr >= self.cfg.base);
+        let g = (slab.addr - self.cfg.base) / GRANULE;
+        let e = encode_entry(g, slab.class);
+        if self.shared.expired.push(e).is_err() {
+            self.free(slab);
+            return;
+        }
+        self.outstanding -= 1;
+    }
+
     /// Allocations not yet freed.
     pub fn outstanding(&self) -> u64 {
         self.outstanding
@@ -220,6 +253,7 @@ pub fn spawn(cfg: ConcurrentSlabConfig) -> (NicAllocator, DaemonHandle) {
         returns: (0..classes)
             .map(|_| Arc::new(SpscRing::new(cfg.ring_capacity)))
             .collect(),
+        expired: Arc::new(SpscRing::new(cfg.expired_ring_capacity)),
         demand: (0..classes).map(|_| AtomicBool::new(false)).collect(),
         shutdown: AtomicBool::new(false),
     });
@@ -272,6 +306,20 @@ fn daemon_loop(
     let refill_watermark = cfg.ring_capacity / 2;
     loop {
         let mut progressed = false;
+        // Drain the reaper's expired ring first: lifecycle garbage goes
+        // back to the pools through the same path ordinary frees take,
+        // it is merely counted on its own.
+        let mut reaped_now = 0u64;
+        while let Some(e) = shared.expired.pop() {
+            let (g, class) = decode_entry(e);
+            pools[class.index()].push(g);
+            reaped_now += 1;
+            progressed = true;
+        }
+        if reaped_now > 0 {
+            stats.reaped += reaped_now;
+            stats.reap_passes += 1;
+        }
         for c in 0..classes {
             // Drain frees coming back from the NIC.
             while let Some(e) = shared.returns[c].pop() {
@@ -314,6 +362,16 @@ fn daemon_loop(
                     pool.push(decode_entry(e).0);
                     stats.returned += 1;
                 }
+            }
+            let mut reaped_now = 0u64;
+            while let Some(e) = shared.expired.pop() {
+                let (g, class) = decode_entry(e);
+                pools[class.index()].push(g);
+                reaped_now += 1;
+            }
+            if reaped_now > 0 {
+                stats.reaped += reaped_now;
+                stats.reap_passes += 1;
             }
             return stats;
         }
@@ -470,6 +528,51 @@ mod tests {
         drop(nic);
         let stats = daemon.shutdown();
         assert!(stats.merges > 0, "expected background merges: {stats:?}");
+    }
+
+    #[test]
+    fn reaped_slabs_return_through_the_free_path_and_get_reused() {
+        // A region that fits exactly eight 512B slabs: after the reaper
+        // returns all of them, fresh allocations can only succeed if the
+        // expired ring really drains back into the host pools.
+        let (mut nic, daemon) = service(4096);
+        let all: Vec<SlabAddr> = std::iter::from_fn(|| nic.alloc(512)).collect();
+        assert_eq!(all.len(), 8);
+        let mut freed: Vec<u64> = all.iter().map(|s| s.addr).collect();
+        for s in all {
+            nic.free_expired(s);
+        }
+        assert_eq!(nic.outstanding(), 0);
+        let again: Vec<SlabAddr> = std::iter::from_fn(|| nic.alloc(512)).collect();
+        assert_eq!(again.len(), 8, "reaped slabs must be allocatable again");
+        let mut reused: Vec<u64> = again.iter().map(|s| s.addr).collect();
+        freed.sort_unstable();
+        reused.sort_unstable();
+        assert_eq!(freed, reused, "the same addresses circulate");
+        for s in again {
+            nic.free(s);
+        }
+        drop(nic);
+        let stats = daemon.shutdown();
+        assert_eq!(stats.reaped, 8, "every expired slab accounted: {stats:?}");
+        assert!(stats.reap_passes >= 1);
+    }
+
+    #[test]
+    fn expired_ring_overflow_falls_back_to_the_ordinary_free() {
+        let cfg = ConcurrentSlabConfig {
+            expired_ring_capacity: 2,
+            ..ConcurrentSlabConfig::paper(0, 1 << 20)
+        };
+        let (mut nic, daemon) = spawn(cfg);
+        let slabs: Vec<SlabAddr> = (0..64).filter_map(|_| nic.alloc(128)).collect();
+        assert_eq!(slabs.len(), 64);
+        for s in slabs {
+            nic.free_expired(s); // most overflow into free()
+        }
+        assert_eq!(nic.outstanding(), 0, "no slab stranded by a full ring");
+        drop(nic);
+        daemon.shutdown();
     }
 
     #[test]

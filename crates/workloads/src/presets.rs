@@ -161,6 +161,7 @@ impl PresetWorkload {
                         value: 1u64.to_le_bytes().to_vec(),
                         lambda: self.rmw_lambda,
                         deadline_us: 0,
+                        expiry_tick: 0,
                     }
                 }
             }

@@ -3,19 +3,21 @@
 //! "To test inline case, we use KV size that is a multiple of slot size
 //! (when size ≤ 50, i.e. 10 slots). To test non-inline case, we use KV
 //! size that is a power of two minus 2 bytes (for metadata)." Our slab
-//! record metadata is 3 bytes (1-byte key length + 2-byte value length),
-//! so the same principle yields powers of two minus 3.
+//! record metadata is 7 bytes (1-byte key length + 2-byte value length +
+//! 4-byte expiry stamp), so the same principle yields powers of two
+//! minus 7.
 
 /// Inline KV sizes: multiples of the 5-byte slot size, 10..=50.
 pub fn inline_kv_sizes() -> Vec<u64> {
     (2..=10).map(|slots| slots * 5).collect()
 }
 
-/// Non-inline KV sizes: powers of two minus the 3-byte record metadata
-/// (61, 125, 253, 509 — the paper's 62/126/254/510 with its 2-byte
-/// metadata).
+/// Non-inline KV sizes: powers of two minus the 7-byte record metadata
+/// (57, 121, 249, 505 — the paper's 62/126/254/510 with its 2-byte
+/// metadata). Each record exactly fills its slab class, like the
+/// paper's schedule does.
 pub fn noninline_kv_sizes() -> Vec<u64> {
-    vec![61, 125, 253, 509]
+    vec![57, 121, 249, 505]
 }
 
 /// The full Figure 16 x-axis: inline sizes then non-inline sizes.
@@ -40,7 +42,7 @@ mod tests {
     #[test]
     fn noninline_sizes_are_pow2_minus_metadata() {
         for s in noninline_kv_sizes() {
-            assert!((s + 3).is_power_of_two(), "{s}");
+            assert!((s + 7).is_power_of_two(), "{s}");
         }
     }
 

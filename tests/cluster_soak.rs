@@ -231,6 +231,108 @@ fn rf3_node_kill_soak_is_linearizable() {
     }
 }
 
+/// TTL stamps ride the replication chain: a stamped write acked before
+/// a node kill must still expire on the survivors, and an immortal
+/// write must still be served — whoever ends up as tail after failover.
+///
+/// Keys 0..12 are written before the kill (odd ids stamped to die at
+/// tick 1 = 1 ms of sim time, even ids immortal); key 12 is stamped
+/// during the failover window. An early read pass (~300 µs, failover
+/// settled, TTL not yet lapsed) must serve every key; a late pass
+/// (3 ms, two ticks past every stamp) must miss exactly the stamped
+/// keys. Lazy expiry on the read path and the per-batch reaper both
+/// run on the member stores, so the merged ledger also shows the
+/// stamps were *applied* (not just forwarded) on more than one node.
+#[test]
+fn ttl_stamps_survive_failover_and_expire_on_survivors() {
+    const N: u64 = 12;
+    let stamped = |id: u64| id % 2 == 1 || id == N;
+    let mut sched: Vec<(SimTime, KvRequest)> = Vec::new();
+    let mut t = SimTime::ZERO;
+    for id in 0..N {
+        t += SimTime::from_ns(500);
+        let req = KvRequest::put(&id.to_le_bytes(), &val(id, 1));
+        let req = if stamped(id) { req.with_ttl(1) } else { req };
+        sched.push((t, req));
+    }
+    // Stamped write issued mid-failover (kill at 80 µs, detection later).
+    sched.push((
+        SimTime::from_us(200),
+        KvRequest::put(&N.to_le_bytes(), &val(N, 1)).with_ttl(1),
+    ));
+    let mut early = SimTime::from_us(300);
+    for id in 0..=N {
+        sched.push((early, KvRequest::get(&id.to_le_bytes())));
+        early += SimTime::from_ns(400);
+    }
+    let mut late = SimTime::from_ms(3);
+    for id in 0..=N {
+        sched.push((late, KvRequest::get(&id.to_le_bytes())));
+        late += SimTime::from_ns(400);
+    }
+
+    let mut cfg = ClusterSimConfig::smoke(4, 2);
+    cfg.kill = Some(NodeKill {
+        node: 1,
+        window: 40,
+    });
+    cfg.node.store.reap_buckets_per_batch = 16;
+    let mut cluster = ClusterSim::new(cfg);
+    let report = cluster.run(&sched);
+    assert_eq!(report.kill_window, Some(40), "kill must fire");
+    assert!(report.detect_window.is_some(), "kill must be detected");
+    assert_eq!(report.ledger.cluster.writes_failed, 0);
+
+    let reads = &report.records[sched.len() - 2 * (N as usize + 1)..];
+    let (early_reads, late_reads) = reads.split_at(N as usize + 1);
+    for (id, rec) in early_reads.iter().enumerate() {
+        assert_eq!(
+            rec.status,
+            Status::Ok,
+            "key {id} must still be served at 300 us (stamp not lapsed)"
+        );
+        assert_eq!(rec.value, val(id as u64, 1), "key {id} bytes intact");
+    }
+    for (id, rec) in late_reads.iter().enumerate() {
+        if stamped(id as u64) {
+            assert_eq!(
+                rec.status,
+                Status::NotFound,
+                "stamped key {id} must be expired on the surviving tail at 3 ms"
+            );
+        } else {
+            assert_eq!(
+                rec.status,
+                Status::Ok,
+                "immortal key {id} must survive both the kill and the sweep"
+            );
+            assert_eq!(rec.value, val(id as u64, 1));
+        }
+    }
+
+    // The stamp was applied down-chain, not just at the head: every
+    // pre-kill stamped write charged ttl_puts on both RF=2 members.
+    // Key 12 lands mid-failover, where a chain that contained the dead
+    // member degrades to one live replica until repair — so it is only
+    // guaranteed a single apply.
+    let stamped_writes = (0..=N).filter(|&id| stamped(id)).count() as u64;
+    let pre_kill_stamped = stamped_writes - 1;
+    assert!(
+        report.ledger.expiry.ttl_puts > 2 * pre_kill_stamped,
+        "stamps must replicate: {} ttl_puts for {} pre-kill stamped writes at RF=2",
+        report.ledger.expiry.ttl_puts,
+        pre_kill_stamped
+    );
+    // And the corpses were reclaimed on the members that served the
+    // late reads (lazily or by the per-batch reaper).
+    assert!(
+        report.ledger.expiry.reaped_entries >= stamped_writes,
+        "only {} reclaims for {} stamped keys",
+        report.ledger.expiry.reaped_entries,
+        stamped_writes
+    );
+}
+
 #[test]
 fn soak_ledger_bit_identical_across_worker_counts() {
     let mut reports = Vec::new();

@@ -100,6 +100,7 @@ proptest! {
                     value: delta.to_le_bytes().to_vec(),
                     lambda: builtin::ADD,
                     deadline_us: 0,
+                    expiry_tick: 0,
                 },
             }
         };
@@ -150,6 +151,7 @@ proptest! {
                     value: 1u64.to_le_bytes().to_vec(),
                     lambda: builtin::ADD,
                     deadline_us: 0,
+                    expiry_tick: 0,
                 })
                 .collect();
             for r in store.execute_batch(&reqs) {

@@ -73,6 +73,7 @@ fn to_request(op: &Op) -> KvRequest {
             value: delta.to_le_bytes().to_vec(),
             lambda: builtin::ADD,
             deadline_us: 0,
+            expiry_tick: 0,
         },
     }
 }

@@ -29,6 +29,7 @@ fn packet_roundtrip_through_store() {
             value: 3u64.to_le_bytes().to_vec(),
             lambda: builtin::ADD,
             deadline_us: 0,
+            expiry_tick: 0,
         },
         KvRequest::get(b"ctr"),
         KvRequest::delete(b"beta"),

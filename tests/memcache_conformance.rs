@@ -88,6 +88,52 @@ fn transcripts() -> Vec<Transcript> {
             &b"replace k 0 0 1\r\na\r\nset k 0 0 1\r\nb\r\nreplace k 0 0 1\r\nc\r\nget k\r\n"[..],
             &b"NOT_STORED\r\nSTORED\r\nSTORED\r\nVALUE k 0 1\r\nc\r\nEND\r\n"[..],
         ),
+        // --- exptime / touch -------------------------------------
+        // exptime 0 = never expires; a large relative exptime keeps
+        // the value alive for the whole transcript.
+        t(
+            "future_exptime_still_served",
+            &b"set k 0 300 1\r\na\r\nget k\r\n"[..],
+            &b"STORED\r\nVALUE k 0 1\r\na\r\nEND\r\n"[..],
+        ),
+        // An absolute exptime in the past (> 30 days reads as a Unix
+        // timestamp; 2592001 is in 1970) is accepted but the value is
+        // dead on arrival: the set is STORED, the get a plain miss.
+        t(
+            "past_absolute_exptime_dead_on_arrival",
+            &b"set k 0 2592001 1\r\na\r\nget k\r\n"[..],
+            &b"STORED\r\nEND\r\n"[..],
+        ),
+        t(
+            "touch_present_key",
+            &b"set k 0 0 1\r\na\r\ntouch k 300\r\nget k\r\n"[..],
+            &b"STORED\r\nTOUCHED\r\nVALUE k 0 1\r\na\r\nEND\r\n"[..],
+        ),
+        t(
+            "touch_into_past_kills",
+            &b"set k 0 0 1\r\na\r\ntouch k 2592001\r\nget k\r\n"[..],
+            &b"STORED\r\nTOUCHED\r\nEND\r\n"[..],
+        ),
+        t(
+            "touch_missing_key",
+            &b"touch nothere 300\r\n"[..],
+            &b"NOT_FOUND\r\n"[..],
+        ),
+        t(
+            "touch_noreply_is_silent",
+            &b"set k 0 0 1\r\na\r\ntouch k 300 noreply\r\nget k\r\n"[..],
+            &b"STORED\r\nVALUE k 0 1\r\na\r\nEND\r\n"[..],
+        ),
+        t(
+            "touch_without_exptime",
+            &b"touch k\r\n"[..],
+            &b"CLIENT_ERROR bad command line format\r\n"[..],
+        ),
+        t(
+            "touch_with_bad_exptime",
+            &b"touch k never\r\n"[..],
+            &b"CLIENT_ERROR bad command line format\r\n"[..],
+        ),
         // --- delete ----------------------------------------------
         t(
             "delete_present_then_absent",
