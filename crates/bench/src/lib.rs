@@ -88,8 +88,8 @@ mod tests {
     #[test]
     fn scaled_sizes_accept_paper_ratio_nic_dram() {
         // Both scales must admit a host/16 NIC DRAM under the ECC
-        // metadata constraint (ratio 16 needs 4 tag bits + dirty ≤ 6);
-        // constructing the cache enforces it.
+        // metadata constraint (ratio 16, 4-way: 4 + 2 tag bits + dirty
+        // + valid ≤ 8); constructing the cache enforces it.
         for host in [SCALED_MEMORY, SCALED_MEMORY_BIG] {
             let cfg = kvd_mem::NicDramConfig {
                 capacity: host / 16,

@@ -42,7 +42,9 @@ pub mod timing;
 pub use cluster::{ClusterReport, ClusterSim, ClusterSimConfig, NodeKill, OpRecord};
 pub use kvd_hash::{tick_of_us, EXPIRY_TICK_US};
 pub use lambda::{builtin, Lambda, LambdaRegistry};
-pub use overload::{AdmissionController, OverloadConfig, OverloadCounters, Watermarks};
+pub use overload::{
+    AdmissionController, HotKeyConfig, OverloadConfig, OverloadCounters, Watermarks,
+};
 pub use parallel::{ParallelSimConfig, ParallelSimReport, ParallelSystemSim};
 pub use processor::{KvProcessor, ProcessorStats};
 pub use store::{KvDirectConfig, KvDirectStore, MultiNicStore, StoreError};

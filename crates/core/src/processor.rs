@@ -17,7 +17,7 @@ use kvd_ooo::{Admission, KvOpKind, ReservationStation, StationConfig, StationOp}
 use kvd_sim::{CostSource, FaultPlane, OpLedger, SimTime};
 
 use crate::lambda::{decode_scalar, decode_vector, encode_vector, Lambda, LambdaRegistry};
-use crate::overload::{AdmissionController, OverloadConfig, OverloadCounters};
+use crate::overload::{AdmissionController, HotKeyConfig, OverloadConfig, OverloadCounters};
 
 /// Retries the processor grants a memory transaction before surfacing
 /// [`Status::DeviceError`] (matches the DMA engine's read retry budget).
@@ -49,6 +49,52 @@ pub struct ProcessorStats {
     /// Requests failed with [`Status::DeviceError`] after the retry
     /// budget ran out; the table was left untouched.
     pub device_errors: u64,
+}
+
+/// The hot-key shed policy's live state: a space-saving rollup over
+/// hashed request keys, aged by periodic halving so the tracked hot set
+/// follows the recent mix. Hashing (the table's primary hash) keeps the
+/// rollup allocation-free per request — no key bytes are retained.
+#[derive(Debug, Clone)]
+struct HotKeyRollup {
+    cfg: HotKeyConfig,
+    rollup: kvd_mem::SpaceSaving,
+    since_halve: u64,
+}
+
+impl HotKeyRollup {
+    fn new(cfg: HotKeyConfig) -> Self {
+        HotKeyRollup {
+            rollup: kvd_mem::SpaceSaving::new(cfg.top_k),
+            since_halve: 0,
+            cfg,
+        }
+    }
+
+    fn observe(&mut self, key: &[u8]) {
+        self.rollup.observe(kvd_hash::hashing::primary_hash(key));
+        self.since_halve += 1;
+        if self.since_halve >= self.cfg.halve_every {
+            self.rollup.halve();
+            self.since_halve = 0;
+        }
+    }
+
+    /// Hot means *provably* hot: the space-saving lower bound
+    /// (`count - err`) must reach `min_share` of observed traffic, so a
+    /// spread key that merely inherited a displaced slot's inflated count
+    /// is never shed by mistake.
+    fn is_hot(&self, key: &[u8]) -> bool {
+        let total = self.rollup.total();
+        if total == 0 {
+            return false;
+        }
+        self.rollup
+            .estimate(kvd_hash::hashing::primary_hash(key))
+            .is_some_and(|e| {
+                e.count.saturating_sub(e.err) as f64 >= self.cfg.min_share * total as f64
+            })
+    }
 }
 
 /// Per-request context needed to build its response from the station's
@@ -95,6 +141,7 @@ pub struct KvProcessor<M: MemoryEngine> {
     fault_retry_limit: u32,
     overload_cfg: OverloadConfig,
     admission: Option<AdmissionController>,
+    hot_keys: Option<HotKeyRollup>,
     /// When set, `finish` also attributes retire outcomes
     /// (`retired_ok`/`retired_not_found`/`retired_failed`) to the ledger.
     /// Off by default so the hot path stays exactly as wide as before the
@@ -155,6 +202,7 @@ impl<M: MemoryEngine> KvProcessor<M> {
             fault_retry_limit: DEFAULT_FAULT_RETRY_LIMIT,
             overload_cfg: OverloadConfig::default(),
             admission: None,
+            hot_keys: None,
             ledger_detail: false,
             external_pressure: 0.0,
             now: SimTime::ZERO,
@@ -169,7 +217,25 @@ impl<M: MemoryEngine> KvProcessor<M> {
     /// degradation). The default [`OverloadConfig`] disables everything.
     pub fn set_overload_config(&mut self, cfg: OverloadConfig) {
         self.admission = cfg.admission.map(AdmissionController::new);
+        self.hot_keys = cfg.hot_key.map(HotKeyRollup::new);
         self.overload_cfg = cfg;
+    }
+
+    /// The tracked hot-key shares (hashed key, estimated count, share of
+    /// observed traffic), hottest first; empty when the hot-key policy is
+    /// off or nothing has been observed yet.
+    pub fn hot_key_shares(&self) -> Vec<(u64, u64, f64)> {
+        let Some(hk) = &self.hot_keys else {
+            return Vec::new();
+        };
+        let mut out: Vec<(u64, u64, f64)> = hk
+            .rollup
+            .entries()
+            .iter()
+            .map(|e| (e.item, e.count, hk.rollup.share(e.item)))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
     }
 
     /// Advances the clock the deadline gate compares request deadlines
@@ -453,6 +519,9 @@ impl<M: MemoryEngine> KvProcessor<M> {
             }
         }
         if let Some(ac) = &mut self.admission {
+            if let Some(hk) = &mut self.hot_keys {
+                hk.observe(req.key);
+            }
             let pressure = self.station.occupancy().max(self.external_pressure);
             let was_shedding = ac.is_shedding();
             let shed = ac.observe(pressure);
@@ -460,8 +529,22 @@ impl<M: MemoryEngine> KvProcessor<M> {
                 self.ledger.core.shed_transitions += 1;
             }
             if shed {
-                self.ledger.core.shed_overload += 1;
-                return Some(Status::Overloaded);
+                // Hot-key defense: while pressure stays below the severe
+                // mark, shed only the heavy hitters that caused the
+                // overload; the spread traffic keeps flowing. At or above
+                // severe the carve-out vanishes and everything sheds.
+                match self.hot_keys.as_ref().filter(|hk| pressure < hk.cfg.severe) {
+                    Some(hk) if hk.is_hot(req.key) => {
+                        self.ledger.cache.hot_key_sheds += 1;
+                        self.ledger.core.shed_overload += 1;
+                        return Some(Status::Overloaded);
+                    }
+                    Some(_) => {} // spread traffic rides through
+                    None => {
+                        self.ledger.core.shed_overload += 1;
+                        return Some(Status::Overloaded);
+                    }
+                }
             }
         }
         self.ledger.core.admitted += 1;

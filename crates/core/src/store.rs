@@ -7,7 +7,7 @@
 //! reach 1.22 billion KV operations per second.
 
 use kvd_hash::{HashTable, HashTableConfig};
-use kvd_mem::{DispatchConfig, DispatchedMemory, NicDramConfig};
+use kvd_mem::{AdaptiveCacheConfig, DispatchConfig, DispatchedMemory, NicDramConfig};
 use kvd_net::{shard_of, KvRequest, KvRequestRef, KvResponse, OpCode, Status};
 use kvd_ooo::StationConfig;
 use kvd_sim::{Bandwidth, CostSource, FaultCounters, FaultPlane, FaultRates, OpLedger};
@@ -96,6 +96,11 @@ pub struct KvDirectConfig {
     /// degradation). Defaults to fully disabled so closed-loop workloads
     /// that legitimately saturate the pipeline are untouched.
     pub overload: OverloadConfig,
+    /// Adaptive cache plane: sampled frequency sketch, TinyLFU-style
+    /// NIC-DRAM fill admission and online retuning of the load dispatch
+    /// ratio from the measured hit rate. `None` (the default) keeps the
+    /// paper's static-`l` behaviour bit-identical.
+    pub adaptive_cache: Option<AdaptiveCacheConfig>,
     /// Bucket chains the background reaper sweeps after each batch of a
     /// clocked run ([`SystemSim`](crate::SystemSim)). 0 (the default)
     /// disables the reaper: dead entries are then reclaimed lazily by
@@ -117,6 +122,7 @@ impl KvDirectConfig {
             fault_rates: FaultRates::ZERO,
             fault_seed: 0,
             overload: OverloadConfig::default(),
+            adaptive_cache: None,
             reap_buckets_per_batch: 0,
         }
     }
@@ -212,7 +218,7 @@ impl KvDirectStore {
     /// the store bit-identical to a fault-free build.
     pub fn new(cfg: KvDirectConfig) -> Self {
         let mut root = FaultPlane::new(cfg.fault_rates, cfg.fault_seed);
-        let mem = DispatchedMemory::with_faults(
+        let mut mem = DispatchedMemory::with_faults(
             cfg.total_memory,
             NicDramConfig {
                 capacity: cfg.nic_dram_capacity,
@@ -221,6 +227,9 @@ impl KvDirectStore {
             DispatchConfig::new(cfg.load_dispatch_ratio),
             root.fork(1),
         );
+        if let Some(ac) = cfg.adaptive_cache.clone() {
+            mem.set_adaptive(ac);
+        }
         let table = HashTable::new(
             mem,
             HashTableConfig {
@@ -930,6 +939,40 @@ mod tests {
     }
 
     #[test]
+    fn hot_key_shedding_spares_the_spread_traffic() {
+        let mut s = KvDirectStore::new(KvDirectConfig {
+            overload: crate::overload::OverloadConfig::hot_key_aware(),
+            ..KvDirectConfig::with_memory(1 << 20)
+        });
+        // Warm the rollup with an adversarial mix: one celebrity key is
+        // half the traffic, the rest spreads over 64 keys.
+        for i in 0..512u64 {
+            let spread = (i % 64).to_le_bytes();
+            s.put(b"celebrity", b"v").unwrap();
+            s.put(&spread, b"v").unwrap();
+        }
+        // Overloaded but below severe: only the celebrity sheds.
+        s.processor_mut().set_external_pressure(0.9);
+        assert_eq!(s.try_get(b"celebrity"), Err(StoreError::Overloaded));
+        for i in 0..64u64 {
+            let spread = i.to_le_bytes();
+            assert!(s.try_get(&spread).is_ok(), "spread key {i} was shed");
+        }
+        let sheds = s.processor().ledger().cache.hot_key_sheds;
+        assert!(sheds >= 1, "celebrity shed must be attributed");
+        assert_eq!(s.overload_counters().shed_overload, sheds);
+        // At severe pressure the carve-out vanishes: everything sheds,
+        // and those sheds are NOT attributed to the hot-key defense.
+        s.processor_mut().set_external_pressure(0.97);
+        assert_eq!(s.try_get(&0u64.to_le_bytes()), Err(StoreError::Overloaded));
+        assert_eq!(s.processor().ledger().cache.hot_key_sheds, sheds);
+        // Below the low watermark everything — celebrity included — is
+        // admitted again.
+        s.processor_mut().set_external_pressure(0.3);
+        assert!(s.try_get(b"celebrity").is_ok());
+    }
+
+    #[test]
     fn expired_requests_dropped_without_effect() {
         // Deadline expiry is always on — it needs no admission config.
         let mut s = store();
@@ -953,6 +996,7 @@ mod tests {
                 admission: None,
                 read_only_on_oom: true,
                 read_only_exit_utilization: 0.15,
+                ..Default::default()
             },
             ..KvDirectConfig::with_memory(1 << 20)
         });

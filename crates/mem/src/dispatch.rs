@@ -77,6 +77,30 @@ impl LoadDispatcher {
         self.cfg.ratio
     }
 
+    /// The hash threshold below which a line is cacheable.
+    pub fn threshold(&self) -> u64 {
+        if self.cfg.ratio == 0.0 {
+            0
+        } else {
+            self.threshold
+        }
+    }
+
+    /// Moves the dispatch ratio to `ratio`, recomputing the hash
+    /// threshold — the adaptive plane's online retune step. Which lines
+    /// change cacheability is exactly the hash band between the old and
+    /// new thresholds (see [`hash_line`]), so the caller can sweep the
+    /// affected lines without a full flush.
+    pub fn set_ratio(&mut self, ratio: f64) {
+        assert!((0.0..=1.0).contains(&ratio), "ratio must be in [0,1]");
+        self.cfg.ratio = ratio;
+        self.threshold = if ratio >= 1.0 {
+            u64::MAX
+        } else {
+            (ratio * u64::MAX as f64) as u64
+        };
+    }
+
     /// Whether 64 B line `line` belongs to the cacheable portion.
     pub fn is_cacheable(&self, line: u64) -> bool {
         if self.cfg.ratio == 0.0 {
@@ -88,8 +112,9 @@ impl LoadDispatcher {
 
 /// A fixed 64-bit mixer (SplitMix64 finalizer); uniform enough that any
 /// address-space region is cacheable in proportion `l`, which is the
-/// paper's requirement for the hash.
-fn hash_line(line: u64) -> u64 {
+/// paper's requirement for the hash. Public so the adaptive plane can
+/// identify the migration band when the threshold moves.
+pub fn hash_line(line: u64) -> u64 {
     let mut z = line.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -141,6 +166,15 @@ pub fn optimal_ratio_uniform(k: f64, tput_dram: f64, tput_pcie: f64) -> f64 {
 /// Solves the balance equation under the long-tail workload with `n` KVs.
 pub fn optimal_ratio_zipf(k: f64, n: f64, tput_dram: f64, tput_pcie: f64) -> f64 {
     solve(|l| balance_error(l, hit_rate_zipf(k, l, n), tput_dram, tput_pcie))
+}
+
+/// Solves the balance equation with a **measured** hit rate `h` in place
+/// of the analytic `h(l)` models — the adaptive retune step. With `h`
+/// independent of `l` the equation is linear and closes to
+/// `l* = tput_dram / (tput_pcie + h·tput_dram)`.
+pub fn optimal_ratio_measured(h: f64, tput_dram: f64, tput_pcie: f64) -> f64 {
+    let h = h.clamp(0.0, 1.0);
+    (tput_dram / (tput_pcie + h * tput_dram)).clamp(0.0, 1.0)
 }
 
 /// Bisection on `[0, 1]`; the balance error is monotone in `l` (DRAM load
@@ -237,6 +271,40 @@ mod tests {
         assert!(err.abs() < 1e-3, "unbalanced: {err}");
         // Paper §5.2 uses ~0.5-0.6 load dispatch ratios; sanity-check range.
         assert!(l > 0.3 && l < 0.8, "got {l}");
+    }
+
+    #[test]
+    fn set_ratio_matches_fresh_dispatcher() {
+        let mut d = LoadDispatcher::new(DispatchConfig::new(0.25));
+        d.set_ratio(0.6);
+        let fresh = LoadDispatcher::new(DispatchConfig::new(0.6));
+        assert_eq!(d.threshold(), fresh.threshold());
+        assert!((0..10_000).all(|l| d.is_cacheable(l) == fresh.is_cacheable(l)));
+    }
+
+    #[test]
+    fn measured_optimum_agrees_with_balance_equation() {
+        for h in [0.0, 0.3, 0.7, 1.0] {
+            let l = optimal_ratio_measured(h, 12.8, 13.2);
+            assert!(balance_error(l, h, 12.8, 13.2).abs() < 1e-9, "h={h}");
+        }
+        // Higher hit rate offloads PCIe: optimum shrinks monotonically.
+        assert!(optimal_ratio_measured(0.9, 12.8, 13.2) < optimal_ratio_measured(0.1, 12.8, 13.2));
+    }
+
+    #[test]
+    fn threshold_moves_only_the_band() {
+        let lo = LoadDispatcher::new(DispatchConfig::new(0.4));
+        let hi = LoadDispatcher::new(DispatchConfig::new(0.6));
+        for line in 0..10_000u64 {
+            let h = hash_line(line);
+            let in_band = h > lo.threshold() && h <= hi.threshold();
+            assert_eq!(
+                lo.is_cacheable(line) != hi.is_cacheable(line),
+                in_band,
+                "line {line}"
+            );
+        }
     }
 
     #[test]

@@ -9,13 +9,16 @@
 //!
 //! * [`HostMemory`] — a sparse, allocate-on-touch byte store so paper-scale
 //!   address spaces work laptop-scale.
-//! * [`NicDram`] — the on-board DRAM: a direct-mapped 64 B-line cache with
-//!   per-line metadata kept in the spare ECC bits (the paper's trick of
-//!   widening the parity granularity from 64 to 256 data bits to free
-//!   6 bits per 64 B line).
+//! * [`NicDram`] — the on-board DRAM: a 4-way set-associative 64 B-line
+//!   cache with per-line metadata kept in the spare ECC bits (the paper's
+//!   trick of widening the parity granularity — here 64 to 512 data bits
+//!   to free 8 bits per 64 B line for tag + dirty + valid).
 //! * [`LoadDispatcher`] — the hash split between cacheable and
 //!   non-cacheable addresses, parameterized by the load dispatch ratio `l`,
 //!   plus the paper's balance equation for choosing `l`.
+//! * [`FreqSketch`] / [`SpaceSaving`] — the sampled frequency plane behind
+//!   the adaptive cache: TinyLFU-style fill admission and online retuning
+//!   of `l` from the measured hit rate ([`AdaptiveCacheConfig`]).
 //! * [`MemoryEngine`] / [`AccessStats`] — the unified access interface the
 //!   hash table and slab allocator run against, with DMA/DRAM accounting
 //!   (the paper's currency: memory accesses per KV operation).
@@ -29,14 +32,16 @@ pub mod engine;
 pub mod host;
 pub mod nicdram;
 pub mod replay;
+pub mod sketch;
 
 pub use dispatch::{DispatchConfig, LoadDispatcher};
 pub use engine::{
-    AccessKind, AccessStats, DispatchedMemory, EccStats, FlatMemory, MemoryEngine,
-    DEFAULT_BYPASS_THRESHOLD,
+    AccessKind, AccessStats, AdaptiveCacheConfig, CacheStats, DispatchedMemory, EccStats,
+    FlatMemory, MemoryEngine, DEFAULT_BYPASS_THRESHOLD,
 };
 pub use host::HostMemory;
-pub use nicdram::{NicDram, NicDramConfig};
+pub use nicdram::{FillVictim, NicDram, NicDramConfig, WAYS};
+pub use sketch::{FreqSketch, HeavyHitter, SketchConfig, SpaceSaving};
 
 /// Cache-line granularity used throughout the paper (bytes).
 pub const LINE: u64 = 64;

@@ -1,4 +1,5 @@
-//! NIC on-board DRAM modelled as a direct-mapped write-back cache.
+//! NIC on-board DRAM modelled as a 4-way set-associative write-back
+//! cache.
 //!
 //! The paper's programmable NIC carries 4 GiB of DDR3-1600 (12.8 GB/s) —
 //! an order of magnitude smaller than the 64 GiB host KVS and slightly
@@ -6,19 +7,30 @@
 //! uses it as a cache for the *cacheable portion* of host memory selected
 //! by the load dispatcher.
 //!
-//! Per-line metadata (address tag + dirty flag) is stored in the spare ECC
-//! bits: ECC DRAM has 8 ECC bits per 64 data bits; widening the Hamming
-//! parity granularity from 64 to 256 data bits frees 6 bits per 64 B line
-//! (§4, "DRAM Load Dispatcher"). No valid bit is needed because the NIC
-//! accesses the KVS exclusively: the cache is initialized to tag 0, clean,
-//! all-zero data — coherent with zero-initialized host memory.
+//! Per-line metadata (address tag + dirty + valid flags) is stored in the
+//! spare ECC bits: ECC DRAM has 8 ECC bits per 64 data bits; widening the
+//! Hamming parity granularity from 64 to 512 data bits frees 8 bits per
+//! 64 B line (§4, "DRAM Load Dispatcher"; the paper widens to 256 bits
+//! for 6 spare bits and a direct-mapped cache — we spend two more ECC
+//! bits to get 4-way associativity with a valid bit, see DESIGN.md §16).
+//! The valid bit is what lets the adaptive plane retire lines when the
+//! load-dispatch threshold migrates: a demoted line's cached copy would
+//! otherwise go stale while host writes bypass the cache, then be served
+//! again if the line is later re-promoted.
 
 use kvd_sim::Bandwidth;
 
 use crate::LINE;
 
-/// Spare metadata bits available per 64 B line via the ECC trick.
-pub const ECC_SPARE_BITS: u32 = 6;
+/// Spare metadata bits available per 64 B line via the ECC trick
+/// (parity granularity widened from 64 to 512 data bits).
+pub const ECC_SPARE_BITS: u32 = 8;
+
+/// Associativity of the cache. With [`ECC_SPARE_BITS`] = 8 and
+/// `tag bits = log2(host:DRAM ratio) + log2(WAYS)`, a dirty bit and a
+/// valid bit, the paper's 16:1 capacity ratio fits exactly
+/// (4 + 2 + 1 + 1 = 8).
+pub const WAYS: usize = 4;
 
 /// Configuration of the NIC on-board DRAM.
 #[derive(Debug, Clone)]
@@ -46,23 +58,40 @@ impl NicDramConfig {
 struct LineMeta {
     tag: u8,
     dirty: bool,
+    valid: bool,
 }
 
-/// Result of a cache fill: the dirty line that had to be written back, if
-/// any.
-pub type Eviction = Option<(u64, Box<[u8]>)>;
+/// The victim a [`NicDram::fill_way`] displaced: its host line address
+/// and whether the caller must write its contents back to host memory
+/// (the victim's bytes are in the caller-provided buffer either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FillVictim {
+    /// The displaced host line, `None` if the way was invalid (no
+    /// conflict).
+    pub line: Option<u64>,
+    /// Whether the displaced line was dirty and must be written back.
+    pub dirty: bool,
+}
 
-/// A direct-mapped, write-back, 64 B-line cache over host line addresses.
+/// A 4-way set-associative, write-back, 64 B-line cache over host line
+/// addresses.
 ///
-/// Host lines map to slots by `line % slots`; the tag is `line / slots`,
-/// which must fit the ECC spare bits (tag + dirty ≤ 6 bits ⇒ host:DRAM
-/// capacity ratio ≤ 32; the paper's ratio is 16, needing 4 tag bits + 1
-/// dirty).
+/// Host lines map to sets by `line % sets`; the tag is `line / sets`,
+/// which together with the dirty and valid bits must fit the ECC spare
+/// bits (`log2(ratio) + log2(WAYS)` tag bits + 2 ≤ 8 ⇒ host:DRAM
+/// capacity ratio ≤ 16, exactly the paper's ratio).
+///
+/// Replacement is split from installation so the memory engine can run
+/// TinyLFU-style admission: [`rr_victim`] returns the default
+/// round-robin choice, [`occupants`] exposes the set's resident lines
+/// for frequency comparison, and [`fill_way`] installs into whichever
+/// way the policy picked — copying any displaced line into a
+/// caller-provided buffer, so the hot path never allocates.
 ///
 /// # Examples
 ///
 /// ```
-/// use kvd_mem::{NicDram, NicDramConfig};
+/// use kvd_mem::{NicDram, NicDramConfig, LINE};
 /// use kvd_sim::Bandwidth;
 ///
 /// let cfg = NicDramConfig {
@@ -70,17 +99,29 @@ pub type Eviction = Option<(u64, Box<[u8]>)>;
 ///     bandwidth: Bandwidth::from_gbytes_per_sec(12.8),
 /// };
 /// let mut cache = NicDram::new(cfg, 16 * 64 * 1024); // 16:1 host ratio
-/// assert!(cache.lookup(0)); // tag-0 lines start resident (zeroed)
-/// assert!(!cache.lookup(1024)); // a tag-1 line does not
+/// assert!(cache.lookup(0)); // tags 0..3 start resident (zeroed)
+/// let far = 4 * (64 * 1024 / LINE); // tag 4: not resident
+/// assert!(!cache.lookup(far));
 /// ```
+///
+/// [`rr_victim`]: NicDram::rr_victim
+/// [`occupants`]: NicDram::occupants
+/// [`fill_way`]: NicDram::fill_way
 pub struct NicDram {
     cfg: NicDramConfig,
-    slots: u64,
+    sets: u64,
+    /// `sets * WAYS` entries, way-major within a set
+    /// (`meta[set * WAYS + way]`).
     meta: Vec<LineMeta>,
     data: Vec<u8>,
+    /// Per-set round-robin replacement cursor.
+    rr: Vec<u8>,
     hits: u64,
     misses: u64,
     writebacks: u64,
+    evict_clean: u64,
+    evict_dirty: u64,
+    conflict_fills: u64,
 }
 
 impl NicDram {
@@ -98,22 +139,40 @@ impl NicDram {
             "host capacity must be line-aligned"
         );
         let slots = cfg.capacity / LINE;
-        assert!(slots > 0, "cache too small for even one line");
-        let ratio = host_capacity.div_ceil(cfg.capacity).max(1);
-        // Tag bits = log2(ratio); together with the dirty bit they must fit
-        // the ECC spare bits.
-        let tag_bits = ratio.next_power_of_two().trailing_zeros();
         assert!(
-            tag_bits < ECC_SPARE_BITS,
+            slots >= WAYS as u64 && slots.is_multiple_of(WAYS as u64),
+            "cache too small for {WAYS}-way sets"
+        );
+        let sets = slots / WAYS as u64;
+        let ratio = host_capacity.div_ceil(cfg.capacity).max(1);
+        // Tag bits = log2(ratio · WAYS); together with the dirty and valid
+        // bits they must fit the ECC spare bits.
+        let tag_bits = (ratio * WAYS as u64).next_power_of_two().trailing_zeros();
+        assert!(
+            tag_bits + 2 <= ECC_SPARE_BITS,
             "host:DRAM ratio {ratio} needs more metadata than {ECC_SPARE_BITS} ECC spare bits"
         );
+        // Initialization stays zero-coherent without any flush: way `w` of
+        // every set holds tag `w`, valid and clean, all-zero data — the
+        // first `capacity` bytes of a zero-initialized host memory.
+        let meta = (0..slots)
+            .map(|i| LineMeta {
+                tag: (i % WAYS as u64) as u8,
+                dirty: false,
+                valid: true,
+            })
+            .collect();
         NicDram {
-            slots,
-            meta: vec![LineMeta::default(); slots as usize],
+            sets,
+            meta,
             data: vec![0; cfg.capacity as usize],
+            rr: vec![0; sets as usize],
             hits: 0,
             misses: 0,
             writebacks: 0,
+            evict_clean: 0,
+            evict_dirty: 0,
+            conflict_fills: 0,
             cfg,
         }
     }
@@ -123,20 +182,64 @@ impl NicDram {
         &self.cfg
     }
 
-    fn slot_of(&self, host_line: u64) -> u64 {
-        host_line % self.slots
+    fn set_of(&self, host_line: u64) -> u64 {
+        host_line % self.sets
     }
 
     fn tag_of(&self, host_line: u64) -> u8 {
-        let t = host_line / self.slots;
+        let t = host_line / self.sets;
         debug_assert!(t <= u8::MAX as u64, "tag overflow");
         t as u8
     }
 
+    /// The resident way of `host_line`, if any.
+    fn way_of(&self, host_line: u64) -> Option<usize> {
+        let set = self.set_of(host_line);
+        let tag = self.tag_of(host_line);
+        let base = (set as usize) * WAYS;
+        (0..WAYS).find(|&w| {
+            let m = &self.meta[base + w];
+            m.valid && m.tag == tag
+        })
+    }
+
+    fn data_off(&self, set: u64, way: usize) -> usize {
+        ((set as usize) * WAYS + way) * LINE as usize
+    }
+
     /// Returns `true` if `host_line` is resident.
     pub fn lookup(&self, host_line: u64) -> bool {
-        let slot = self.slot_of(host_line);
-        self.meta[slot as usize].tag == self.tag_of(host_line)
+        self.way_of(host_line).is_some()
+    }
+
+    /// The host lines resident in `host_line`'s set, by way (`None` for
+    /// invalid ways) — the candidates a frequency-aware replacement
+    /// policy compares against.
+    pub fn occupants(&self, host_line: u64) -> [Option<u64>; WAYS] {
+        let set = self.set_of(host_line);
+        let base = (set as usize) * WAYS;
+        let mut out = [None; WAYS];
+        for (w, slot) in out.iter_mut().enumerate() {
+            let m = &self.meta[base + w];
+            if m.valid {
+                *slot = Some(m.tag as u64 * self.sets + set);
+            }
+        }
+        out
+    }
+
+    /// The default replacement choice for `host_line`'s set: an invalid
+    /// way if one exists, else the set's round-robin cursor (advanced).
+    pub fn rr_victim(&mut self, host_line: u64) -> usize {
+        let set = self.set_of(host_line);
+        let base = (set as usize) * WAYS;
+        if let Some(w) = (0..WAYS).find(|&w| !self.meta[base + w].valid) {
+            return w;
+        }
+        let cursor = &mut self.rr[set as usize];
+        let w = *cursor as usize % WAYS;
+        *cursor = ((w + 1) % WAYS) as u8;
+        w
     }
 
     /// Reads a resident line into `buf` (64 bytes) and counts a hit.
@@ -147,9 +250,11 @@ impl NicDram {
     ///
     /// [`lookup`]: NicDram::lookup
     pub fn read_hit(&mut self, host_line: u64, buf: &mut [u8]) {
-        assert!(self.lookup(host_line), "read_hit on non-resident line");
+        let way = self
+            .way_of(host_line)
+            .expect("read_hit on non-resident line");
         assert_eq!(buf.len() as u64, LINE);
-        let off = (self.slot_of(host_line) * LINE) as usize;
+        let off = self.data_off(self.set_of(host_line), way);
         buf.copy_from_slice(&self.data[off..off + LINE as usize]);
         self.hits += 1;
     }
@@ -160,39 +265,80 @@ impl NicDram {
     ///
     /// Panics if the line is not resident.
     pub fn write_hit(&mut self, host_line: u64, data: &[u8]) {
-        assert!(self.lookup(host_line), "write_hit on non-resident line");
+        let way = self
+            .way_of(host_line)
+            .expect("write_hit on non-resident line");
         assert_eq!(data.len() as u64, LINE);
-        let slot = self.slot_of(host_line);
-        let off = (slot * LINE) as usize;
+        let set = self.set_of(host_line);
+        let off = self.data_off(set, way);
         self.data[off..off + LINE as usize].copy_from_slice(data);
-        self.meta[slot as usize].dirty = true;
+        self.meta[(set as usize) * WAYS + way].dirty = true;
         self.hits += 1;
     }
 
-    /// Installs `host_line` with `data`, evicting the previous occupant.
+    /// Installs `host_line` with `data` into `way` of its set, copying
+    /// any displaced line's contents into `victim_buf` (64 bytes, no
+    /// allocation). Counts a miss; the caller writes a dirty victim back
+    /// to host memory.
     ///
-    /// Returns the evicted line's address and contents if it was dirty
-    /// (the caller must write it back to host memory). Counts a miss.
-    pub fn fill(&mut self, host_line: u64, data: &[u8], dirty: bool) -> Eviction {
+    /// # Panics
+    ///
+    /// Panics if the line is already resident or `way >= WAYS`.
+    pub fn fill_way(
+        &mut self,
+        host_line: u64,
+        way: usize,
+        data: &[u8],
+        dirty: bool,
+        victim_buf: &mut [u8],
+    ) -> FillVictim {
         assert_eq!(data.len() as u64, LINE);
+        assert_eq!(victim_buf.len() as u64, LINE);
+        assert!(way < WAYS, "way out of range");
         assert!(!self.lookup(host_line), "fill of already-resident line");
         self.misses += 1;
-        let slot = self.slot_of(host_line);
-        let off = (slot * LINE) as usize;
-        let old = &mut self.meta[slot as usize];
-        let evicted = if old.dirty {
-            self.writebacks += 1;
-            let old_line = old.tag as u64 * self.slots + slot;
-            Some((old_line, self.data[off..off + LINE as usize].into()))
+        let set = self.set_of(host_line);
+        let off = self.data_off(set, way);
+        let old = self.meta[(set as usize) * WAYS + way];
+        let victim = if old.valid {
+            self.conflict_fills += 1;
+            if old.dirty {
+                self.writebacks += 1;
+                self.evict_dirty += 1;
+            } else {
+                self.evict_clean += 1;
+            }
+            victim_buf.copy_from_slice(&self.data[off..off + LINE as usize]);
+            FillVictim {
+                line: Some(old.tag as u64 * self.sets + set),
+                dirty: old.dirty,
+            }
         } else {
-            None
+            FillVictim {
+                line: None,
+                dirty: false,
+            }
         };
-        self.meta[slot as usize] = LineMeta {
+        self.meta[(set as usize) * WAYS + way] = LineMeta {
             tag: self.tag_of(host_line),
             dirty,
+            valid: true,
         };
         self.data[off..off + LINE as usize].copy_from_slice(data);
-        evicted
+        victim
+    }
+
+    /// Installs `host_line` at the default round-robin victim —
+    /// the non-adaptive fill path.
+    pub fn fill(
+        &mut self,
+        host_line: u64,
+        data: &[u8],
+        dirty: bool,
+        victim_buf: &mut [u8],
+    ) -> FillVictim {
+        let way = self.rr_victim(host_line);
+        self.fill_way(host_line, way, data, dirty, victim_buf)
     }
 
     /// Whether a resident line is dirty.
@@ -201,8 +347,10 @@ impl NicDram {
     ///
     /// Panics if the line is not resident.
     pub fn is_dirty(&self, host_line: u64) -> bool {
-        assert!(self.lookup(host_line), "is_dirty on non-resident line");
-        self.meta[self.slot_of(host_line) as usize].dirty
+        let way = self
+            .way_of(host_line)
+            .expect("is_dirty on non-resident line");
+        self.meta[(self.set_of(host_line) as usize) * WAYS + way].dirty
     }
 
     /// Reads a resident line without hit accounting (ECC recovery path).
@@ -211,9 +359,9 @@ impl NicDram {
     ///
     /// Panics if the line is not resident.
     pub fn peek(&self, host_line: u64, buf: &mut [u8]) {
-        assert!(self.lookup(host_line), "peek of non-resident line");
+        let way = self.way_of(host_line).expect("peek of non-resident line");
         assert_eq!(buf.len() as u64, LINE);
-        let off = (self.slot_of(host_line) * LINE) as usize;
+        let off = self.data_off(self.set_of(host_line), way);
         buf.copy_from_slice(&self.data[off..off + LINE as usize]);
     }
 
@@ -225,12 +373,51 @@ impl NicDram {
     ///
     /// Panics if the line is not resident.
     pub fn restore(&mut self, host_line: u64, data: &[u8], dirty: bool) {
-        assert!(self.lookup(host_line), "restore of non-resident line");
+        let way = self
+            .way_of(host_line)
+            .expect("restore of non-resident line");
         assert_eq!(data.len() as u64, LINE);
-        let slot = self.slot_of(host_line);
-        let off = (slot * LINE) as usize;
+        let set = self.set_of(host_line);
+        let off = self.data_off(set, way);
         self.data[off..off + LINE as usize].copy_from_slice(data);
-        self.meta[slot as usize].dirty = dirty;
+        self.meta[(set as usize) * WAYS + way].dirty = dirty;
+    }
+
+    /// Invalidates every resident line for which `retire` returns true —
+    /// the threshold-migration sweep of the adaptive dispatcher. Dirty
+    /// lines are handed to `writeback` (host line, contents) before
+    /// invalidation. Returns `(clean, dirty)` lines retired. No
+    /// allocation: contents are passed by reference out of the array.
+    pub fn retire_if(
+        &mut self,
+        mut retire: impl FnMut(u64) -> bool,
+        mut writeback: impl FnMut(u64, &[u8]),
+    ) -> (u64, u64) {
+        let (mut clean, mut dirty) = (0u64, 0u64);
+        for set in 0..self.sets {
+            for way in 0..WAYS {
+                let idx = (set as usize) * WAYS + way;
+                let m = self.meta[idx];
+                if !m.valid {
+                    continue;
+                }
+                let line = m.tag as u64 * self.sets + set;
+                if !retire(line) {
+                    continue;
+                }
+                if m.dirty {
+                    let off = idx * LINE as usize;
+                    writeback(line, &self.data[off..off + LINE as usize]);
+                    self.writebacks += 1;
+                    dirty += 1;
+                } else {
+                    clean += 1;
+                }
+                self.meta[idx].valid = false;
+                self.meta[idx].dirty = false;
+            }
+        }
+        (clean, dirty)
     }
 
     /// Drains every dirty line, clearing the dirty flags, and returns the
@@ -238,13 +425,16 @@ impl NicDram {
     /// the degradation breaker retires the cache from service.
     pub fn flush_dirty(&mut self) -> Vec<(u64, Box<[u8]>)> {
         let mut out = Vec::new();
-        for slot in 0..self.slots {
-            let m = &mut self.meta[slot as usize];
-            if m.dirty {
-                m.dirty = false;
-                let line = m.tag as u64 * self.slots + slot;
-                let off = (slot * LINE) as usize;
-                out.push((line, self.data[off..off + LINE as usize].into()));
+        for set in 0..self.sets {
+            for way in 0..WAYS {
+                let idx = (set as usize) * WAYS + way;
+                let m = &mut self.meta[idx];
+                if m.valid && m.dirty {
+                    m.dirty = false;
+                    let line = m.tag as u64 * self.sets + set;
+                    let off = idx * LINE as usize;
+                    out.push((line, self.data[off..off + LINE as usize].into()));
+                }
             }
         }
         out
@@ -260,9 +450,25 @@ impl NicDram {
         self.misses
     }
 
-    /// Dirty write-backs so far.
+    /// Dirty write-backs so far (demand evictions + migration sweeps).
     pub fn writebacks(&self) -> u64 {
         self.writebacks
+    }
+
+    /// Valid lines displaced by a fill while clean.
+    pub fn evict_clean(&self) -> u64 {
+        self.evict_clean
+    }
+
+    /// Valid lines displaced by a fill while dirty.
+    pub fn evict_dirty(&self) -> u64 {
+        self.evict_dirty
+    }
+
+    /// Fills that displaced a valid line (conflict misses; fills into
+    /// invalid ways are not conflicts).
+    pub fn conflict_fills(&self) -> u64 {
+        self.conflict_fills
     }
 
     /// Hit rate over all lookups that were served.
@@ -281,7 +487,8 @@ mod tests {
     use super::*;
 
     fn cache() -> NicDram {
-        // 4 KiB cache (64 slots) over a 64 KiB host: ratio 16, like paper.
+        // 4 KiB cache (64 slots = 16 sets x 4 ways) over a 64 KiB host:
+        // ratio 16, like the paper.
         NicDram::new(
             NicDramConfig {
                 capacity: 4096,
@@ -291,57 +498,101 @@ mod tests {
         )
     }
 
+    /// Sets in the test cache (16).
+    const SETS: u64 = 4096 / LINE / WAYS as u64;
+
     #[test]
-    fn cold_cache_holds_tag_zero_zeroes() {
+    fn cold_cache_holds_low_tags_zeroed() {
         let mut c = cache();
-        // Line 5 has tag 0: resident, zero-filled, coherent with zeroed
-        // host memory (the paper's no-valid-bit initialization).
-        assert!(c.lookup(5));
+        // Tags 0..WAYS start resident, zero-filled, coherent with zeroed
+        // host memory (the no-flush initialization).
+        for tag in 0..WAYS as u64 {
+            assert!(c.lookup(tag * SETS + 5), "tag {tag} must start resident");
+        }
         let mut buf = [0xFFu8; 64];
         c.read_hit(5, &mut buf);
         assert_eq!(buf, [0u8; 64]);
-        // Line 5 + 64 slots has tag 1: not resident.
-        assert!(!c.lookup(5 + 64));
+        // Tag WAYS does not fit the initial residency.
+        assert!(!c.lookup(WAYS as u64 * SETS + 5));
     }
 
     #[test]
     fn fill_then_hit() {
         let mut c = cache();
-        let line = 64 + 3; // tag 1, slot 3
+        let line = WAYS as u64 * SETS + 3; // tag 4, set 3
         assert!(!c.lookup(line));
         let data = [7u8; 64];
-        let ev = c.fill(line, &data, false);
-        assert!(ev.is_none(), "clean tag-0 line needs no writeback");
+        let mut victim = [0u8; 64];
+        let ev = c.fill(line, &data, false, &mut victim);
+        assert!(!ev.dirty, "initial lines are clean");
+        assert!(ev.line.is_some(), "set was full of valid lines");
         assert!(c.lookup(line));
         let mut buf = [0u8; 64];
         c.read_hit(line, &mut buf);
         assert_eq!(buf, data);
         assert_eq!(c.hits(), 1);
         assert_eq!(c.misses(), 1);
+        assert_eq!(c.conflict_fills(), 1);
+        assert_eq!(c.evict_clean(), 1);
+    }
+
+    #[test]
+    fn four_way_set_holds_four_conflicting_lines() {
+        let mut c = cache();
+        // Four lines of the same set (tags 4..8) can all be resident at
+        // once after the initial occupants rotate out.
+        let mut victim = [0u8; 64];
+        for tag in 4..8u64 {
+            c.fill(tag * SETS + 2, &[tag as u8; 64], false, &mut victim);
+        }
+        for tag in 4..8u64 {
+            assert!(c.lookup(tag * SETS + 2), "tag {tag} evicted too early");
+        }
+        // A fifth conflicting line displaces one of them.
+        c.fill(8 * SETS + 2, &[8u8; 64], false, &mut victim);
+        let resident = (4..9u64).filter(|&t| c.lookup(t * SETS + 2)).count();
+        assert_eq!(resident, WAYS);
     }
 
     #[test]
     fn dirty_eviction_returns_contents() {
         let mut c = cache();
-        // Dirty the tag-0 occupant of slot 9.
+        // Dirty the tag-0 occupant of set 9, then displace it by filling
+        // enough conflicting lines to wrap the round-robin cursor.
         c.write_hit(9, &[3u8; 64]);
-        // Fill the same slot with tag 2 → must evict dirty line 9.
-        let ev = c.fill(2 * 64 + 9, &[4u8; 64], false);
-        let (line, data) = ev.expect("dirty line must be evicted");
+        let mut victim = [0u8; 64];
+        let mut seen_dirty = None;
+        for tag in 4..8u64 {
+            let ev = c.fill(tag * SETS + 9, &[4u8; 64], false, &mut victim);
+            if ev.dirty {
+                seen_dirty = Some((ev.line.unwrap(), victim));
+            }
+        }
+        let (line, data) = seen_dirty.expect("dirty line must be evicted");
         assert_eq!(line, 9);
         assert_eq!(&data[..], &[3u8; 64]);
         assert_eq!(c.writebacks(), 1);
+        assert_eq!(c.evict_dirty(), 1);
     }
 
     #[test]
     fn fill_marked_dirty_writes_back_later() {
         let mut c = cache();
-        let ev = c.fill(64 + 1, &[1u8; 64], true); // write-allocate
-        assert!(ev.is_none());
-        let ev = c.fill(2 * 64 + 1, &[2u8; 64], false);
-        let (line, data) = ev.expect("dirty filled line must evict");
-        assert_eq!(line, 64 + 1);
-        assert_eq!(&data[..], &[1u8; 64]);
+        let mut victim = [0u8; 64];
+        let target = WAYS as u64 * SETS + 1; // tag 4, set 1
+        let ev = c.fill(target, &[1u8; 64], true, &mut victim); // write-allocate
+        assert!(!ev.dirty);
+        // Displace the whole set; the dirty fill must surface.
+        let mut dirty_evictions = 0;
+        for tag in 5..9u64 {
+            let ev = c.fill(tag * SETS + 1, &[2u8; 64], false, &mut victim);
+            if ev.dirty {
+                assert_eq!(ev.line, Some(target));
+                assert_eq!(victim, [1u8; 64]);
+                dirty_evictions += 1;
+            }
+        }
+        assert_eq!(dirty_evictions, 1);
     }
 
     #[test]
@@ -350,8 +601,53 @@ mod tests {
         let mut buf = [0u8; 64];
         c.read_hit(0, &mut buf);
         c.read_hit(1, &mut buf);
-        c.fill(64, &[0u8; 64], false);
+        let mut victim = [0u8; 64];
+        c.fill(WAYS as u64 * SETS, &[0u8; 64], false, &mut victim);
         assert!((c.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn occupants_reports_the_set() {
+        let mut c = cache();
+        let occ = c.occupants(7);
+        // Initially: tags 0..WAYS of set 7.
+        for (w, line) in occ.iter().enumerate() {
+            assert_eq!(*line, Some(w as u64 * SETS + 7));
+        }
+        // After retiring one way, it reads back as None.
+        c.retire_if(|line| line == SETS + 7, |_, _| {});
+        let occ = c.occupants(7);
+        assert_eq!(occ[1], None);
+        assert_eq!(occ[0], Some(7));
+    }
+
+    #[test]
+    fn rr_victim_prefers_invalid_ways() {
+        let mut c = cache();
+        c.retire_if(|line| line == 2 * SETS + 3, |_, _| {});
+        assert_eq!(c.rr_victim(3 + 4 * SETS), 2, "invalid way wins");
+        // With all ways valid again, the cursor rotates.
+        let mut victim = [0u8; 64];
+        c.fill(4 * SETS + 3, &[0u8; 64], false, &mut victim);
+        let (a, b) = (c.rr_victim(3), c.rr_victim(3));
+        assert_ne!(a, b, "cursor must advance");
+    }
+
+    #[test]
+    fn retire_sweep_writes_back_dirty_and_invalidates() {
+        let mut c = cache();
+        c.write_hit(5, &[9u8; 64]); // dirty line 5 (tag 0, set 5)
+        let mut written = Vec::new();
+        let (clean, dirty) = c.retire_if(
+            |line| line % SETS == 5, // everything in set 5
+            |line, data| written.push((line, data[0])),
+        );
+        assert_eq!(dirty, 1);
+        assert_eq!(clean, WAYS as u64 - 1);
+        assert_eq!(written, vec![(5, 9)]);
+        assert!(!c.lookup(5), "retired lines are gone");
+        // A retired dirty line must not write back again via flush.
+        assert!(c.flush_dirty().is_empty());
     }
 
     #[test]
@@ -359,25 +655,25 @@ mod tests {
     fn read_hit_requires_residency() {
         let mut c = cache();
         let mut buf = [0u8; 64];
-        c.read_hit(64, &mut buf);
+        c.read_hit(WAYS as u64 * SETS, &mut buf);
     }
 
     #[test]
     #[should_panic(expected = "ECC spare bits")]
     fn rejects_ratio_beyond_ecc_bits() {
-        // Ratio 64 needs 6 tag bits + dirty = 7 > 6 spare bits.
+        // Ratio 32 needs 5+2 tag bits + dirty + valid = 9 > 8 spare bits.
         NicDram::new(
             NicDramConfig {
                 capacity: 4096,
                 bandwidth: Bandwidth::from_gbytes_per_sec(12.8),
             },
-            64 * 4096,
+            32 * 4096,
         );
     }
 
     #[test]
     fn paper_ratio_fits_ecc_bits() {
-        // 16:1 (the paper's 64GiB:4GiB) needs 4 tag bits + 1 dirty ≤ 6.
+        // 16:1 (the paper's 64GiB:4GiB) needs 6 tag bits + dirty + valid = 8.
         let c = NicDram::new(NicDramConfig::paper_scaled(1024), (64u64 << 30) / 1024);
         assert_eq!(c.config().capacity, 4 << 20);
     }

@@ -11,9 +11,10 @@
 use kvd_pcie::{DmaPort, PcieConfig};
 use kvd_sim::{BandwidthLink, SimTime};
 
-use crate::dispatch::{DispatchConfig, LoadDispatcher};
-use crate::engine::AccessKind;
+use crate::dispatch::{hash_line, optimal_ratio_measured, DispatchConfig, LoadDispatcher};
+use crate::engine::{AccessKind, AdaptiveCacheConfig};
 use crate::nicdram::{NicDram, NicDramConfig};
+use crate::sketch::{FreqSketch, SpaceSaving};
 use crate::LINE;
 
 /// Configuration of a timed replay run.
@@ -30,6 +31,9 @@ pub struct ReplayConfig {
     /// Number of PCIe endpoints (the paper's NIC has two Gen3 x8 in a
     /// bifurcated x16).
     pub pcie_ports: usize,
+    /// Adaptive cache plane (TinyLFU admission + online retune); `None`
+    /// replays the paper's static policy.
+    pub adaptive: Option<AdaptiveCacheConfig>,
 }
 
 impl ReplayConfig {
@@ -45,6 +49,7 @@ impl ReplayConfig {
             dispatch: DispatchConfig::new(dispatch_ratio),
             pcie: PcieConfig::gen3_x8(),
             pcie_ports: 2,
+            adaptive: None,
         }
     }
 }
@@ -58,10 +63,17 @@ pub struct ReplayResult {
     pub elapsed: SimTime,
     /// Sustained throughput in Mops.
     pub mops: f64,
-    /// NIC DRAM cache hit rate over cacheable accesses.
+    /// NIC DRAM cache hit rate over cacheable accesses (admission
+    /// rejections count as misses).
     pub hit_rate: f64,
     /// Fraction of accesses that touched PCIe.
     pub pcie_fraction: f64,
+    /// Load dispatch ratio at end of run (moves only in adaptive mode).
+    pub final_ratio: f64,
+    /// Retune steps the adaptive plane took.
+    pub retune_steps: u64,
+    /// Conflict fills the TinyLFU admission rejected.
+    pub rejected_fills: u64,
 }
 
 /// Replays `(line, kind)` accesses through the dispatched memory stack.
@@ -83,7 +95,11 @@ pub fn replay_lines(
 ) -> ReplayResult {
     assert!(cfg.pcie_ports >= 1);
     let mut cache = NicDram::new(cfg.dram.clone(), cfg.host_capacity);
-    let dispatcher = LoadDispatcher::new(cfg.dispatch);
+    let mut dispatcher = LoadDispatcher::new(cfg.dispatch);
+    let mut adaptive = cfg
+        .adaptive
+        .clone()
+        .map(|c| (FreqSketch::new(c.sketch), SpaceSaving::new(c.top_k), c));
     let mut ports: Vec<DmaPort> = (0..cfg.pcie_ports)
         .map(|i| DmaPort::new(cfg.pcie.clone(), 0x5EED + i as u64))
         .collect();
@@ -91,8 +107,16 @@ pub fn replay_lines(
     let mut next_port = 0usize;
     let mut ops = 0u64;
     let mut pcie_ops = 0u64;
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let (mut win_hits, mut win_misses) = (0u64, 0u64);
+    let mut epoch_ticks = 0u64;
+    let mut retune_steps = 0u64;
+    let mut rejected_fills = 0u64;
+    let mut reject_streak = 0u64;
     let total_lines = cfg.host_capacity / LINE;
     let scratch = [0u8; LINE as usize];
+    let mut victim = [0u8; LINE as usize];
 
     let mut pcie = |ports: &mut Vec<DmaPort>, kind: AccessKind| {
         let port = &mut ports[next_port];
@@ -106,8 +130,46 @@ pub fn replay_lines(
     for (line, kind) in accesses {
         let line = line % total_lines;
         ops += 1;
+        // Adaptive bookkeeping: sketch observation + the access-count
+        // epoch that drives retuning (mirrors DispatchedMemory).
+        if let Some((sketch, hot, acfg)) = &mut adaptive {
+            if sketch.observe(line) {
+                hot.observe(line);
+            }
+            epoch_ticks += 1;
+            if epoch_ticks >= acfg.epoch_accesses && win_hits + win_misses > 0 {
+                epoch_ticks = 0;
+                let h = win_hits as f64 / (win_hits + win_misses) as f64;
+                (win_hits, win_misses) = (0, 0);
+                let target = optimal_ratio_measured(h, acfg.tput_dram, acfg.tput_pcie)
+                    .clamp(acfg.min_ratio, acfg.max_ratio);
+                let current = dispatcher.ratio();
+                if (target - current).abs() > acfg.deadband {
+                    let next = current + (target - current).clamp(-acfg.max_step, acfg.max_step);
+                    let old_t = dispatcher.threshold();
+                    dispatcher.set_ratio(next);
+                    let new_t = dispatcher.threshold();
+                    let (lo, hi) = (old_t.min(new_t), old_t.max(new_t));
+                    retune_steps += 1;
+                    // Migration sweep: dirty retirees cost a DRAM
+                    // read-out plus a PCIe write-back each.
+                    cache.retire_if(
+                        |l| {
+                            let h = hash_line(l);
+                            h > lo && h <= hi
+                        },
+                        |_, _| {
+                            dram.transfer(SimTime::ZERO, LINE);
+                            pcie(&mut ports, AccessKind::Write);
+                        },
+                    );
+                }
+            }
+        }
         if dispatcher.is_cacheable(line) {
             if cache.lookup(line) {
+                hits += 1;
+                win_hits += 1;
                 // Hit: one DRAM access (read or write-and-dirty).
                 dram.transfer(SimTime::ZERO, LINE);
                 match kind {
@@ -118,18 +180,78 @@ pub fn replay_lines(
                     AccessKind::Write => cache.write_hit(line, &scratch),
                 }
             } else {
-                // Miss: PCIe fetch + DRAM fill (+ dirty write-back).
-                pcie_ops += 1;
-                pcie(&mut ports, AccessKind::Read);
-                dram.transfer(SimTime::ZERO, LINE);
-                if cache
-                    .fill(line, &scratch, kind == AccessKind::Write)
-                    .is_some()
-                {
-                    // Evicted dirty line: DRAM read-out + PCIe write-back.
-                    dram.transfer(SimTime::ZERO, LINE);
-                    pcie(&mut ports, AccessKind::Write);
-                    pcie_ops += 1;
+                misses += 1;
+                win_misses += 1;
+                // TinyLFU admission: the incomer must out-count the
+                // coldest resident of its set, or serve over PCIe
+                // without displacing anyone.
+                let way = match &adaptive {
+                    None => Some(cache.rr_victim(line)),
+                    Some((sketch, _, acfg)) => {
+                        let mut coldest: Option<(usize, u32)> = None;
+                        let mut free = None;
+                        for (w, occ) in cache.occupants(line).iter().enumerate() {
+                            match occ {
+                                None => {
+                                    free = Some(w);
+                                    break;
+                                }
+                                Some(resident) => {
+                                    let est = sketch.estimate(*resident);
+                                    if coldest.is_none_or(|(_, c)| est < c) {
+                                        coldest = Some((w, est));
+                                    }
+                                }
+                            }
+                        }
+                        match (free, coldest) {
+                            (Some(w), _) => Some(w),
+                            (None, Some((w, cold))) => {
+                                if cold == 0 || sketch.estimate(line) > cold {
+                                    reject_streak = 0;
+                                    Some(w)
+                                } else {
+                                    reject_streak += 1;
+                                    if acfg.admit_every > 0 && reject_streak >= acfg.admit_every {
+                                        // Starvation hatch (mirrors
+                                        // `DispatchedMemory::admit`).
+                                        reject_streak = 0;
+                                        Some(w)
+                                    } else {
+                                        rejected_fills += 1;
+                                        None
+                                    }
+                                }
+                            }
+                            (None, None) => unreachable!("set has ways"),
+                        }
+                    }
+                };
+                match way {
+                    Some(way) => {
+                        // Miss: PCIe fetch + DRAM fill (+ dirty write-back).
+                        pcie_ops += 1;
+                        pcie(&mut ports, AccessKind::Read);
+                        dram.transfer(SimTime::ZERO, LINE);
+                        let ev = cache.fill_way(
+                            line,
+                            way,
+                            &scratch,
+                            kind == AccessKind::Write,
+                            &mut victim,
+                        );
+                        if ev.dirty {
+                            // Evicted dirty line: DRAM read-out + PCIe write-back.
+                            dram.transfer(SimTime::ZERO, LINE);
+                            pcie(&mut ports, AccessKind::Write);
+                            pcie_ops += 1;
+                        }
+                    }
+                    None => {
+                        // Rejected: the access itself goes over PCIe.
+                        pcie_ops += 1;
+                        pcie(&mut ports, kind);
+                    }
                 }
             }
         } else {
@@ -151,8 +273,15 @@ pub fn replay_lines(
         } else {
             0.0
         },
-        hit_rate: cache.hit_rate(),
+        hit_rate: if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        },
         pcie_fraction: pcie_ops as f64 / ops.max(1) as f64,
+        final_ratio: dispatcher.ratio(),
+        retune_steps,
+        rejected_fills,
     }
 }
 

@@ -5,8 +5,12 @@
 //! kvd-load --addr 127.0.0.1:11211 [--ops N] [--rate OPS_PER_SEC]
 //!          [--conns N] [--population N] [--value-len B]
 //!          [--deadline-ms MS] [--preset a|b|c|d|f] [--seed S] [--no-preload]
-//!          [--fallback HOST:PORT]...
+//!          [--zipf THETA] [--hot-shift N] [--fallback HOST:PORT]...
 //! ```
+//!
+//! `--zipf` replaces the YCSB preset with a Zipf(θ) stream (10% SETs);
+//! `--hot-shift N` moves the whole hot set every N requests — the
+//! adversarial mix the hot-key-aware cache plane is tuned against.
 //!
 //! Offers `--rate` ops/sec on a seeded bursty schedule regardless of
 //! how fast the server answers, then reports wall-clock RPS, goodput
@@ -25,7 +29,7 @@ fn usage() -> ! {
         "usage: kvd-load --addr HOST:PORT [--ops N] [--rate R] [--conns N] \
          [--population N] [--value-len B] [--deadline-ms MS] \
          [--preset a|b|c|d|f] [--seed S] [--no-preload] \
-         [--fallback HOST:PORT]..."
+         [--zipf THETA] [--hot-shift N] [--fallback HOST:PORT]..."
     );
     exit(2)
 }
@@ -41,6 +45,8 @@ fn main() {
     let mut preset = YcsbPreset::B;
     let mut seed: u64 = 0x10AD;
     let mut preload = true;
+    let mut zipf: Option<f64> = None;
+    let mut hot_shift: u64 = 0;
     let mut fallbacks: Vec<String> = Vec::new();
 
     let mut args = env::args().skip(1);
@@ -59,6 +65,14 @@ fn main() {
             "--value-len" => value_len = val.parse().unwrap_or_else(|_| usage()),
             "--deadline-ms" => deadline_ms = val.parse().unwrap_or_else(|_| usage()),
             "--seed" => seed = val.parse().unwrap_or_else(|_| usage()),
+            "--zipf" => {
+                let theta: f64 = val.parse().unwrap_or_else(|_| usage());
+                if theta <= 0.0 {
+                    usage()
+                }
+                zipf = Some(theta);
+            }
+            "--hot-shift" => hot_shift = val.parse().unwrap_or_else(|_| usage()),
             "--fallback" => fallbacks.push(val),
             "--preset" => {
                 preset = match val.as_str() {
@@ -100,6 +114,8 @@ fn main() {
         ops_per_conn: ops.div_ceil(conns),
         rate,
         preset,
+        zipf,
+        hot_shift,
         population,
         value_len,
         deadline: Duration::from_millis(deadline_ms),

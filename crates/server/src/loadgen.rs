@@ -70,6 +70,12 @@ pub struct LoadConfig {
     pub rate: f64,
     /// Key-popularity preset driving the mix.
     pub preset: YcsbPreset,
+    /// When set, overrides `preset` with a moving-hot-set Zipf stream of
+    /// this skewness θ (`kvd-load --zipf`).
+    pub zipf: Option<f64>,
+    /// Requests between hot-set shifts in `--zipf` mode; 0 keeps the hot
+    /// set static (`kvd-load --hot-shift`).
+    pub hot_shift: u64,
     /// Key population (shared id space across connections).
     pub population: u64,
     /// SET data size in bytes.
@@ -95,6 +101,8 @@ impl LoadConfig {
             ops_per_conn: 2_000,
             rate: 40_000.0,
             preset: YcsbPreset::B,
+            zipf: None,
+            hot_shift: 0,
             population: 2_000,
             value_len: 64,
             deadline: Duration::from_millis(100),
@@ -213,8 +221,19 @@ fn connect(cfg: &LoadConfig, salt: u64) -> io::Result<(TcpStream, u64)> {
 /// Warm start: SET the whole population with `noreply`, then a
 /// `version` round trip to confirm the stream was fully applied.
 /// Returns the failed-dial count.
+/// The configured workload: the preset, or the moving-hot-set Zipf
+/// stream when `--zipf` was given.
+fn make_workload(cfg: &LoadConfig, seed: u64) -> MemcacheWorkload {
+    match cfg.zipf {
+        Some(theta) => {
+            MemcacheWorkload::zipf_hot(theta, cfg.hot_shift, cfg.population, cfg.value_len, seed)
+        }
+        None => MemcacheWorkload::new(cfg.preset, cfg.population, cfg.value_len, seed),
+    }
+}
+
 fn preload(cfg: &LoadConfig) -> io::Result<u64> {
-    let mut w = MemcacheWorkload::new(cfg.preset, cfg.population, cfg.value_len, cfg.seed);
+    let mut w = make_workload(cfg, cfg.seed);
     let (mut stream, reconnects) = connect(cfg, u64::MAX)?;
     let mut buf = Vec::with_capacity(64 << 10);
     for op in w.preload() {
@@ -250,12 +269,7 @@ fn run_conn(cfg: &LoadConfig, conn: usize, t0: Instant) -> io::Result<LoadReport
         cfg.seed ^ (conn as u64).wrapping_mul(0x9E37_79B9),
     );
     let arrivals = chaos.arrivals(cfg.ops_per_conn);
-    let mut workload = MemcacheWorkload::new(
-        cfg.preset,
-        cfg.population,
-        cfg.value_len,
-        cfg.seed ^ 0xC0FF_EE00 ^ conn as u64,
-    );
+    let mut workload = make_workload(cfg, cfg.seed ^ 0xC0FF_EE00 ^ conn as u64);
 
     let (stream, reconnects) = connect(cfg, conn as u64)?;
     stream.set_nodelay(true)?;

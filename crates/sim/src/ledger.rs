@@ -338,6 +338,34 @@ pub struct ExpiryCosts {
     pub sweep_buckets: u64,
 }
 
+/// Adaptive-cache-plane costs: frequency-sketch sampling, TinyLFU fill
+/// admission, eviction quality, online retune steps, and the hot-key
+/// sheds the heavy-hitter rollup feeds into admission control. All
+/// counters sum on merge, preserving the bit-identical determinism
+/// contract across worker counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCosts {
+    /// Line accesses the frequency sketch sampled.
+    pub sketch_samples: u64,
+    /// Cache fills performed (admission granted, or the plane disabled).
+    pub admitted_fills: u64,
+    /// Conflict fills the TinyLFU admission rejected.
+    pub rejected_fills: u64,
+    /// Valid lines displaced clean by a fill.
+    pub evict_clean: u64,
+    /// Valid lines displaced dirty by a fill (write-back traffic).
+    pub evict_dirty: u64,
+    /// Fills that displaced a valid line (conflict misses).
+    pub conflict_fills: u64,
+    /// Retune steps that moved the load-dispatch threshold.
+    pub retune_steps: u64,
+    /// Resident lines retired by threshold-migration sweeps.
+    pub demoted_lines: u64,
+    /// Requests shed because their key was a tracked heavy hitter during
+    /// overload (per-hot-key shedding instead of across-the-board).
+    pub hot_key_sheds: u64,
+}
+
 /// KV-processor costs: request mix, retire outcomes and overload-plane
 /// decisions.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -808,6 +836,42 @@ impl ExpiryCosts {
     }
 }
 
+impl CacheCosts {
+    fn merge(&mut self, other: &CacheCosts) {
+        sum_fields!(
+            self,
+            other,
+            sketch_samples,
+            admitted_fills,
+            rejected_fills,
+            evict_clean,
+            evict_dirty,
+            conflict_fills,
+            retune_steps,
+            demoted_lines,
+            hot_key_sheds
+        );
+    }
+
+    fn since(&self, earlier: &CacheCosts) -> CacheCosts {
+        let mut out = *self;
+        sub_fields!(
+            out,
+            earlier,
+            sketch_samples,
+            admitted_fills,
+            rejected_fills,
+            evict_clean,
+            evict_dirty,
+            conflict_fills,
+            retune_steps,
+            demoted_lines,
+            hot_key_sheds
+        );
+        out
+    }
+}
+
 impl CoreCosts {
     fn merge(&mut self, other: &CoreCosts) {
         sum_fields!(
@@ -882,6 +946,8 @@ pub struct OpLedger {
     pub slab: SlabCosts,
     /// Entry-lifecycle costs (TTL writes, lazy expiry, reaper sweeps).
     pub expiry: ExpiryCosts,
+    /// Adaptive-cache-plane costs (sketch, admission, retune, hot keys).
+    pub cache: CacheCosts,
     /// KV-processor costs (request mix, retire outcomes, overload plane).
     pub core: CoreCosts,
     /// Serving-front-end costs (protocol frames, socket bytes, outcome
@@ -908,6 +974,7 @@ impl OpLedger {
         self.station.merge(&other.station);
         self.slab.merge(&other.slab);
         self.expiry.merge(&other.expiry);
+        self.cache.merge(&other.cache);
         self.core.merge(&other.core);
         self.server.merge(&other.server);
         self.cluster.merge(&other.cluster);
@@ -927,6 +994,7 @@ impl OpLedger {
             station: self.station.since(&earlier.station),
             slab: self.slab.since(&earlier.slab),
             expiry: self.expiry.since(&earlier.expiry),
+            cache: self.cache.since(&earlier.cache),
             core: self.core.since(&earlier.core),
             server: self.server.since(&earlier.server),
             cluster: self.cluster.since(&earlier.cluster),
@@ -1050,6 +1118,17 @@ mod tests {
                 sweep_passes: r(),
                 sweep_buckets: r(),
             },
+            cache: CacheCosts {
+                sketch_samples: r(),
+                admitted_fills: r(),
+                rejected_fills: r(),
+                evict_clean: r(),
+                evict_dirty: r(),
+                conflict_fills: r(),
+                retune_steps: r(),
+                demoted_lines: r(),
+                hot_key_sheds: r(),
+            },
             core: CoreCosts {
                 requests: r(),
                 reads: r(),
@@ -1163,6 +1242,7 @@ mod tests {
         assert_eq!(got.dram, delta.dram);
         assert_eq!(got.slab, delta.slab);
         assert_eq!(got.expiry, delta.expiry);
+        assert_eq!(got.cache, delta.cache);
         assert_eq!(got.core, delta.core);
         assert_eq!(got.server, delta.server);
         assert_eq!(got.latency, delta.latency);

@@ -67,8 +67,9 @@ pub use fault::{
     DramFault, FaultCounters, FaultPlane, FaultRates, NetFault, PcieFault, TxnOutcome,
 };
 pub use ledger::{
-    ClusterCosts, Component, CoreCosts, CostSource, DramCosts, ExpiryCosts, LatencyCosts, NetCosts,
-    OpClass, OpLedger, PcieCosts, PressureTerms, ServerCosts, SlabCosts, StationCosts,
+    CacheCosts, ClusterCosts, Component, CoreCosts, CostSource, DramCosts, ExpiryCosts,
+    LatencyCosts, NetCosts, OpClass, OpLedger, PcieCosts, PressureTerms, ServerCosts, SlabCosts,
+    StationCosts,
 };
 pub use pressure::PressureGauge;
 pub use queue::EventQueue;

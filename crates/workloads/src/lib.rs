@@ -15,9 +15,11 @@ pub mod presets;
 pub mod sizes;
 pub mod ttl;
 pub mod ycsb;
+pub mod zipfhot;
 
 pub use memcache::{memcache_key, memcache_key_id, MemOp, MemcacheWorkload};
 pub use presets::{PresetWorkload, YcsbPreset};
 pub use sizes::{inline_kv_sizes, noninline_kv_sizes, paper_kv_sizes};
 pub use ttl::{MemcacheTtl, MemcacheTtlWorkload};
 pub use ycsb::{Dist, YcsbSpec, YcsbWorkload};
+pub use zipfhot::{ZipfHotSpec, ZipfHotWorkload};

@@ -15,6 +15,7 @@
 use kvd_net::OpCode;
 
 use crate::presets::{PresetWorkload, YcsbPreset};
+use crate::zipfhot::{ZipfHotSpec, ZipfHotWorkload};
 
 /// Fixed length of every memcache-formatted key (`k` + 16 hex digits).
 pub const MEMCACHE_KEY_LEN: usize = 17;
@@ -80,8 +81,15 @@ pub fn memcache_key_id(key: &[u8]) -> Option<u64> {
 /// assert!(op.key().starts_with(b"k"));
 /// ```
 pub struct MemcacheWorkload {
-    inner: PresetWorkload,
+    inner: Gen,
     value_len: usize,
+}
+
+/// The distribution engine behind the memcache adapter: a YCSB preset
+/// or the moving-hot-set Zipf sweep.
+enum Gen {
+    Preset(PresetWorkload),
+    ZipfHot(ZipfHotWorkload),
 }
 
 impl MemcacheWorkload {
@@ -89,14 +97,40 @@ impl MemcacheWorkload {
     /// values.
     pub fn new(preset: YcsbPreset, population: u64, value_len: usize, seed: u64) -> Self {
         MemcacheWorkload {
-            inner: PresetWorkload::new(preset, population, value_len, seed),
+            inner: Gen::Preset(PresetWorkload::new(preset, population, value_len, seed)),
+            value_len,
+        }
+    }
+
+    /// Creates a moving-hot-set Zipf generator (`kvd-load --zipf θ
+    /// --hot-shift N`): skewness `theta`, hot set re-scrambled every
+    /// `shift_every` requests (0 = static), 10% SETs.
+    pub fn zipf_hot(
+        theta: f64,
+        shift_every: u64,
+        population: u64,
+        value_len: usize,
+        seed: u64,
+    ) -> Self {
+        MemcacheWorkload {
+            inner: Gen::ZipfHot(ZipfHotWorkload::new(ZipfHotSpec {
+                n_keys: population,
+                theta,
+                kv_size: (value_len + ZipfHotSpec::KEY_LEN) as u64,
+                put_ratio: 0.1,
+                shift_every,
+                seed,
+            })),
             value_len,
         }
     }
 
     /// Current key population (grows under YCSB-D).
     pub fn population(&self) -> u64 {
-        self.inner.population()
+        match &self.inner {
+            Gen::Preset(p) => p.population(),
+            Gen::ZipfHot(z) => z.spec().n_keys,
+        }
     }
 
     /// Value length every SET carries.
@@ -106,9 +140,11 @@ impl MemcacheWorkload {
 
     /// SETs covering the initial population, for warm-start loads.
     pub fn preload(&mut self) -> Vec<MemOp> {
-        self.inner
-            .preload()
-            .into_iter()
+        let reqs = match &mut self.inner {
+            Gen::Preset(p) => p.preload(),
+            Gen::ZipfHot(z) => z.preload_requests(),
+        };
+        reqs.into_iter()
             .map(|r| MemOp::Set {
                 key: rekey(&r.key),
                 value: r.value,
@@ -118,7 +154,10 @@ impl MemcacheWorkload {
 
     /// Generates the next operation.
     pub fn next_op(&mut self) -> MemOp {
-        let r = self.inner.next_request();
+        let r = match &mut self.inner {
+            Gen::Preset(p) => p.next_request(),
+            Gen::ZipfHot(z) => z.next_request(),
+        };
         let key = rekey(&r.key);
         match r.op {
             OpCode::Get => MemOp::Get { key },
@@ -162,6 +201,23 @@ mod tests {
                 "illegal key byte in {key:?}"
             );
         }
+    }
+
+    #[test]
+    fn zipf_hot_mode_is_legal_and_deterministic() {
+        let mut a = MemcacheWorkload::zipf_hot(1.2, 500, 4_096, 32, 9);
+        let mut b = MemcacheWorkload::zipf_hot(1.2, 500, 4_096, 32, 9);
+        let batch = a.batch(1_200);
+        assert_eq!(batch, b.batch(1_200));
+        for op in &batch {
+            let key = op.key();
+            assert_eq!(key.len(), MEMCACHE_KEY_LEN);
+            assert!(memcache_key_id(key).is_some());
+            if let MemOp::Set { value, .. } = op {
+                assert_eq!(value.len(), 32);
+            }
+        }
+        assert_eq!(a.population(), 4_096);
     }
 
     #[test]

@@ -165,6 +165,60 @@ fn fault_counters_bit_identical_across_worker_counts() {
     assert_eq!(r1, r8, "fault schedule diverged between 1 and 8 workers");
 }
 
+/// A run with the full adaptive cache plane on: per-shard frequency
+/// sketch, TinyLFU fill admission, online dispatch retuning and the
+/// hot-key-aware overload gate — every seeded, stateful piece the
+/// ISSUE 10 plane added.
+fn run_adaptive(workers: usize, reqs: &[KvRequest]) -> ParallelSimReport {
+    let mut store = KvDirectConfig::with_memory(1 << 20);
+    let mut adaptive = kv_direct::mem::AdaptiveCacheConfig::data_path(0xADA7);
+    // Small epochs so the retune loop actually fires within the run.
+    adaptive.epoch_accesses = 512;
+    store.adaptive_cache = Some(adaptive);
+    store.overload = kv_direct::OverloadConfig::hot_key_aware();
+    let mut cfg = ParallelSimConfig::paper(store, 24, 10);
+    cfg.workers = workers;
+    let mut sim = ParallelSystemSim::new(cfg);
+    for id in 0..5_000u64 {
+        sim.preload_put(&id.to_le_bytes(), &[id as u8; 16])
+            .expect("preload fits");
+    }
+    sim.run(reqs)
+}
+
+#[test]
+fn adaptive_cache_plane_bit_identical_across_worker_counts() {
+    // The sketch samples, the admission filter consults it, the retune
+    // loop moves each shard's dispatch ratio — all of it per-shard
+    // seeded state, so the report (merged ledger included) must stay a
+    // pure function of (config, seed, stream) under an adversarial
+    // moving-hot-set Zipf 1.2 mix.
+    let mut w = kv_direct::workloads::ZipfHotWorkload::new(kv_direct::workloads::ZipfHotSpec {
+        n_keys: 5_000,
+        theta: 1.2,
+        kv_size: 24,
+        put_ratio: 0.3,
+        shift_every: 3_000,
+        seed: 0xD379,
+    });
+    let reqs = w.batch(9_000);
+    let r1 = run_adaptive(1, &reqs);
+    let r2 = run_adaptive(2, &reqs);
+    let r8 = run_adaptive(8, &reqs);
+    assert!(
+        r1.ledger.cache.sketch_samples > 0,
+        "the sketch must sample: {:?}",
+        r1.ledger.cache
+    );
+    assert!(
+        r1.ledger.cache.admitted_fills + r1.ledger.cache.rejected_fills > 0,
+        "the admission filter must decide fills: {:?}",
+        r1.ledger.cache
+    );
+    assert_eq!(r1, r2, "adaptive plane diverged between 1 and 2 workers");
+    assert_eq!(r1, r8, "adaptive plane diverged between 1 and 8 workers");
+}
+
 #[test]
 fn different_seeds_diverge() {
     // Sanity check that the equality above is meaningful: the engine is
@@ -267,6 +321,15 @@ fn random_ledger(seed: u64) -> OpLedger {
         l.core.retired_ok,
         l.core.retired_not_found,
         l.core.retired_failed,
+        l.cache.sketch_samples,
+        l.cache.admitted_fills,
+        l.cache.rejected_fills,
+        l.cache.evict_clean,
+        l.cache.evict_dirty,
+        l.cache.conflict_fills,
+        l.cache.retune_steps,
+        l.cache.demoted_lines,
+        l.cache.hot_key_sheds,
         l.pressure.station_backlog_ps,
         l.pressure.station_cap_ps,
         l.pressure.tag_backlog_ps,
